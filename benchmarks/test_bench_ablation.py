@@ -1,0 +1,36 @@
+"""Benchmarks E6/E7 — ablations of the subspace method's design choices.
+
+E6 measures the contribution of the T² test on the normal subspace (the
+paper's §2.2 extension over the SPE-only detector of the earlier SIGCOMM
+paper).  E7 sweeps the normal-subspace dimension k around the paper's
+choice of k = 4.
+"""
+
+from conftest import run_once
+
+from repro.evaluation.experiments import run_ablation_k, run_ablation_t2
+
+
+def test_ablation_t2_extension(benchmark, week_dataset):
+    result = run_once(benchmark, run_ablation_t2, week_dataset)
+
+    print()
+    print(result.render())
+
+    # The T² test never hurts and the combined detector keeps a high rate.
+    assert result.with_t2.n_detected >= result.without_t2.n_detected
+    assert result.with_t2.detection_rate > 0.75
+
+
+def test_ablation_normal_subspace_dimension(benchmark, week_dataset):
+    result = run_once(benchmark, run_ablation_k, week_dataset, k_values=(2, 4, 8))
+
+    print()
+    print(result.render())
+
+    metrics = result.metrics_by_k
+    assert set(metrics) == {2, 4, 8}
+    # The paper's choice k = 4 sits on the good part of the curve: detection
+    # within a few percent of the best setting in the sweep.
+    best_rate = max(m.detection_rate for m in metrics.values())
+    assert metrics[4].detection_rate >= best_rate - 0.10

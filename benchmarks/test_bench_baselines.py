@@ -1,0 +1,31 @@
+"""Benchmark E8 — the subspace method versus per-flow baselines.
+
+Quantifies the paper's central argument: analyzing the whole OD-flow
+ensemble jointly (the subspace method) finds more of the injected anomalies
+than per-flow detectors (EWMA, wavelet, Fourier) granted a comparable event
+budget.
+"""
+
+from conftest import run_once
+
+from repro.evaluation.experiments import run_baseline_comparison
+
+
+def test_baseline_comparison(benchmark, week_dataset):
+    result = run_once(benchmark, run_baseline_comparison, week_dataset)
+
+    print()
+    print(result.render())
+
+    assert len(result.baselines) == 3
+    assert result.subspace.detection_rate > 0.75
+    # No per-flow baseline Pareto-dominates the subspace method: matching its
+    # coverage costs the baselines more false-alarm events.
+    assert result.subspace_wins()
+    # The subspace method keeps false alarms below every baseline that
+    # reaches comparable coverage.
+    for metrics in result.baselines.values():
+        if metrics.detection_rate >= result.subspace.detection_rate:
+            assert metrics.n_false_alarms >= result.subspace.n_false_alarms
+    # And it does so with a modest number of events (not by flagging everything).
+    assert result.subspace.n_events < 10 * max(1, result.subspace.n_detected)

@@ -1,0 +1,37 @@
+"""Benchmark E1 — Figure 1: the subspace method on the three traffic types.
+
+Regenerates the three rows of Figure 1 (state vector, residual vector with
+the Q-statistic threshold, t² with the T² threshold) over a 3.5-day window
+and checks the figure's qualitative claims: the residual statistics remove
+the diurnal periodicity of the raw traffic, and anomalies stand out as
+spikes above the thresholds.
+"""
+
+from conftest import run_once
+
+from repro.evaluation.experiments import run_figure1
+from repro.flows.timeseries import TrafficType
+
+
+def test_figure1_subspace_statistics(benchmark, week_dataset):
+    result = run_once(benchmark, run_figure1, week_dataset, window_days=3.5)
+
+    print()
+    print(result.render())
+
+    for traffic_type in TrafficType.all():
+        detection = result.results[traffic_type]
+        # Thresholds exist and the statistics are finite.
+        assert detection.spe_threshold > 0
+        assert detection.t2_threshold > 0
+        # Periodicity of the raw traffic is largely removed from the residual.
+        assert result.periodicity_removed(traffic_type)
+        # Anomalies appear as spikes: some but few bins exceed the thresholds.
+        n_flagged = len(detection.anomalous_bins)
+        assert 0 < n_flagged < 0.1 * detection.n_bins
+
+    # The three traffic types flag noticeably different bin sets (the paper's
+    # argument for analyzing all three).
+    bins_by_type = {t: set(result.results[t].anomalous_bins)
+                    for t in TrafficType.all()}
+    assert bins_by_type[TrafficType.BYTES] != bins_by_type[TrafficType.FLOWS]

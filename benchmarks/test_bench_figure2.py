@@ -1,0 +1,26 @@
+"""Benchmark E3 — Figure 2: anomaly duration and spatial-extent histograms.
+
+Histograms the aggregated anomaly events by duration (minutes) and by number
+of OD flows involved, and checks the paper's observation that most anomalies
+are small in both time and space while a non-negligible tail is large.
+"""
+
+from conftest import run_once
+
+from repro.evaluation.experiments import run_figure2
+
+
+def test_figure2_anomaly_scope_histograms(benchmark, week_dataset):
+    result = run_once(benchmark, run_figure2, week_dataset)
+
+    print()
+    print(result.render())
+
+    assert result.n_events > 20
+    # Most anomalies are short (the paper's histogram peaks below 20 minutes;
+    # we allow up to an hour to absorb event-merging differences).
+    assert result.fraction_short(60.0) > 0.6
+    # Most anomalies involve few OD flows.
+    assert result.median_od_flows() <= 4
+    # ... but a non-negligible number are large (the heavy tail).
+    assert max(result.od_flow_counts) >= 4 or max(result.durations_minutes) >= 60

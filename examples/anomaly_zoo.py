@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Anomaly zoo: inject one anomaly of every type and watch it get diagnosed.
+
+For each anomaly type in Table 2 of the paper (ALPHA, DOS, DDOS, FLASH
+CROWD, SCAN, WORM, POINT-TO-MULTIPOINT, OUTAGE, INGRESS-SHIFT) this example
+injects a single controlled instance into clean background traffic, runs
+detection, and classifies the resulting events with the dominant-attribute
+rules — printing, for each injected anomaly, whether it was detected, in
+which traffic types, and what the classifier called it.
+
+Run with::
+
+    python examples/anomaly_zoo.py
+"""
+
+import numpy as np
+
+from repro.anomalies import (
+    AlphaInjector,
+    DosInjector,
+    FlashCrowdInjector,
+    GroundTruthLog,
+    IngressShiftInjector,
+    InjectionContext,
+    OutageInjector,
+    PointMultipointInjector,
+    ScanInjector,
+    WormInjector,
+)
+from repro.classification import DominanceAnalyzer, RuleBasedClassifier, extract_event_features
+from repro.core import detect_network_anomalies
+from repro.datasets import DatasetConfig, generate_abilene_dataset
+from repro.flows.composition import FlowCompositionModel
+
+
+def build_injectors():
+    """One hand-tuned instance of every Table 2 anomaly type."""
+    return [
+        AlphaInjector(start_bin=60, duration_bins=2, od_pair=("LOSA", "NYCM"),
+                      magnitude=7.0, dst_port=5001),
+        DosInjector(start_bin=120, duration_bins=3, od_pairs=[("CHIN", "WASH")],
+                    magnitude=7.0, target_port=0, packets_per_flow=3.0),
+        DosInjector(start_bin=180, duration_bins=3,
+                    od_pairs=[("STTL", "ATLA"), ("SNVA", "ATLA"), ("DNVR", "ATLA")],
+                    magnitude=10.0, target_port=113, packets_per_flow=2.0),
+        FlashCrowdInjector(start_bin=240, duration_bins=2, od_pair=("ATLA", "SNVA"),
+                           magnitude=7.0, service_port=80),
+        ScanInjector(start_bin=300, duration_bins=2, od_pair=("DNVR", "HSTN"),
+                     magnitude=6.0, network_scan=True, target_port=139),
+        WormInjector(start_bin=360, duration_bins=2,
+                     od_pairs=[("CHIN", "ATLA"), ("NYCM", "LOSA"), ("STTL", "HSTN")],
+                     magnitude=12.0, worm_port=1433),
+        PointMultipointInjector(start_bin=420, duration_bins=2,
+                                od_pairs=[("WASH", "LOSA"), ("WASH", "SNVA"),
+                                          ("WASH", "CHIN")],
+                                magnitude=9.0, content_port=119),
+        OutageInjector(start_bin=480, duration_bins=12, pop="LOSA"),
+        IngressShiftInjector(start_bin=560, duration_bins=12, from_pop="LOSA",
+                             to_pop="SNVA", shifted_fraction=0.8, customer="CALREN"),
+    ]
+
+
+def main() -> None:
+    dataset = generate_abilene_dataset(
+        DatasetConfig(weeks=3.0 / 7.0, schedule=None),
+        seed=21,
+        injectors=build_injectors(),
+    )
+    print(f"injected {len(dataset.ground_truth)} anomalies into "
+          f"{dataset.n_bins} bins of clean traffic\n")
+
+    report = detect_network_anomalies(dataset.series)
+    analyzer = DominanceAnalyzer(dataset.series, dataset.composition)
+    classifier = RuleBasedClassifier()
+
+    for anomaly in dataset.ground_truth:
+        matching = [e for e in report.events if e.overlaps_bins(anomaly.bins)]
+        print(f"{anomaly.anomaly_type.value.upper():<17} bins "
+              f"{anomaly.start_bin}-{anomaly.end_bin}  ({anomaly.description})")
+        if not matching:
+            print("   -> NOT detected")
+            continue
+        for event in matching[:3]:
+            features = extract_event_features(event, dataset.series, analyzer)
+            verdict = classifier.classify(features)
+            print(f"   -> detected as [{event.traffic_label}] event, "
+                  f"bins {event.start_bin}-{event.end_bin}, "
+                  f"classified {verdict.anomaly_type.value.upper()}"
+                  f"  ({verdict.rationale})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""End-to-end measurement pipeline: from packets to OD-flow anomaly detection.
+
+This example walks the full record-level path the paper's data went through:
+
+1. synthesize individual 5-tuple flow records for a slice of OD-level
+   traffic (customers of each PoP, realistic application-port mixture);
+2. apply 1% random packet sampling with one-minute flow export (Juniper
+   Traffic Sampling style);
+3. resolve every sampled record to its ingress and egress PoP using router
+   configurations and a BGP-style table (with the destination address
+   anonymized by 11 bits, as in the Abilene data);
+4. aggregate the resolved records into the 5-minute OD-flow traffic matrix;
+5. hand the matrix to the subspace detector.
+
+Run with::
+
+    python examples/pipeline_end_to_end.py
+"""
+
+from repro.core import SubspaceDetector
+from repro.datasets import DatasetConfig, generate_abilene_dataset
+from repro.flows import TrafficType, aggregate_records, sample_flow_records
+from repro.flows.sampling import SamplingConfig
+from repro.routing import PoPResolver
+from repro.traffic import FlowSynthesizer
+from repro.utils.rng import spawn_rng
+
+
+def main() -> None:
+    # OD-level ground truth traffic for a short window (6 hours).
+    dataset = generate_abilene_dataset(
+        DatasetConfig(weeks=6.0 / (24 * 7), schedule=None), seed=5)
+    window = dataset.series
+    # Scale volumes down so the record-level expansion stays laptop-sized;
+    # rates and structure are unchanged.
+    scale = 2e-3
+    scaled = window.copy()
+    for traffic_type in scaled.traffic_types:
+        scaled.matrix(traffic_type)[:] *= scale
+
+    # 1. Expand OD volumes into individual flow records.
+    synthesizer = FlowSynthesizer(dataset.network, unresolvable_fraction=0.05,
+                                  max_flows_per_cell=150, seed=spawn_rng(5, stream="syn"))
+    true_records = list(synthesizer.synthesize_series(scaled))
+    print(f"synthesized {len(true_records)} true flow records")
+
+    # 2. 1% packet sampling with per-minute export.
+    sampled = sample_flow_records(true_records,
+                                  SamplingConfig(sampling_rate=0.1),
+                                  seed=spawn_rng(5, stream="sample"))
+    print(f"{len(sampled)} records survive packet sampling")
+
+    # 3. Ingress/egress PoP resolution (router configs + BGP, anonymized dst).
+    resolver = PoPResolver(dataset.network)
+    resolved, stats = resolver.resolve_records(sampled)
+    print(f"resolved {stats.resolved_flows}/{stats.total_flows} records "
+          f"({stats.flow_resolution_rate:.1%} of flows, "
+          f"{stats.byte_resolution_rate:.1%} of bytes) "
+          f"- paper reports >93% / >90%")
+
+    # 4. Aggregate into the OD-flow traffic matrix.
+    matrix_series = aggregate_records(resolved, scaled.od_pairs, scaled.binning)
+    print(f"re-aggregated traffic matrix: {matrix_series.n_bins} bins x "
+          f"{matrix_series.n_od_pairs} OD pairs")
+
+    # 5. Run the subspace detector on the re-aggregated packet counts.
+    detector = SubspaceDetector(n_normal=4, confidence=0.999)
+    result = detector.fit_detect(matrix_series.matrix(TrafficType.PACKETS))
+    print(f"subspace detector: {len(result.detections)} bins flagged "
+          f"out of {result.n_bins} "
+          f"(SPE threshold {result.spe_threshold:.3g}, "
+          f"T² threshold {result.t2_threshold:.3g})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: detect network-wide anomalies in synthetic Abilene traffic.
+
+Generates two days of Abilene-like OD-flow traffic with a randomized anomaly
+schedule, runs the subspace method (PCA + Q-statistic + T²) on the byte,
+packet, and IP-flow timeseries, and prints the aggregated anomaly events
+next to the injected ground truth.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import detect_network_anomalies
+from repro.datasets import DatasetConfig, generate_abilene_dataset
+from repro.evaluation import detection_metrics, match_events
+
+
+def main() -> None:
+    # 1. Generate a dataset: 11-PoP Abilene topology, 5-minute bins, two
+    #    days of traffic, anomalies of every type injected at random times.
+    config = DatasetConfig(weeks=2.0 / 7.0)
+    dataset = generate_abilene_dataset(config, seed=7)
+    print(f"dataset: {dataset.n_bins} bins x {dataset.n_od_pairs} OD pairs, "
+          f"{len(dataset.ground_truth)} injected anomalies")
+
+    # 2. Run the subspace method on all three traffic types.
+    report = detect_network_anomalies(dataset.series, n_normal=4, confidence=0.999)
+    print(f"detected {report.n_events} anomaly events")
+    print("events per traffic-type combination:", report.label_counts())
+
+    # 3. Compare against the injected ground truth.
+    match = match_events(report.events, dataset.ground_truth, series=dataset.series)
+    metrics = detection_metrics(match)
+    print(f"detection rate: {metrics.detection_rate:.1%}  "
+          f"false-alarm events: {metrics.n_false_alarms}")
+
+    # 4. Show the first few events with their responsible OD flows.
+    print("\nfirst detected events:")
+    for event in report.events[:8]:
+        od_pairs = [report.od_pair_of(flow) for flow in sorted(event.od_flows)][:3]
+        pairs_text = ", ".join(f"{o}->{d}" for o, d in od_pairs)
+        print(f"  bins {event.start_bin}-{event.end_bin}  "
+              f"[{event.traffic_label:>3}]  {event.n_od_flows} OD flow(s): {pairs_text}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Reproduce every table and figure of the paper on a one-week dataset.
+
+Runs the full experiment suite (Figure 1, Table 1, Figure 2, Table 2,
+Table 3, the T²/k ablations, the baseline comparison, and the pipeline
+resolution-rate experiment) and prints each artifact in the paper's layout.
+This is the script behind EXPERIMENTS.md; expect a few minutes of runtime.
+
+Run with::
+
+    python examples/reproduce_paper_tables.py [--weeks 1] [--seed 2004]
+"""
+
+import argparse
+
+from repro.datasets import DatasetConfig, generate_abilene_dataset
+from repro.evaluation.experiments import (
+    run_ablation_k,
+    run_ablation_t2,
+    run_baseline_comparison,
+    run_figure1,
+    run_figure2,
+    run_resolution_experiment,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--weeks", type=float, default=1.0,
+                        help="length of the synthetic dataset in weeks")
+    parser.add_argument("--seed", type=int, default=2004, help="master seed")
+    arguments = parser.parse_args()
+
+    print(f"generating {arguments.weeks}-week Abilene-like dataset "
+          f"(seed {arguments.seed}) ...")
+    dataset = generate_abilene_dataset(DatasetConfig(weeks=arguments.weeks),
+                                       seed=arguments.seed)
+    print(f"injected ground truth: {len(dataset.ground_truth)} anomalies\n")
+
+    sections = [
+        ("Figure 1", lambda: run_figure1(dataset, window_days=3.5)),
+        ("Table 1", lambda: run_table1(dataset)),
+        ("Figure 2", lambda: run_figure2(dataset)),
+        ("Table 2", lambda: run_table2(dataset)),
+        ("Table 3", lambda: run_table3(dataset)),
+        ("E6 - T2 ablation", lambda: run_ablation_t2(dataset)),
+        ("E7 - k sweep", lambda: run_ablation_k(dataset, k_values=(2, 4, 8))),
+        ("E8 - baselines", lambda: run_baseline_comparison(dataset)),
+        ("E9 - pipeline", lambda: run_resolution_experiment(dataset)),
+    ]
+    for title, runner in sections:
+        print("=" * 78)
+        print(title)
+        print("=" * 78)
+        print(runner().render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Anomaly injection substrate.
+
+Implements ground-truth anomaly events and injectors for every anomaly type
+in Table 2 of the paper:
+
+=================  =======================================================
+ALPHA              unusually high-rate point-to-point byte transfer
+DOS / DDOS         (distributed) denial of service against one victim
+FLASH CROWD        sudden legitimate demand for one service
+SCAN               port or network scanning
+WORM               self-propagating code scanning a target port
+POINT-MULTIPOINT   content distribution from one server to many clients
+OUTAGE             equipment/maintenance outage (traffic drops to ~zero)
+INGRESS SHIFT      customer shifts traffic to a different ingress PoP
+=================  =======================================================
+
+Each injector perturbs the OD-flow traffic matrices *and* registers the
+corresponding 5-tuple flow groups with the
+:class:`~repro.flows.composition.FlowCompositionModel`, so that detection
+(volume based) and classification (dominant-attribute based) both see the
+anomaly the way they would in real flow data.
+
+The :class:`~repro.anomalies.schedule.AnomalyScheduler` draws a random
+schedule of anomalies over a measurement period with configurable rates per
+type, producing the ground truth that the evaluation harness scores
+detections against.
+"""
+
+from repro.anomalies.types import (
+    AnomalyType,
+    GroundTruthAnomaly,
+    GroundTruthLog,
+)
+from repro.anomalies.base import AnomalyInjector, InjectionContext
+from repro.anomalies.volume import (
+    AlphaInjector,
+    DosInjector,
+    FlashCrowdInjector,
+    PointMultipointInjector,
+    ScanInjector,
+    WormInjector,
+)
+from repro.anomalies.operational import IngressShiftInjector, OutageInjector
+from repro.anomalies.schedule import AnomalyScheduler, ScheduleConfig
+
+__all__ = [
+    "AnomalyType",
+    "GroundTruthAnomaly",
+    "GroundTruthLog",
+    "AnomalyInjector",
+    "InjectionContext",
+    "AlphaInjector",
+    "DosInjector",
+    "FlashCrowdInjector",
+    "ScanInjector",
+    "WormInjector",
+    "PointMultipointInjector",
+    "OutageInjector",
+    "IngressShiftInjector",
+    "AnomalyScheduler",
+    "ScheduleConfig",
+]

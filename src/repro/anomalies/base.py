@@ -1,0 +1,173 @@
+"""Base classes of the anomaly injection substrate.
+
+An :class:`AnomalyInjector` perturbs a dataset in two coupled places:
+
+* the OD-level traffic matrices (so volume-based detection sees the event);
+* the per-bin flow composition (so dominant-attribute classification sees
+  the event's 5-tuple signature).
+
+Both live in the :class:`InjectionContext` passed to :meth:`inject`, which
+also exposes the network, the time binning, and a per-injection RNG.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.anomalies.types import AnomalyType, GroundTruthAnomaly, GroundTruthLog
+from repro.flows.composition import FlowCompositionModel, FlowGroup
+from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
+from repro.routing.prefixes import Prefix, random_address_in_prefix
+from repro.topology.network import Network
+from repro.utils.rng import RandomState, spawn_rng
+from repro.utils.validation import require
+
+__all__ = ["InjectionContext", "AnomalyInjector"]
+
+
+@dataclass
+class InjectionContext:
+    """Everything an injector needs to modify a dataset in place."""
+
+    network: Network
+    series: TrafficMatrixSeries
+    composition: FlowCompositionModel
+    ground_truth: GroundTruthLog
+    rng: np.random.Generator
+
+    def od_mean(self, traffic_type: TrafficType, origin: str, destination: str) -> float:
+        """Temporal mean of one OD flow in one traffic type."""
+        return float(self.series.od_series(traffic_type, origin, destination).mean())
+
+    def customer_prefix(self, pop: str) -> Prefix:
+        """A (random) customer prefix announced at *pop*.
+
+        PoPs without explicit customers fall back to a synthetic /16 so that
+        injected flow groups always have plausible addresses.
+        """
+        customers = self.network.customers_at(pop)
+        prefixes = [Prefix.parse(p) for c in customers for p in c.prefixes]
+        if not prefixes:
+            index = self.network.pop_names.index(pop)
+            prefixes = [Prefix.parse(f"172.{16 + index}.0.0/16")]
+        return prefixes[int(self.rng.integers(0, len(prefixes)))]
+
+    def random_host(self, pop: str) -> int:
+        """A random host address inside one of *pop*'s customer prefixes."""
+        return random_address_in_prefix(self.customer_prefix(pop), self.rng)
+
+
+class AnomalyInjector(abc.ABC):
+    """Base class of all anomaly injectors.
+
+    Subclasses are constructed with the parameters of one concrete anomaly
+    instance (where, when, how big) and implement :meth:`inject`, which
+    perturbs the context and returns the ground-truth record.
+
+    Parameters
+    ----------
+    start_bin:
+        First perturbed timebin.
+    duration_bins:
+        Number of consecutive perturbed bins.
+    """
+
+    #: The anomaly type produced by the injector (overridden by subclasses).
+    anomaly_type: AnomalyType
+
+    def __init__(self, start_bin: int, duration_bins: int) -> None:
+        require(start_bin >= 0, "start_bin must be non-negative")
+        require(duration_bins >= 1, "duration_bins must be >= 1")
+        self.start_bin = int(start_bin)
+        self.duration_bins = int(duration_bins)
+
+    @property
+    def end_bin(self) -> int:
+        """Last perturbed timebin (inclusive)."""
+        return self.start_bin + self.duration_bins - 1
+
+    @property
+    def bins(self) -> List[int]:
+        """All perturbed timebins."""
+        return list(range(self.start_bin, self.end_bin + 1))
+
+    def validate_window(self, series: TrafficMatrixSeries) -> None:
+        """Raise if the injection window falls outside the series."""
+        require(self.end_bin < series.n_bins,
+                f"injection window [{self.start_bin}, {self.end_bin}] exceeds "
+                f"the series length {series.n_bins}")
+
+    @abc.abstractmethod
+    def inject(self, context: InjectionContext) -> GroundTruthAnomaly:
+        """Apply the anomaly to the dataset and return its ground truth."""
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+    def _register_anomaly(
+        self,
+        context: InjectionContext,
+        od_pairs: Sequence[Tuple[str, str]],
+        expected: Sequence[TrafficType],
+        description: str,
+        attributes: Optional[dict] = None,
+    ) -> GroundTruthAnomaly:
+        """Record the injected anomaly in the ground-truth log."""
+        anomaly = GroundTruthAnomaly(
+            anomaly_id=context.ground_truth.next_id(),
+            anomaly_type=self.anomaly_type,
+            start_bin=self.start_bin,
+            end_bin=self.end_bin,
+            od_pairs=tuple(tuple(p) for p in od_pairs),
+            expected_traffic_types=frozenset(TrafficType(t) for t in expected),
+            description=description,
+            attributes=dict(attributes or {}),
+        )
+        context.ground_truth.add(anomaly)
+        return anomaly
+
+    def _add_volume(
+        self,
+        context: InjectionContext,
+        od_pair: Tuple[str, str],
+        extra_bytes: float,
+        extra_packets: float,
+        extra_flows: float,
+        ramp: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Add per-bin volume to one OD pair over the injection window.
+
+        *ramp* gives a per-bin multiplier (default: flat); volumes are the
+        per-bin additions before the ramp.
+        """
+        factors = np.ones(self.duration_bins) if ramp is None else np.asarray(ramp, float)
+        require(factors.size == self.duration_bins, "ramp length must match duration")
+        origin, destination = od_pair
+        for offset, bin_index in enumerate(self.bins):
+            factor = float(factors[offset])
+            context.series.add(TrafficType.BYTES, bin_index, origin, destination,
+                               extra_bytes * factor)
+            context.series.add(TrafficType.PACKETS, bin_index, origin, destination,
+                               extra_packets * factor)
+            context.series.add(TrafficType.FLOWS, bin_index, origin, destination,
+                               extra_flows * factor)
+
+    def _register_groups(
+        self,
+        context: InjectionContext,
+        od_pair: Tuple[str, str],
+        group_for_bin,
+        ramp: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Register one injected flow group per bin of the window.
+
+        *group_for_bin* is a callable ``(bin_index, factor) -> FlowGroup``.
+        """
+        factors = np.ones(self.duration_bins) if ramp is None else np.asarray(ramp, float)
+        for offset, bin_index in enumerate(self.bins):
+            group = group_for_bin(bin_index, float(factors[offset]))
+            context.composition.register_injected_groups(od_pair, bin_index, [group])

@@ -1,0 +1,147 @@
+"""Injectors for the operational anomaly types: OUTAGE and INGRESS-SHIFT.
+
+Unlike the volume anomalies, these move or remove traffic rather than adding
+it:
+
+* **OUTAGE** scales the traffic of every OD flow touching a PoP down to
+  (nearly) zero for an extended period — the paper's example is scheduled
+  maintenance at the LOSA PoP;
+* **INGRESS-SHIFT** moves a multihomed customer's traffic from one ingress
+  PoP to another, producing a dip in one set of OD flows and a matching
+  spike in another — the paper's example is CALREN shifting from LOSA to
+  SNVA during the LOSA outage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.anomalies.base import AnomalyInjector, InjectionContext
+from repro.anomalies.types import AnomalyType, GroundTruthAnomaly
+from repro.flows.timeseries import TrafficType
+from repro.utils.validation import require
+
+__all__ = ["OutageInjector", "IngressShiftInjector"]
+
+
+class OutageInjector(AnomalyInjector):
+    """Equipment or maintenance outage at a PoP.
+
+    Parameters
+    ----------
+    start_bin, duration_bins:
+        Injection window (outages last hours: tens of bins).
+    pop:
+        The failed PoP; all OD flows with this PoP as origin or destination
+        are affected.
+    residual_fraction:
+        Fraction of normal traffic that survives (0 is a complete outage;
+        a small positive value models partial measurement loss).
+    """
+
+    anomaly_type = AnomalyType.OUTAGE
+
+    def __init__(self, start_bin: int, duration_bins: int, pop: str,
+                 residual_fraction: float = 0.02) -> None:
+        super().__init__(start_bin, duration_bins)
+        require(0.0 <= residual_fraction < 1.0, "residual_fraction must be in [0, 1)")
+        self.pop = pop
+        self.residual_fraction = float(residual_fraction)
+
+    def inject(self, context: InjectionContext) -> GroundTruthAnomaly:
+        self.validate_window(context.series)
+        context.network.pop(self.pop)  # validate the PoP exists
+        affected = [pair for pair in context.series.od_pairs
+                    if self.pop in pair and pair[0] != pair[1]]
+        require(len(affected) >= 1, f"PoP {self.pop!r} has no OD flows to fail")
+
+        for origin, destination in affected:
+            for traffic_type in context.series.traffic_types:
+                context.series.scale_od(traffic_type, origin, destination,
+                                        self.bins, self.residual_fraction)
+        return self._register_anomaly(
+            context, affected,
+            expected=[TrafficType.BYTES, TrafficType.PACKETS, TrafficType.FLOWS],
+            description=(f"Outage at {self.pop} for {self.duration_bins} bins "
+                         f"({self.duration_bins * 5} minutes)"),
+            attributes={
+                "pop": self.pop,
+                "residual_fraction": self.residual_fraction,
+                "n_affected_od_pairs": len(affected),
+            },
+        )
+
+
+class IngressShiftInjector(AnomalyInjector):
+    """A multihomed customer shifts its traffic to a different ingress PoP.
+
+    Parameters
+    ----------
+    start_bin, duration_bins:
+        Injection window.
+    from_pop, to_pop:
+        The old and new ingress PoPs.
+    shifted_fraction:
+        Fraction of the *from_pop*-originated traffic that moves (roughly
+        the shifting customer's share of the PoP's traffic).
+    destinations:
+        Destination PoPs whose OD flows are affected (default: every other
+        PoP, i.e. the customer reaches the whole network).
+    customer:
+        Optional customer name recorded in the ground truth (e.g. CALREN).
+    """
+
+    anomaly_type = AnomalyType.INGRESS_SHIFT
+
+    def __init__(self, start_bin: int, duration_bins: int, from_pop: str, to_pop: str,
+                 shifted_fraction: float = 0.5,
+                 destinations: Optional[Sequence[str]] = None,
+                 customer: str = "") -> None:
+        super().__init__(start_bin, duration_bins)
+        require(from_pop != to_pop, "from_pop and to_pop must differ")
+        require(0.0 < shifted_fraction <= 1.0, "shifted_fraction must be in (0, 1]")
+        self.from_pop = from_pop
+        self.to_pop = to_pop
+        self.shifted_fraction = float(shifted_fraction)
+        self.destinations = list(destinations) if destinations is not None else None
+        self.customer = customer
+
+    def inject(self, context: InjectionContext) -> GroundTruthAnomaly:
+        self.validate_window(context.series)
+        context.network.pop(self.from_pop)
+        context.network.pop(self.to_pop)
+        destinations = (self.destinations if self.destinations is not None
+                        else [p for p in context.network.pop_names
+                              if p not in (self.from_pop, self.to_pop)])
+        require(len(destinations) >= 1, "at least one destination PoP is required")
+
+        affected: List[Tuple[str, str]] = []
+        bins = np.asarray(self.bins, dtype=int)
+        for destination in destinations:
+            source_pair = (self.from_pop, destination)
+            target_pair = (self.to_pop, destination)
+            affected.extend([source_pair, target_pair])
+            for traffic_type in context.series.traffic_types:
+                matrix = context.series.matrix(traffic_type)
+                source_column = context.series.od_index(*source_pair)
+                target_column = context.series.od_index(*target_pair)
+                moved = matrix[bins, source_column] * self.shifted_fraction
+                matrix[bins, source_column] -= moved
+                matrix[bins, target_column] += moved
+
+        customer_note = f" by {self.customer}" if self.customer else ""
+        return self._register_anomaly(
+            context, affected,
+            expected=[TrafficType.FLOWS, TrafficType.BYTES, TrafficType.PACKETS],
+            description=(f"Ingress shift{customer_note} from {self.from_pop} to "
+                         f"{self.to_pop} ({self.shifted_fraction:.0%} of traffic)"),
+            attributes={
+                "from_pop": self.from_pop,
+                "to_pop": self.to_pop,
+                "shifted_fraction": self.shifted_fraction,
+                "customer": self.customer,
+                "n_destinations": len(destinations),
+            },
+        )

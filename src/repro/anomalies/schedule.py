@@ -1,0 +1,266 @@
+"""Random anomaly scheduling over a measurement period.
+
+:class:`AnomalyScheduler` draws a set of anomaly injectors whose type mix,
+magnitudes, durations, and locations follow a configurable
+:class:`ScheduleConfig`, and applies them to a dataset.  The default
+configuration produces a weekly mix similar in spirit to the paper's
+Table 3: ALPHA flows dominate (Abilene's bandwidth-measurement experiments),
+scans and flash crowds are frequent, DOS attacks occur regularly, and
+operational events (outages, ingress shifts) are rare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.anomalies.base import AnomalyInjector, InjectionContext
+from repro.anomalies.operational import IngressShiftInjector, OutageInjector
+from repro.anomalies.types import AnomalyType, GroundTruthLog
+from repro.anomalies.volume import (
+    AlphaInjector,
+    DosInjector,
+    FlashCrowdInjector,
+    PointMultipointInjector,
+    ScanInjector,
+    WormInjector,
+)
+from repro.topology.network import Network
+from repro.utils.rng import RandomState, spawn_rng
+from repro.utils.timebins import TimeBinning, bins_per_week
+from repro.utils.validation import require
+
+__all__ = ["ScheduleConfig", "AnomalyScheduler"]
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """Counts and parameter ranges of the random anomaly schedule.
+
+    ``counts_per_week`` gives the expected number of injected anomalies of
+    each type per week of data; the scheduler scales it by the dataset
+    length.  ``magnitude_range`` and ``duration_range_bins`` give per-type
+    uniform sampling ranges (durations in 5-minute bins).
+    """
+
+    counts_per_week: Mapping[AnomalyType, float] = field(default_factory=lambda: {
+        AnomalyType.ALPHA: 30.0,
+        AnomalyType.DOS: 8.0,
+        AnomalyType.DDOS: 3.0,
+        AnomalyType.SCAN: 13.0,
+        AnomalyType.FLASH_CROWD: 15.0,
+        AnomalyType.WORM: 1.0,
+        AnomalyType.POINT_MULTIPOINT: 1.0,
+        AnomalyType.OUTAGE: 1.0,
+        AnomalyType.INGRESS_SHIFT: 1.0,
+    })
+    magnitude_range: Mapping[AnomalyType, Tuple[float, float]] = field(
+        default_factory=lambda: {
+            AnomalyType.ALPHA: (2.4, 9.0),
+            AnomalyType.DOS: (3.0, 9.0),
+            AnomalyType.DDOS: (4.0, 10.0),
+            AnomalyType.SCAN: (3.0, 8.0),
+            AnomalyType.FLASH_CROWD: (3.0, 9.0),
+            AnomalyType.WORM: (6.0, 14.0),
+            AnomalyType.POINT_MULTIPOINT: (5.0, 12.0),
+        })
+    duration_range_bins: Mapping[AnomalyType, Tuple[int, int]] = field(
+        default_factory=lambda: {
+            AnomalyType.ALPHA: (1, 2),
+            AnomalyType.DOS: (1, 4),
+            AnomalyType.DDOS: (1, 4),
+            AnomalyType.SCAN: (1, 2),
+            AnomalyType.FLASH_CROWD: (1, 3),
+            AnomalyType.WORM: (1, 3),
+            AnomalyType.POINT_MULTIPOINT: (1, 2),
+            AnomalyType.OUTAGE: (12, 48),
+            AnomalyType.INGRESS_SHIFT: (6, 24),
+        })
+    #: Minimum number of free bins kept between scheduled anomalies so that
+    #: separate injections remain separate events.
+    separation_bins: int = 2
+    #: Margin kept free at the start/end of the dataset.
+    edge_margin_bins: int = 6
+
+    def scaled_counts(self, n_bins: int, bin_seconds: int) -> Dict[AnomalyType, int]:
+        """Integer anomaly counts for a dataset of the given length."""
+        weeks = n_bins / bins_per_week(bin_seconds)
+        counts: Dict[AnomalyType, int] = {}
+        for anomaly_type, per_week in self.counts_per_week.items():
+            counts[AnomalyType(anomaly_type)] = int(round(per_week * weeks))
+        return counts
+
+
+class AnomalyScheduler:
+    """Draws and applies a random anomaly schedule.
+
+    Parameters
+    ----------
+    network:
+        The backbone network (provides PoPs, customers, multihoming).
+    config:
+        Schedule configuration.
+    seed:
+        Randomness source for the schedule.
+    """
+
+    def __init__(self, network: Network, config: ScheduleConfig = ScheduleConfig(),
+                 seed: RandomState = None) -> None:
+        self._network = network
+        self._config = config
+        self._rng = spawn_rng(seed, stream="anomaly-schedule")
+
+    @property
+    def config(self) -> ScheduleConfig:
+        """The schedule configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------ #
+    # schedule construction
+    # ------------------------------------------------------------------ #
+    def build_schedule(self, binning: TimeBinning) -> List[AnomalyInjector]:
+        """Draw the list of injectors for a dataset covering *binning*."""
+        counts = self._config.scaled_counts(binning.n_bins, binning.bin_seconds)
+        occupied = np.zeros(binning.n_bins, dtype=bool)
+        margin = self._config.edge_margin_bins
+        if margin > 0:
+            occupied[:margin] = True
+            occupied[-margin:] = True
+
+        injectors: List[AnomalyInjector] = []
+        # Long-duration operational events are placed first so they find room.
+        ordered_types = sorted(counts, key=lambda t: -self._max_duration(t))
+        for anomaly_type in ordered_types:
+            for _ in range(counts[anomaly_type]):
+                injector = self._draw_injector(anomaly_type, binning, occupied)
+                if injector is not None:
+                    injectors.append(injector)
+        injectors.sort(key=lambda inj: inj.start_bin)
+        return injectors
+
+    def apply(self, context: InjectionContext,
+              injectors: Optional[Sequence[AnomalyInjector]] = None) -> GroundTruthLog:
+        """Inject a schedule (drawing one if not given) into *context*."""
+        if injectors is None:
+            injectors = self.build_schedule(context.series.binning)
+        for injector in injectors:
+            injector.inject(context)
+        return context.ground_truth
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _max_duration(self, anomaly_type: AnomalyType) -> int:
+        low, high = self._config.duration_range_bins[anomaly_type]
+        return high
+
+    def _draw_duration(self, anomaly_type: AnomalyType) -> int:
+        low, high = self._config.duration_range_bins[anomaly_type]
+        return int(self._rng.integers(low, high + 1))
+
+    def _draw_magnitude(self, anomaly_type: AnomalyType) -> float:
+        low, high = self._config.magnitude_range[anomaly_type]
+        return float(self._rng.uniform(low, high))
+
+    def _reserve_window(self, binning: TimeBinning, occupied: np.ndarray,
+                        duration: int) -> Optional[int]:
+        """Find and reserve a free window; returns its start bin or ``None``."""
+        separation = self._config.separation_bins
+        needed = duration + 2 * separation
+        candidates = []
+        free = ~occupied
+        run_start = None
+        for index in range(binning.n_bins):
+            if free[index]:
+                if run_start is None:
+                    run_start = index
+            else:
+                if run_start is not None and index - run_start >= needed:
+                    candidates.append((run_start, index))
+                run_start = None
+        if run_start is not None and binning.n_bins - run_start >= needed:
+            candidates.append((run_start, binning.n_bins))
+        if not candidates:
+            return None
+        run_index = int(self._rng.integers(0, len(candidates)))
+        run_start, run_end = candidates[run_index]
+        latest_start = run_end - duration - separation
+        start = int(self._rng.integers(run_start + separation, latest_start + 1))
+        occupied[max(start - separation, 0):min(start + duration + separation,
+                                                binning.n_bins)] = True
+        return start
+
+    def _random_od_pair(self) -> Tuple[str, str]:
+        names = self._network.pop_names
+        origin = names[int(self._rng.integers(0, len(names)))]
+        destination = origin
+        while destination == origin:
+            destination = names[int(self._rng.integers(0, len(names)))]
+        return origin, destination
+
+    def _random_pops(self, count: int, exclude: Sequence[str] = ()) -> List[str]:
+        names = [n for n in self._network.pop_names if n not in exclude]
+        count = min(count, len(names))
+        chosen = self._rng.choice(len(names), size=count, replace=False)
+        return [names[int(i)] for i in chosen]
+
+    def _draw_injector(self, anomaly_type: AnomalyType, binning: TimeBinning,
+                       occupied: np.ndarray) -> Optional[AnomalyInjector]:
+        duration = self._draw_duration(anomaly_type)
+        start = self._reserve_window(binning, occupied, duration)
+        if start is None:
+            return None
+
+        if anomaly_type is AnomalyType.ALPHA:
+            return AlphaInjector(start, duration, self._random_od_pair(),
+                                 magnitude=self._draw_magnitude(anomaly_type))
+        if anomaly_type is AnomalyType.DOS:
+            return DosInjector(start, duration, [self._random_od_pair()],
+                               magnitude=self._draw_magnitude(anomaly_type))
+        if anomaly_type is AnomalyType.DDOS:
+            victim_pop = self._random_pops(1)[0]
+            n_origins = int(self._rng.integers(2, 5))
+            origins = self._random_pops(n_origins, exclude=[victim_pop])
+            pairs = [(origin, victim_pop) for origin in origins]
+            return DosInjector(start, duration, pairs,
+                               magnitude=self._draw_magnitude(anomaly_type))
+        if anomaly_type is AnomalyType.SCAN:
+            network_scan = bool(self._rng.random() < 0.8)
+            return ScanInjector(start, duration, self._random_od_pair(),
+                                magnitude=self._draw_magnitude(anomaly_type),
+                                network_scan=network_scan)
+        if anomaly_type is AnomalyType.FLASH_CROWD:
+            return FlashCrowdInjector(start, duration, self._random_od_pair(),
+                                      magnitude=self._draw_magnitude(anomaly_type))
+        if anomaly_type is AnomalyType.WORM:
+            n_pairs = int(self._rng.integers(2, 5))
+            pairs = [self._random_od_pair() for _ in range(n_pairs)]
+            return WormInjector(start, duration, pairs,
+                                magnitude=self._draw_magnitude(anomaly_type))
+        if anomaly_type is AnomalyType.POINT_MULTIPOINT:
+            server_pop = self._random_pops(1)[0]
+            n_clients = int(self._rng.integers(2, 5))
+            client_pops = self._random_pops(n_clients, exclude=[server_pop])
+            pairs = [(server_pop, client) for client in client_pops]
+            return PointMultipointInjector(start, duration, pairs,
+                                           magnitude=self._draw_magnitude(anomaly_type))
+        if anomaly_type is AnomalyType.OUTAGE:
+            pop = self._random_pops(1)[0]
+            return OutageInjector(start, duration, pop)
+        if anomaly_type is AnomalyType.INGRESS_SHIFT:
+            multihomed = [c for c in self._network.customers if c.multihomed_pops]
+            if multihomed:
+                index = int(self._rng.integers(0, len(multihomed)))
+                customer = multihomed[index]
+                from_pop = customer.pop
+                to_pop = customer.multihomed_pops[0]
+                name = customer.name
+            else:
+                from_pop, to_pop = self._random_od_pair()
+                name = ""
+            return IngressShiftInjector(start, duration, from_pop, to_pop,
+                                        shifted_fraction=float(self._rng.uniform(0.5, 0.9)),
+                                        customer=name)
+        raise ValueError(f"unsupported anomaly type {anomaly_type!r}")

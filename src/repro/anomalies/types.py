@@ -1,0 +1,195 @@
+"""Ground-truth anomaly types and event log.
+
+:class:`AnomalyType` enumerates the taxonomy of Table 2;
+:class:`GroundTruthAnomaly` records one injected event (its type, time span,
+OD flows, and the traffic types it is expected to perturb);
+:class:`GroundTruthLog` is the collection the evaluation harness scores
+detections against.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.flows.timeseries import TrafficType
+from repro.utils.validation import require
+
+__all__ = ["AnomalyType", "GroundTruthAnomaly", "GroundTruthLog"]
+
+
+class AnomalyType(str, enum.Enum):
+    """The anomaly taxonomy of Table 2 (plus the two bookkeeping labels)."""
+
+    ALPHA = "alpha"
+    DOS = "dos"
+    DDOS = "ddos"
+    FLASH_CROWD = "flash_crowd"
+    SCAN = "scan"
+    WORM = "worm"
+    POINT_MULTIPOINT = "point_multipoint"
+    OUTAGE = "outage"
+    INGRESS_SHIFT = "ingress_shift"
+    UNKNOWN = "unknown"
+    FALSE_ALARM = "false_alarm"
+
+    @property
+    def table_label(self) -> str:
+        """The column label used in Table 3 of the paper."""
+        return {
+            AnomalyType.ALPHA: "ALPHA",
+            AnomalyType.DOS: "DOS",
+            AnomalyType.DDOS: "DOS",          # Table 3 merges DOS and DDOS
+            AnomalyType.FLASH_CROWD: "FLASH",
+            AnomalyType.SCAN: "SCAN",
+            AnomalyType.WORM: "WORM",
+            AnomalyType.POINT_MULTIPOINT: "PT.-MULT.",
+            AnomalyType.OUTAGE: "OUTAGE",
+            AnomalyType.INGRESS_SHIFT: "INGR.-SHIFT",
+            AnomalyType.UNKNOWN: "Unknown",
+            AnomalyType.FALSE_ALARM: "False Alarm",
+        }[self]
+
+    @classmethod
+    def injectable(cls) -> Tuple["AnomalyType", ...]:
+        """The types the injection substrate can generate (Table 2 rows)."""
+        return (
+            cls.ALPHA, cls.DOS, cls.DDOS, cls.FLASH_CROWD, cls.SCAN,
+            cls.WORM, cls.POINT_MULTIPOINT, cls.OUTAGE, cls.INGRESS_SHIFT,
+        )
+
+
+@dataclass(frozen=True)
+class GroundTruthAnomaly:
+    """One injected anomaly event.
+
+    Parameters
+    ----------
+    anomaly_id:
+        Unique identifier within a dataset.
+    anomaly_type:
+        The injected type.
+    start_bin, end_bin:
+        Inclusive timebin span of the injected perturbation.
+    od_pairs:
+        The OD pairs whose traffic was perturbed.
+    expected_traffic_types:
+        The traffic types in which the anomaly should primarily be visible
+        (the "Features" column of Table 2).
+    description:
+        Human-readable description (mirrors the "Examples" column).
+    attributes:
+        Free-form metadata recorded by the injector (victim address, target
+        port, magnitude, ...), used by tests and reports.
+    """
+
+    anomaly_id: int
+    anomaly_type: AnomalyType
+    start_bin: int
+    end_bin: int
+    od_pairs: Tuple[Tuple[str, str], ...]
+    expected_traffic_types: FrozenSet[TrafficType]
+    description: str = ""
+    attributes: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        require(self.start_bin <= self.end_bin, "start_bin must be <= end_bin")
+        require(len(self.od_pairs) >= 1, "an anomaly must involve at least one OD pair")
+        require(len(self.expected_traffic_types) >= 1,
+                "an anomaly must affect at least one traffic type")
+
+    @property
+    def bins(self) -> Tuple[int, ...]:
+        """All timebins spanned by the anomaly."""
+        return tuple(range(self.start_bin, self.end_bin + 1))
+
+    @property
+    def duration_bins(self) -> int:
+        """Number of bins spanned."""
+        return self.end_bin - self.start_bin + 1
+
+    def duration_minutes(self, bin_seconds: int = 300) -> float:
+        """Duration in minutes."""
+        return self.duration_bins * bin_seconds / 60.0
+
+    def overlaps_bins(self, bins: Iterable[int]) -> bool:
+        """Whether the anomaly's span intersects *bins*."""
+        span = set(self.bins)
+        return any(b in span for b in bins)
+
+    def overlaps_window(self, start_bin: int, end_bin: int) -> bool:
+        """Whether the anomaly intersects the inclusive window [start, end]."""
+        return not (end_bin < self.start_bin or start_bin > self.end_bin)
+
+
+class GroundTruthLog:
+    """The set of injected anomalies of one dataset."""
+
+    def __init__(self, anomalies: Iterable[GroundTruthAnomaly] = ()) -> None:
+        self._anomalies: List[GroundTruthAnomaly] = list(anomalies)
+        ids = [a.anomaly_id for a in self._anomalies]
+        require(len(ids) == len(set(ids)), "anomaly ids must be unique")
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add(self, anomaly: GroundTruthAnomaly) -> None:
+        """Append an anomaly (ids must remain unique)."""
+        require(all(a.anomaly_id != anomaly.anomaly_id for a in self._anomalies),
+                f"duplicate anomaly id {anomaly.anomaly_id}")
+        self._anomalies.append(anomaly)
+
+    def next_id(self) -> int:
+        """The next unused anomaly id."""
+        return max((a.anomaly_id for a in self._anomalies), default=-1) + 1
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._anomalies)
+
+    def __iter__(self):
+        return iter(self._anomalies)
+
+    @property
+    def anomalies(self) -> List[GroundTruthAnomaly]:
+        """All anomalies in injection order."""
+        return list(self._anomalies)
+
+    def by_type(self, anomaly_type: AnomalyType) -> List[GroundTruthAnomaly]:
+        """All anomalies of a given type."""
+        return [a for a in self._anomalies if a.anomaly_type == AnomalyType(anomaly_type)]
+
+    def overlapping_bins(self, bins: Iterable[int]) -> List[GroundTruthAnomaly]:
+        """All anomalies intersecting the given bins."""
+        bins = list(bins)
+        return [a for a in self._anomalies if a.overlaps_bins(bins)]
+
+    def in_window(self, start_bin: int, end_bin: int) -> List[GroundTruthAnomaly]:
+        """All anomalies intersecting the inclusive bin window."""
+        return [a for a in self._anomalies if a.overlaps_window(start_bin, end_bin)]
+
+    def type_counts(self) -> Dict[AnomalyType, int]:
+        """Number of anomalies per type."""
+        counts: Dict[AnomalyType, int] = {}
+        for anomaly in self._anomalies:
+            counts[anomaly.anomaly_type] = counts.get(anomaly.anomaly_type, 0) + 1
+        return counts
+
+    def shifted(self, bin_offset: int) -> "GroundTruthLog":
+        """A copy with all bin indices shifted by *bin_offset* (windowing helper)."""
+        shifted = []
+        for anomaly in self._anomalies:
+            shifted.append(GroundTruthAnomaly(
+                anomaly_id=anomaly.anomaly_id,
+                anomaly_type=anomaly.anomaly_type,
+                start_bin=anomaly.start_bin + bin_offset,
+                end_bin=anomaly.end_bin + bin_offset,
+                od_pairs=anomaly.od_pairs,
+                expected_traffic_types=anomaly.expected_traffic_types,
+                description=anomaly.description,
+                attributes=anomaly.attributes,
+            ))
+        return GroundTruthLog(shifted)

@@ -1,0 +1,575 @@
+"""Injectors for the volume-spike anomaly types of Table 2.
+
+Each injector adds traffic to one or more OD flows over its injection
+window and registers the corresponding 5-tuple flow groups, reproducing the
+per-type signatures the paper lists in the "Features" column of Table 2:
+
+* **ALPHA** — huge byte (and packet) spike, single source and destination
+  host, high ports used by bandwidth-measurement tools;
+* **DOS / DDOS** — packet/flow spike of tiny packets toward one victim
+  address and port, spoofed (non-dominant) sources, possibly from several
+  origin PoPs;
+* **FLASH CROWD** — flow spike toward one server address and well-known
+  service port, many legitimate clients clustered at the origin PoP;
+* **SCAN** — flow spike with ≈ one packet per flow from a single scanner,
+  spread over destination addresses (network scan) or ports (port scan);
+* **WORM** — flow spike on a single target port with neither a dominant
+  source nor a dominant destination, typically across several OD flows;
+* **POINT-TO-MULTIPOINT** — byte/packet spike from one server to many
+  clients on a well-known content port.
+
+Anomaly magnitudes are expressed as multiples of the *network-wide mean
+per-OD volume* of the anomaly's primary traffic type so that detectability
+is comparable across large and small OD pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.anomalies.base import AnomalyInjector, InjectionContext
+from repro.anomalies.types import AnomalyType, GroundTruthAnomaly
+from repro.flows.composition import FlowGroup
+from repro.flows.records import ICMP, TCP, UDP
+from repro.flows.timeseries import TrafficType
+from repro.utils.validation import require
+
+__all__ = [
+    "AlphaInjector",
+    "DosInjector",
+    "FlashCrowdInjector",
+    "ScanInjector",
+    "WormInjector",
+    "PointMultipointInjector",
+]
+
+#: Ports associated with bandwidth-measurement experiments and bulk
+#: transfers in the paper (SLAC iperf range, pathdiag, file sharing).
+ALPHA_PORTS: Tuple[int, ...] = (5001, 5010, 5050, 56117, 1412)
+
+#: Ports the paper observed as DOS targets.
+DOS_PORTS: Tuple[int, ...] = (0, 110, 113, 80)
+
+#: Well-known service ports used to separate flash crowds from DOS attacks.
+FLASH_PORTS: Tuple[int, ...] = (80, 53, 443)
+
+#: Ports associated with worm propagation in the paper (SQL-Snake, Deloader).
+WORM_PORTS: Tuple[int, ...] = (1433, 445)
+
+#: Ports scanned in the paper's examples (NetBIOS).
+SCAN_PORTS: Tuple[int, ...] = (139, 445, 135)
+
+#: Content-distribution ports (news/NNTP in the paper's example).
+MULTIPOINT_PORTS: Tuple[int, ...] = (119, 563)
+
+
+def _network_mean(context: InjectionContext, traffic_type: TrafficType) -> float:
+    """Network-wide mean per-OD, per-bin volume of one traffic type."""
+    return float(context.series.matrix(traffic_type).mean())
+
+
+class AlphaInjector(AnomalyInjector):
+    """Unusually high-rate point-to-point byte transfer.
+
+    Parameters
+    ----------
+    start_bin, duration_bins:
+        Injection window (ALPHA events are short: 1-2 bins).
+    od_pair:
+        The single OD flow carrying the transfer.
+    magnitude:
+        Byte volume added per bin, in multiples of the network-wide mean
+        per-OD byte volume.
+    dst_port:
+        Destination port of the transfer (default: drawn from
+        :data:`ALPHA_PORTS` at injection time).
+    packet_size_bytes:
+        Packet size of the bulk transfer; ``None`` (default) draws a size
+        between 500 and 1500 bytes at injection time, so different ALPHA
+        events show up with different byte/packet balance — some are byte
+        anomalies only, some packet anomalies only, some both (as in the
+        paper's Table 3).
+    """
+
+    anomaly_type = AnomalyType.ALPHA
+
+    def __init__(self, start_bin: int, duration_bins: int, od_pair: Tuple[str, str],
+                 magnitude: float = 8.0, dst_port: Optional[int] = None,
+                 packet_size_bytes: Optional[float] = None) -> None:
+        super().__init__(start_bin, duration_bins)
+        require(magnitude > 0, "magnitude must be positive")
+        if packet_size_bytes is not None:
+            require(packet_size_bytes > 0, "packet_size_bytes must be positive")
+        self.od_pair = tuple(od_pair)
+        self.magnitude = float(magnitude)
+        self.dst_port = dst_port
+        self.packet_size_bytes = packet_size_bytes
+
+    def inject(self, context: InjectionContext) -> GroundTruthAnomaly:
+        self.validate_window(context.series)
+        origin, destination = self.od_pair
+        dst_port = self.dst_port if self.dst_port is not None else int(
+            context.rng.choice(ALPHA_PORTS))
+        # Bandwidth-measurement transfers on Abilene used anything from
+        # standard 1500-byte frames to 9000-byte jumbo frames; a log-uniform
+        # draw spreads the byte/packet balance so that some ALPHA events are
+        # byte-only anomalies, some packet-involving (paper Table 3).
+        packet_size = (self.packet_size_bytes if self.packet_size_bytes is not None
+                       else float(np.exp(context.rng.uniform(np.log(400.0),
+                                                             np.log(9000.0)))))
+
+        extra_bytes = self.magnitude * _network_mean(context, TrafficType.BYTES)
+        extra_packets = extra_bytes / packet_size
+        extra_flows = float(context.rng.integers(1, 4))
+
+        source_host = context.random_host(origin)
+        destination_host = context.random_host(destination)
+        src_port = int(context.rng.integers(1024, 65536))
+
+        self._add_volume(context, self.od_pair, extra_bytes, extra_packets, extra_flows)
+        self._register_groups(
+            context, self.od_pair,
+            lambda bin_index, factor: FlowGroup(
+                src_address=source_host,
+                dst_address=destination_host,
+                src_port=src_port,
+                dst_port=dst_port,
+                protocol=TCP,
+                bytes=extra_bytes * factor,
+                packets=extra_packets * factor,
+                flows=extra_flows * factor,
+                label="alpha",
+            ),
+        )
+        return self._register_anomaly(
+            context, [self.od_pair],
+            expected=[TrafficType.BYTES, TrafficType.PACKETS],
+            description=(f"ALPHA transfer {origin}->{destination} on port {dst_port}, "
+                         f"{self.magnitude:.1f}x mean OD bytes"),
+            attributes={
+                "src_address": source_host,
+                "dst_address": destination_host,
+                "dst_port": dst_port,
+                "magnitude": self.magnitude,
+            },
+        )
+
+
+class DosInjector(AnomalyInjector):
+    """(Distributed) denial-of-service attack against a single victim.
+
+    Parameters
+    ----------
+    start_bin, duration_bins:
+        Injection window (typically under 20 minutes, i.e. ≤ 4 bins).
+    od_pairs:
+        OD flows carrying attack traffic.  One pair gives a single-source
+        DOS (``AnomalyType.DOS``); several pairs toward the same egress PoP
+        give a distributed attack (``AnomalyType.DDOS``).
+    magnitude:
+        Packet volume added per bin (summed over all attacking OD flows),
+        in multiples of the network-wide mean per-OD packet volume.
+    target_port:
+        Victim port (default: drawn from :data:`DOS_PORTS`).
+    packet_size_bytes:
+        Attack packet size (small packets — the attack moves interrupts,
+        not payload, so byte counts barely move).
+    packets_per_flow:
+        Packets per attack flow; ``None`` (default) draws a value between
+        1.5 and 20 at injection time, so some attacks are flow-heavy (many
+        spoofed sources, few packets each) and others packet-heavy — which
+        is why the paper finds DOS attacks in F, P, or FP but not B.
+    """
+
+    def __init__(self, start_bin: int, duration_bins: int,
+                 od_pairs: Sequence[Tuple[str, str]], magnitude: float = 6.0,
+                 target_port: Optional[int] = None,
+                 packet_size_bytes: float = 48.0,
+                 packets_per_flow: Optional[float] = None) -> None:
+        super().__init__(start_bin, duration_bins)
+        require(len(od_pairs) >= 1, "at least one attacking OD pair is required")
+        destinations = {pair[1] for pair in od_pairs}
+        require(len(destinations) == 1, "all attack OD pairs must share the egress PoP")
+        require(magnitude > 0, "magnitude must be positive")
+        if packets_per_flow is not None:
+            require(packets_per_flow > 0, "packets_per_flow must be positive")
+        self.od_pairs = [tuple(p) for p in od_pairs]
+        self.magnitude = float(magnitude)
+        self.target_port = target_port
+        self.packet_size_bytes = float(packet_size_bytes)
+        self.packets_per_flow = packets_per_flow
+        self.anomaly_type = AnomalyType.DDOS if len(self.od_pairs) > 1 else AnomalyType.DOS
+
+    def inject(self, context: InjectionContext) -> GroundTruthAnomaly:
+        self.validate_window(context.series)
+        victim_pop = self.od_pairs[0][1]
+        victim_address = context.random_host(victim_pop)
+        target_port = self.target_port if self.target_port is not None else int(
+            context.rng.choice(DOS_PORTS))
+        # Log-uniform draw: flow-churning spoofed floods (1-2 packets per
+        # flow) up to single-flow packet floods (hundreds of packets per
+        # 5-tuple), matching the spread of real attack tools.
+        packets_per_flow = (self.packets_per_flow if self.packets_per_flow is not None
+                            else float(np.exp(context.rng.uniform(np.log(1.5),
+                                                                  np.log(200.0)))))
+
+        total_packets = self.magnitude * _network_mean(context, TrafficType.PACKETS)
+        per_pair_packets = total_packets / len(self.od_pairs)
+        per_pair_flows = per_pair_packets / packets_per_flow
+        per_pair_bytes = per_pair_packets * self.packet_size_bytes
+
+        for od_pair in self.od_pairs:
+            spoofed_sources = int(context.rng.integers(200, 2000))
+            self._add_volume(context, od_pair, per_pair_bytes, per_pair_packets,
+                             per_pair_flows)
+            self._register_groups(
+                context, od_pair,
+                lambda bin_index, factor, sources=spoofed_sources, pair=od_pair: FlowGroup(
+                    src_address=context.random_host(pair[0]),
+                    dst_address=victim_address,
+                    src_port=int(context.rng.integers(1024, 65536)),
+                    dst_port=target_port,
+                    protocol=TCP,
+                    bytes=per_pair_bytes * factor,
+                    packets=per_pair_packets * factor,
+                    flows=per_pair_flows * factor,
+                    n_src_addresses=sources,
+                    n_dst_addresses=1,
+                    n_src_ports=sources,
+                    n_dst_ports=1,
+                    label="dos",
+                ),
+            )
+        label = "DDOS" if self.anomaly_type is AnomalyType.DDOS else "DOS"
+        return self._register_anomaly(
+            context, self.od_pairs,
+            expected=[TrafficType.PACKETS, TrafficType.FLOWS],
+            description=(f"{label} against {victim_pop} host on port {target_port}, "
+                         f"{self.magnitude:.1f}x mean OD packets"),
+            attributes={
+                "victim_address": victim_address,
+                "target_port": target_port,
+                "magnitude": self.magnitude,
+                "n_attacking_od_pairs": len(self.od_pairs),
+            },
+        )
+
+
+class FlashCrowdInjector(AnomalyInjector):
+    """Flash crowd: sudden legitimate demand for one service.
+
+    Parameters
+    ----------
+    od_pair:
+        The OD flow carrying the client requests (clients clustered at the
+        origin PoP, server at the destination PoP).
+    magnitude:
+        Flow volume added per bin, in multiples of the network-wide mean
+        per-OD IP-flow volume.
+    service_port:
+        The service the crowd hits (default: drawn from :data:`FLASH_PORTS`).
+    """
+
+    anomaly_type = AnomalyType.FLASH_CROWD
+
+    def __init__(self, start_bin: int, duration_bins: int, od_pair: Tuple[str, str],
+                 magnitude: float = 6.0, service_port: Optional[int] = None,
+                 packets_per_flow: Optional[float] = None,
+                 packet_size_bytes: float = 300.0) -> None:
+        super().__init__(start_bin, duration_bins)
+        require(magnitude > 0, "magnitude must be positive")
+        if packets_per_flow is not None:
+            require(packets_per_flow > 0, "packets_per_flow must be positive")
+        self.od_pair = tuple(od_pair)
+        self.magnitude = float(magnitude)
+        self.service_port = service_port
+        self.packets_per_flow = packets_per_flow
+        self.packet_size_bytes = float(packet_size_bytes)
+
+    def inject(self, context: InjectionContext) -> GroundTruthAnomaly:
+        self.validate_window(context.series)
+        origin, destination = self.od_pair
+        service_port = self.service_port if self.service_port is not None else int(
+            context.rng.choice(FLASH_PORTS))
+        server_address = context.random_host(destination)
+        packets_per_flow = (self.packets_per_flow if self.packets_per_flow is not None
+                            else float(context.rng.uniform(2.0, 10.0)))
+
+        extra_flows = self.magnitude * _network_mean(context, TrafficType.FLOWS)
+        extra_packets = extra_flows * packets_per_flow
+        extra_bytes = extra_packets * self.packet_size_bytes
+        n_clients = int(context.rng.integers(300, 3000))
+        client_prefix = context.customer_prefix(origin)
+
+        self._add_volume(context, self.od_pair, extra_bytes, extra_packets, extra_flows)
+        self._register_groups(
+            context, self.od_pair,
+            lambda bin_index, factor: FlowGroup(
+                src_address=client_prefix.first_address + int(
+                    context.rng.integers(0, min(client_prefix.n_addresses, 4096))),
+                dst_address=server_address,
+                src_port=int(context.rng.integers(1024, 65536)),
+                dst_port=service_port,
+                protocol=TCP,
+                bytes=extra_bytes * factor,
+                packets=extra_packets * factor,
+                flows=extra_flows * factor,
+                # Clients are many but topologically clustered: they span a
+                # modest number of /24 ranges inside one customer prefix.
+                n_src_addresses=min(n_clients, 256),
+                n_dst_addresses=1,
+                n_src_ports=n_clients,
+                n_dst_ports=1,
+                label="flash_crowd",
+            ),
+        )
+        return self._register_anomaly(
+            context, [self.od_pair],
+            expected=[TrafficType.FLOWS, TrafficType.PACKETS],
+            description=(f"Flash crowd {origin}->{destination} on port {service_port}, "
+                         f"{self.magnitude:.1f}x mean OD flows"),
+            attributes={
+                "server_address": server_address,
+                "service_port": service_port,
+                "magnitude": self.magnitude,
+                "n_clients": n_clients,
+            },
+        )
+
+
+class ScanInjector(AnomalyInjector):
+    """Port or network scanning from a single scanner host.
+
+    Parameters
+    ----------
+    od_pair:
+        The OD flow carrying the probes.
+    magnitude:
+        Flow volume added per bin, in multiples of the network-wide mean
+        per-OD IP-flow volume.
+    network_scan:
+        ``True`` (default) scans many hosts for one target port;
+        ``False`` scans many ports of a single host (port scan).
+    target_port:
+        The scanned port for a network scan (default: from
+        :data:`SCAN_PORTS`).
+    """
+
+    anomaly_type = AnomalyType.SCAN
+
+    def __init__(self, start_bin: int, duration_bins: int, od_pair: Tuple[str, str],
+                 magnitude: float = 5.0, network_scan: bool = True,
+                 target_port: Optional[int] = None) -> None:
+        super().__init__(start_bin, duration_bins)
+        require(magnitude > 0, "magnitude must be positive")
+        self.od_pair = tuple(od_pair)
+        self.magnitude = float(magnitude)
+        self.network_scan = bool(network_scan)
+        self.target_port = target_port
+
+    def inject(self, context: InjectionContext) -> GroundTruthAnomaly:
+        self.validate_window(context.series)
+        origin, destination = self.od_pair
+        scanner_address = context.random_host(origin)
+        target_port = self.target_port if self.target_port is not None else int(
+            context.rng.choice(SCAN_PORTS))
+
+        extra_flows = self.magnitude * _network_mean(context, TrafficType.FLOWS)
+        # Scans send roughly one (small) probe packet per flow.
+        extra_packets = extra_flows * float(context.rng.uniform(1.0, 1.3))
+        extra_bytes = extra_packets * 40.0
+
+        if self.network_scan:
+            n_dst_addresses = int(extra_flows) or 1
+            n_dst_ports = 1
+            scanned_port = target_port
+        else:
+            n_dst_addresses = 1
+            n_dst_ports = int(extra_flows) or 1
+            scanned_port = int(context.rng.integers(1, 1024))
+        target_host = context.random_host(destination)
+
+        self._add_volume(context, self.od_pair, extra_bytes, extra_packets, extra_flows)
+        self._register_groups(
+            context, self.od_pair,
+            lambda bin_index, factor: FlowGroup(
+                src_address=scanner_address,
+                dst_address=target_host,
+                src_port=int(context.rng.integers(1024, 65536)),
+                dst_port=scanned_port,
+                protocol=TCP,
+                bytes=extra_bytes * factor,
+                packets=extra_packets * factor,
+                flows=extra_flows * factor,
+                n_src_addresses=1,
+                n_dst_addresses=n_dst_addresses,
+                n_src_ports=max(1, int(extra_flows)),
+                n_dst_ports=n_dst_ports,
+                label="scan",
+            ),
+        )
+        kind = "network scan" if self.network_scan else "port scan"
+        return self._register_anomaly(
+            context, [self.od_pair],
+            expected=[TrafficType.FLOWS],
+            description=(f"{kind} {origin}->{destination} "
+                         f"(port {target_port if self.network_scan else 'many'}), "
+                         f"{self.magnitude:.1f}x mean OD flows"),
+            attributes={
+                "scanner_address": scanner_address,
+                "target_port": target_port if self.network_scan else None,
+                "network_scan": self.network_scan,
+                "magnitude": self.magnitude,
+            },
+        )
+
+
+class WormInjector(AnomalyInjector):
+    """Worm propagation: many infected hosts probing one port network-wide.
+
+    Parameters
+    ----------
+    od_pairs:
+        The OD flows carrying worm probes (typically several, with different
+        origins and destinations).
+    magnitude:
+        Total flow volume added per bin across all OD pairs, in multiples of
+        the network-wide mean per-OD IP-flow volume.
+    worm_port:
+        The exploited port (default: from :data:`WORM_PORTS`).
+    """
+
+    anomaly_type = AnomalyType.WORM
+
+    def __init__(self, start_bin: int, duration_bins: int,
+                 od_pairs: Sequence[Tuple[str, str]], magnitude: float = 6.0,
+                 worm_port: Optional[int] = None) -> None:
+        super().__init__(start_bin, duration_bins)
+        require(len(od_pairs) >= 1, "at least one OD pair is required")
+        require(magnitude > 0, "magnitude must be positive")
+        self.od_pairs = [tuple(p) for p in od_pairs]
+        self.magnitude = float(magnitude)
+        self.worm_port = worm_port
+
+    def inject(self, context: InjectionContext) -> GroundTruthAnomaly:
+        self.validate_window(context.series)
+        worm_port = self.worm_port if self.worm_port is not None else int(
+            context.rng.choice(WORM_PORTS))
+
+        total_flows = self.magnitude * _network_mean(context, TrafficType.FLOWS)
+        per_pair_flows = total_flows / len(self.od_pairs)
+        per_pair_packets = per_pair_flows * 1.5
+        per_pair_bytes = per_pair_packets * 60.0
+
+        for od_pair in self.od_pairs:
+            n_infected = int(context.rng.integers(50, 500))
+            self._add_volume(context, od_pair, per_pair_bytes, per_pair_packets,
+                             per_pair_flows)
+            self._register_groups(
+                context, od_pair,
+                lambda bin_index, factor, infected=n_infected, pair=od_pair: FlowGroup(
+                    src_address=context.random_host(pair[0]),
+                    dst_address=context.random_host(pair[1]),
+                    src_port=int(context.rng.integers(1024, 65536)),
+                    dst_port=worm_port,
+                    protocol=TCP,
+                    bytes=per_pair_bytes * factor,
+                    packets=per_pair_packets * factor,
+                    flows=per_pair_flows * factor,
+                    n_src_addresses=infected,
+                    n_dst_addresses=max(1, int(per_pair_flows)),
+                    n_src_ports=infected,
+                    n_dst_ports=1,
+                    label="worm",
+                ),
+            )
+        return self._register_anomaly(
+            context, self.od_pairs,
+            expected=[TrafficType.FLOWS],
+            description=(f"Worm scanning port {worm_port} across "
+                         f"{len(self.od_pairs)} OD flows, "
+                         f"{self.magnitude:.1f}x mean OD flows"),
+            attributes={"worm_port": worm_port, "magnitude": self.magnitude},
+        )
+
+
+class PointMultipointInjector(AnomalyInjector):
+    """Content distribution from one server to many clients.
+
+    Parameters
+    ----------
+    od_pairs:
+        OD flows from the server's PoP to the client PoPs (all pairs must
+        share the origin PoP).
+    magnitude:
+        Total byte volume added per bin across all OD pairs, in multiples of
+        the network-wide mean per-OD byte volume.
+    content_port:
+        The well-known distribution port (default: from
+        :data:`MULTIPOINT_PORTS`).
+    """
+
+    anomaly_type = AnomalyType.POINT_MULTIPOINT
+
+    def __init__(self, start_bin: int, duration_bins: int,
+                 od_pairs: Sequence[Tuple[str, str]], magnitude: float = 7.0,
+                 content_port: Optional[int] = None,
+                 packet_size_bytes: float = 900.0) -> None:
+        super().__init__(start_bin, duration_bins)
+        require(len(od_pairs) >= 1, "at least one OD pair is required")
+        origins = {pair[0] for pair in od_pairs}
+        require(len(origins) == 1, "all OD pairs must share the origin (server) PoP")
+        require(magnitude > 0, "magnitude must be positive")
+        self.od_pairs = [tuple(p) for p in od_pairs]
+        self.magnitude = float(magnitude)
+        self.content_port = content_port
+        self.packet_size_bytes = float(packet_size_bytes)
+
+    def inject(self, context: InjectionContext) -> GroundTruthAnomaly:
+        self.validate_window(context.series)
+        server_pop = self.od_pairs[0][0]
+        server_address = context.random_host(server_pop)
+        content_port = self.content_port if self.content_port is not None else int(
+            context.rng.choice(MULTIPOINT_PORTS))
+
+        total_bytes = self.magnitude * _network_mean(context, TrafficType.BYTES)
+        per_pair_bytes = total_bytes / len(self.od_pairs)
+        per_pair_packets = per_pair_bytes / self.packet_size_bytes
+        per_pair_flows = max(per_pair_packets / 50.0, 1.0)
+
+        for od_pair in self.od_pairs:
+            n_clients = int(context.rng.integers(100, 1000))
+            self._add_volume(context, od_pair, per_pair_bytes, per_pair_packets,
+                             per_pair_flows)
+            self._register_groups(
+                context, od_pair,
+                lambda bin_index, factor, clients=n_clients, pair=od_pair: FlowGroup(
+                    src_address=server_address,
+                    dst_address=context.random_host(pair[1]),
+                    src_port=content_port,
+                    dst_port=content_port,
+                    protocol=TCP,
+                    bytes=per_pair_bytes * factor,
+                    packets=per_pair_packets * factor,
+                    flows=per_pair_flows * factor,
+                    n_src_addresses=1,
+                    n_dst_addresses=clients,
+                    n_src_ports=1,
+                    n_dst_ports=1,
+                    label="point_multipoint",
+                ),
+            )
+        return self._register_anomaly(
+            context, self.od_pairs,
+            expected=[TrafficType.BYTES, TrafficType.PACKETS],
+            description=(f"Point-to-multipoint distribution from {server_pop} "
+                         f"on port {content_port} to {len(self.od_pairs)} PoPs, "
+                         f"{self.magnitude:.1f}x mean OD bytes"),
+            attributes={
+                "server_address": server_address,
+                "content_port": content_port,
+                "magnitude": self.magnitude,
+            },
+        )

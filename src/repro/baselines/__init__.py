@@ -1,0 +1,33 @@
+"""Baseline anomaly detectors.
+
+The paper argues that fusing information *across* OD flows (the subspace
+method) reveals anomalies that per-flow, per-link analysis misses.  To
+quantify that claim (experiment E8) we implement the natural single-timeseries
+baselines from the related-work section, each applied independently to every
+OD flow:
+
+* :class:`~repro.baselines.ewma.EWMADetector` — exponentially weighted
+  moving-average forecasting with a z-score test on the residual;
+* :class:`~repro.baselines.wavelet.WaveletDetector` — multi-scale detail
+  analysis in the spirit of Barford et al.'s wavelet signal analysis;
+* :class:`~repro.baselines.fourier.FourierDetector` — seasonal (Fourier)
+  detrending with a z-score test on the residual.
+
+All baselines share the :class:`~repro.baselines.base.BaselineDetector`
+interface and report per-(bin, OD flow) detections that the evaluation
+harness aggregates into events for a like-for-like comparison with the
+subspace method.
+"""
+
+from repro.baselines.base import BaselineDetectionResult, BaselineDetector
+from repro.baselines.ewma import EWMADetector
+from repro.baselines.fourier import FourierDetector
+from repro.baselines.wavelet import WaveletDetector
+
+__all__ = [
+    "BaselineDetector",
+    "BaselineDetectionResult",
+    "EWMADetector",
+    "WaveletDetector",
+    "FourierDetector",
+]

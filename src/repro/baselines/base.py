@@ -1,0 +1,98 @@
+"""Common interface of the per-flow baseline detectors."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_2d, require
+
+__all__ = ["BaselineDetectionResult", "BaselineDetector"]
+
+
+@dataclass
+class BaselineDetectionResult:
+    """Detections of a per-flow baseline over one traffic matrix.
+
+    Attributes
+    ----------
+    scores:
+        The ``n x p`` matrix of per-cell anomaly scores (higher = more
+        anomalous; comparable across cells of the same run).
+    threshold:
+        The score threshold applied.
+    flagged:
+        Boolean ``n x p`` matrix of flagged cells.
+    """
+
+    scores: np.ndarray
+    threshold: float
+    flagged: np.ndarray
+
+    @property
+    def n_bins(self) -> int:
+        """Number of timebins analyzed."""
+        return int(self.scores.shape[0])
+
+    @property
+    def n_flows(self) -> int:
+        """Number of OD flows analyzed."""
+        return int(self.scores.shape[1])
+
+    @property
+    def n_flagged_cells(self) -> int:
+        """Total number of flagged (bin, flow) cells."""
+        return int(self.flagged.sum())
+
+    def anomalous_bins(self) -> List[int]:
+        """Bins in which at least one OD flow was flagged."""
+        return sorted(np.nonzero(self.flagged.any(axis=1))[0].tolist())
+
+    def flows_at(self, bin_index: int) -> List[int]:
+        """OD flows flagged at *bin_index*."""
+        require(0 <= bin_index < self.n_bins, "bin_index out of range")
+        return sorted(np.nonzero(self.flagged[bin_index])[0].tolist())
+
+    def detection_rate(self) -> float:
+        """Fraction of bins with at least one flagged flow."""
+        return len(self.anomalous_bins()) / self.n_bins if self.n_bins else 0.0
+
+
+class BaselineDetector(abc.ABC):
+    """A per-OD-flow anomaly detector.
+
+    Subclasses implement :meth:`score`, producing an ``n x p`` matrix of
+    anomaly scores; the shared :meth:`detect` applies either an explicit
+    score threshold or an empirical quantile of the run's own scores (so
+    that baselines can be matched to a false-alarm budget).
+    """
+
+    def __init__(self, threshold: float | None = None,
+                 quantile: float = 0.999) -> None:
+        require(0.0 < quantile < 1.0, "quantile must be in (0, 1)")
+        self._threshold = threshold
+        self._quantile = quantile
+
+    @property
+    def quantile(self) -> float:
+        """The empirical score quantile used when no explicit threshold is set."""
+        return self._quantile
+
+    @abc.abstractmethod
+    def score(self, matrix: np.ndarray) -> np.ndarray:
+        """Per-cell anomaly scores for the ``n x p`` traffic matrix."""
+
+    def detect(self, matrix: np.ndarray) -> BaselineDetectionResult:
+        """Score the matrix and flag cells above the threshold."""
+        data = ensure_2d(matrix, "matrix")
+        scores = self.score(data)
+        require(scores.shape == data.shape, "score matrix has the wrong shape")
+        if self._threshold is not None:
+            threshold = float(self._threshold)
+        else:
+            threshold = float(np.quantile(scores, self._quantile))
+        flagged = scores > threshold
+        return BaselineDetectionResult(scores=scores, threshold=threshold, flagged=flagged)

@@ -1,0 +1,72 @@
+"""EWMA forecasting baseline.
+
+Each OD flow is forecast by an exponentially weighted moving average; the
+anomaly score of a cell is the absolute forecast error normalized by an
+EWMA estimate of the error's own standard deviation (a classic
+Holt-style / EWMA control chart).  This is the simplest widely deployed
+per-timeseries detector and serves as the low end of the baseline range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineDetector
+from repro.utils.validation import ensure_2d, require
+
+__all__ = ["EWMADetector"]
+
+
+class EWMADetector(BaselineDetector):
+    """Per-flow EWMA residual detector.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing factor of the level forecast (0 < alpha < 1); larger
+        values adapt faster but absorb anomalies more quickly.
+    variance_alpha:
+        Smoothing factor of the squared-error estimate.
+    threshold:
+        Explicit score threshold (in standard deviations); when ``None``
+        the empirical *quantile* of the run's scores is used instead.
+    quantile:
+        Empirical quantile used when no explicit threshold is given.
+    warmup_bins:
+        Number of initial bins whose scores are zeroed while the EWMA state
+        stabilizes.
+    """
+
+    def __init__(self, alpha: float = 0.2, variance_alpha: float = 0.05,
+                 threshold: float | None = None, quantile: float = 0.999,
+                 warmup_bins: int = 12) -> None:
+        super().__init__(threshold=threshold, quantile=quantile)
+        require(0.0 < alpha < 1.0, "alpha must be in (0, 1)")
+        require(0.0 < variance_alpha < 1.0, "variance_alpha must be in (0, 1)")
+        require(warmup_bins >= 0, "warmup_bins must be non-negative")
+        self._alpha = alpha
+        self._variance_alpha = variance_alpha
+        self._warmup_bins = warmup_bins
+
+    def score(self, matrix: np.ndarray) -> np.ndarray:
+        """Absolute one-step forecast error in units of its own EWMA std."""
+        data = ensure_2d(matrix, "matrix")
+        n_bins, n_flows = data.shape
+        scores = np.zeros_like(data)
+
+        level = data[0].copy()
+        variance = np.full(n_flows, np.var(data, axis=0).mean() + 1e-12)
+        for bin_index in range(1, n_bins):
+            observed = data[bin_index]
+            error = observed - level
+            std = np.sqrt(variance) + 1e-12
+            scores[bin_index] = np.abs(error) / std
+            # Update the state *after* scoring so anomalies are measured
+            # against the pre-anomaly forecast.
+            level = level + self._alpha * error
+            variance = ((1.0 - self._variance_alpha) * variance
+                        + self._variance_alpha * error**2)
+
+        if self._warmup_bins > 0:
+            scores[:self._warmup_bins] = 0.0
+        return scores

@@ -1,0 +1,27 @@
+"""Anomaly classification.
+
+Implements the paper's semi-automated classification procedure: for each
+detected anomaly event, inspect the flow composition of the responsible OD
+flows during the anomalous bins, determine the *dominant* attributes
+(source/destination address range and port, at the p = 0.2 threshold), look
+at which traffic types spiked or dipped, and apply the rules of Table 2 to
+assign an anomaly type.
+"""
+
+from repro.classification.dominance import DominanceAnalyzer, DominanceSummary
+from repro.classification.features import EventFeatures, extract_event_features
+from repro.classification.classifier import (
+    ClassificationResult,
+    RuleBasedClassifier,
+    WELL_KNOWN_SERVICE_PORTS,
+)
+
+__all__ = [
+    "DominanceAnalyzer",
+    "DominanceSummary",
+    "EventFeatures",
+    "extract_event_features",
+    "RuleBasedClassifier",
+    "ClassificationResult",
+    "WELL_KNOWN_SERVICE_PORTS",
+]

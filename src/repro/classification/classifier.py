@@ -1,0 +1,202 @@
+"""Rule-based anomaly classification implementing Table 2 of the paper.
+
+The rules encode the "Features" column of Table 2, applied in an order that
+resolves ambiguity the way the paper describes:
+
+1. **OUTAGE** — all traffic types dip (usually to near zero), no spike.
+2. **INGRESS SHIFT** — simultaneous dip and spike across different OD flows
+   of the same event, with no dominant attribute.
+3. **ALPHA** — byte (and packet) spike attributable to a single dominant
+   source *and* destination.
+4. **POINT-TO-MULTIPOINT** — byte/packet spike from a dominant source to
+   many destinations on a well-known content port.
+5. **FLASH CROWD vs DOS/DDOS** — packet/flow spike toward a dominant
+   destination.  Following the Jung/Krishnamurthy/Rabinovich heuristic the
+   paper adopts, traffic from topologically clustered sources to a
+   well-known service port is a flash crowd; otherwise it is a DOS attack
+   (DDOS when several OD flows attack together).
+6. **SCAN** — flow spike with roughly one packet per flow from a dominant
+   source, without a dominant (destination IP, port) combination.
+7. **WORM** — flow spike with only a dominant destination port (no dominant
+   source or destination address).
+8. Everything else is **UNKNOWN**; events whose traffic shows no real
+   change are **FALSE ALARM**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.anomalies.types import AnomalyType
+from repro.classification.features import EventFeatures
+from repro.flows.timeseries import TrafficType
+from repro.utils.validation import require
+
+__all__ = ["ClassificationResult", "RuleBasedClassifier", "WELL_KNOWN_SERVICE_PORTS"]
+
+#: Ports treated as "well-known services" for the flash-crowd heuristic.
+WELL_KNOWN_SERVICE_PORTS: Tuple[int, ...] = (80, 443, 53, 25, 119, 563, 21, 22)
+
+#: Packets-per-flow below which a flow spike looks like probing (scan/worm).
+_PROBE_PACKETS_PER_FLOW = 3.0
+
+#: Bytes-per-packet above which a spike looks like a bulk transfer.
+_BULK_BYTES_PER_PACKET = 600.0
+
+
+@dataclass(frozen=True)
+class ClassificationResult:
+    """The classifier's verdict for one event."""
+
+    features: EventFeatures
+    anomaly_type: AnomalyType
+    rationale: str
+
+    @property
+    def event(self):
+        """The classified event."""
+        return self.features.event
+
+
+class RuleBasedClassifier:
+    """Classifies detected events using the Table 2 dominant-attribute rules.
+
+    Parameters
+    ----------
+    well_known_ports:
+        Ports treated as legitimate services for the flash-crowd heuristic.
+    probe_packets_per_flow:
+        Packets-per-flow threshold separating probing traffic (scans,
+        worms) from connection-oriented traffic.
+    """
+
+    def __init__(self,
+                 well_known_ports: Sequence[int] = WELL_KNOWN_SERVICE_PORTS,
+                 probe_packets_per_flow: float = _PROBE_PACKETS_PER_FLOW) -> None:
+        require(probe_packets_per_flow > 0, "probe_packets_per_flow must be positive")
+        self._well_known_ports = frozenset(int(p) for p in well_known_ports)
+        self._probe_packets_per_flow = float(probe_packets_per_flow)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def classify(self, features: EventFeatures) -> ClassificationResult:
+        """Classify one event from its extracted features."""
+        anomaly_type, rationale = self._apply_rules(features)
+        return ClassificationResult(features=features, anomaly_type=anomaly_type,
+                                    rationale=rationale)
+
+    def classify_all(self, features: Sequence[EventFeatures]) -> List[ClassificationResult]:
+        """Classify a batch of events."""
+        return [self.classify(f) for f in features]
+
+    # ------------------------------------------------------------------ #
+    # rules
+    # ------------------------------------------------------------------ #
+    def _apply_rules(self, features: EventFeatures) -> Tuple[AnomalyType, str]:
+        dominance = features.dominance
+
+        # Rule 0: no real change in any traffic type -> false alarm.
+        if not features.has_spike() and not features.has_dip():
+            return (AnomalyType.FALSE_ALARM,
+                    "no appreciable change in any traffic type")
+
+        # Rule 1: OUTAGE — everything dips, nothing spikes.
+        if features.has_dip() and not features.has_spike() and features.dips_in_all():
+            return (AnomalyType.OUTAGE,
+                    "all traffic types decrease on the involved OD flows")
+
+        # Rule 2: INGRESS SHIFT — traffic moved between OD flows: some
+        # involved OD flows dip while others spike, and there is no dominant
+        # address (the traffic is ordinary customer traffic, just re-routed).
+        moved_between_flows = (features.n_od_flows >= 2
+                               and features.n_dipping_od_flows >= 1
+                               and features.n_spiking_od_flows >= 1)
+        aggregate_move = features.has_dip() and features.has_spike()
+        if ((moved_between_flows or (aggregate_move and features.n_od_flows >= 2))
+                and not dominance.any_dominant("src_range")
+                and not dominance.any_dominant("dst_range")):
+            return (AnomalyType.INGRESS_SHIFT,
+                    "traffic decreases on some OD flows and increases on others "
+                    "with no dominant address")
+
+        # Partial-dip fallback: dips without spikes that are not network-wide
+        # still indicate loss of traffic (treated as OUTAGE by the paper's
+        # operators when correlated with maintenance reports).
+        if features.has_dip() and not features.has_spike():
+            return (AnomalyType.OUTAGE,
+                    "traffic decreases on the involved OD flows")
+
+        byte_spike = features.spikes_in(TrafficType.BYTES)
+        packet_spike = features.spikes_in(TrafficType.PACKETS)
+        flow_spike = features.spikes_in(TrafficType.FLOWS)
+
+        dominant_src = dominance.any_dominant("src_range")
+        dominant_dst = dominance.any_dominant("dst_range")
+        dominant_dst_port = dominance.dominant_port("dst_port")
+        packets_per_flow = features.excess_packets_per_flow
+        bytes_per_packet = features.excess_bytes_per_packet
+
+        # Rule 3: ALPHA — bulk byte transfer between one source and one
+        # destination (large packets, few flows).
+        if (byte_spike and dominant_src and dominant_dst
+                and (bytes_per_packet is None or bytes_per_packet >= _BULK_BYTES_PER_PACKET
+                     or not flow_spike)):
+            return (AnomalyType.ALPHA,
+                    "byte spike with a single dominant source and destination")
+
+        # Rule 4: POINT-TO-MULTIPOINT — bulk traffic from one source to many
+        # destinations on a well-known content port.
+        if ((byte_spike or packet_spike) and dominant_src and not dominant_dst
+                and dominant_dst_port is not None
+                and dominant_dst_port in self._well_known_ports
+                and (packets_per_flow is None
+                     or packets_per_flow > self._probe_packets_per_flow)):
+            return (AnomalyType.POINT_MULTIPOINT,
+                    "byte/packet spike from a dominant source to many destinations "
+                    f"on well-known port {dominant_dst_port}")
+
+        # Rule 5: traffic toward one victim/service — flash crowd vs DOS.
+        if (packet_spike or flow_spike) and dominant_dst and not dominant_src:
+            well_known = (dominant_dst_port is not None
+                          and dominant_dst_port in self._well_known_ports)
+            clustered_sources = features.n_od_flows == 1
+            if well_known and clustered_sources and flow_spike:
+                return (AnomalyType.FLASH_CROWD,
+                        "flow spike from clustered sources toward one destination "
+                        f"on well-known port {dominant_dst_port}")
+            if features.n_od_flows > 1:
+                return (AnomalyType.DDOS,
+                        "packet/flow spike toward a single destination from "
+                        "multiple OD flows with no dominant source")
+            return (AnomalyType.DOS,
+                    "packet/flow spike toward a single destination with no "
+                    "dominant source")
+
+        # Rule 6: SCAN — probing traffic (≈1 packet per flow) from a single
+        # scanner without a dominant (destination IP, port) combination.
+        if (flow_spike and dominant_src
+                and packets_per_flow is not None
+                and packets_per_flow <= self._probe_packets_per_flow
+                and not (dominant_dst and dominant_dst_port is not None)):
+            return (AnomalyType.SCAN,
+                    "flow spike of single-packet probes from a dominant source")
+
+        # Rule 7: WORM — probing traffic on one target port with neither a
+        # dominant source nor a dominant destination.
+        if (flow_spike and not dominant_src and not dominant_dst
+                and dominant_dst_port is not None
+                and (packets_per_flow is None
+                     or packets_per_flow <= 2 * self._probe_packets_per_flow)):
+            return (AnomalyType.WORM,
+                    f"flow spike on port {dominant_dst_port} with no dominant "
+                    "source or destination")
+
+        # Secondary ALPHA rule: packet-only spikes between a single source
+        # and destination (large transfers seen mostly in packet counts).
+        if packet_spike and dominant_src and dominant_dst and not flow_spike:
+            return (AnomalyType.ALPHA,
+                    "packet spike with a single dominant source and destination")
+
+        return (AnomalyType.UNKNOWN, "no rule matched the event's features")

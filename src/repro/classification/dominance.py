@@ -1,0 +1,131 @@
+"""Dominant-attribute analysis of anomalous traffic.
+
+The paper's key identification tool: "An address range or port is dominant
+in a particular OD flow and timebin if it is unusually prevalent.  We used a
+simple threshold test: if the address range or port accounted for more than
+a fraction p of the total traffic ... it was considered dominant.  We found
+that a value of p = 0.2 worked well."
+
+:class:`DominanceAnalyzer` applies that test to the flow composition of the
+(OD flow, bin) cells belonging to a detected event, aggregating across the
+event's cells so that a single heavy hitter spanning the whole event is
+recognized even if it is diluted in any one cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.flows.composition import BinComposition, FlowCompositionModel
+from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
+from repro.utils.validation import ensure_probability
+
+__all__ = ["DominanceSummary", "DominanceAnalyzer"]
+
+#: The attributes the paper checks for dominance.
+ATTRIBUTES: Tuple[str, ...] = ("src_range", "dst_range", "src_port", "dst_port")
+
+
+@dataclass(frozen=True)
+class DominanceSummary:
+    """Dominant attribute values of one event, per traffic type.
+
+    ``values[(traffic_type, attribute)]`` is the dominant value or ``None``.
+    """
+
+    values: Mapping[Tuple[TrafficType, str], Optional[int]]
+    threshold: float
+
+    def dominant(self, traffic_type: TrafficType, attribute: str) -> Optional[int]:
+        """The dominant value of *attribute* in *traffic_type* (or ``None``)."""
+        return self.values.get((TrafficType(traffic_type), attribute))
+
+    def has_dominant(self, traffic_type: TrafficType, attribute: str) -> bool:
+        """Whether *attribute* has a dominant value in *traffic_type*."""
+        return self.dominant(traffic_type, attribute) is not None
+
+    def any_dominant(self, attribute: str,
+                     traffic_types: Optional[Iterable[TrafficType]] = None) -> bool:
+        """Whether *attribute* is dominant in any of the given traffic types."""
+        types = list(traffic_types) if traffic_types is not None else list(TrafficType.all())
+        return any(self.has_dominant(t, attribute) for t in types)
+
+    def dominant_port(self, attribute: str = "dst_port") -> Optional[int]:
+        """The dominant port value in any traffic type (flows first)."""
+        for traffic_type in (TrafficType.FLOWS, TrafficType.PACKETS, TrafficType.BYTES):
+            value = self.dominant(traffic_type, attribute)
+            if value is not None:
+                return value
+        return None
+
+    def no_dominant_attributes(self,
+                               traffic_types: Optional[Iterable[TrafficType]] = None) -> bool:
+        """Whether the event has no dominant attribute at all (OUTAGE/shift style)."""
+        return not any(self.any_dominant(attribute, traffic_types)
+                       for attribute in ATTRIBUTES)
+
+
+class DominanceAnalyzer:
+    """Computes dominance summaries for detected events.
+
+    Parameters
+    ----------
+    series:
+        The traffic-matrix series the detection ran on.
+    composition:
+        The flow-composition model of the dataset.
+    threshold:
+        The dominance fraction ``p`` (paper: 0.2).
+    bin_offset:
+        Offset added to bin indices before querying the composition model.
+        Used when the detection ran on a window of a longer dataset: the
+        window's bins are local (0-based) while the composition model keys
+        injected flow groups by absolute bin index.
+    """
+
+    def __init__(self, series: TrafficMatrixSeries, composition: FlowCompositionModel,
+                 threshold: float = 0.2, bin_offset: int = 0) -> None:
+        ensure_probability(threshold, "threshold")
+        self._series = series
+        self._composition = composition
+        self._threshold = threshold
+        self._bin_offset = int(bin_offset)
+
+    @property
+    def threshold(self) -> float:
+        """The dominance fraction ``p``."""
+        return self._threshold
+
+    @property
+    def bin_offset(self) -> int:
+        """Offset added to bin indices when querying the composition model."""
+        return self._bin_offset
+
+    def cell_composition(self, od_pair: Tuple[str, str], bin_index: int) -> BinComposition:
+        """The flow composition of one (OD pair, bin) cell."""
+        return self._composition.composition(self._series, od_pair, bin_index,
+                                             injected_bin_index=bin_index + self._bin_offset)
+
+    def event_composition(self, od_pairs: Sequence[Tuple[str, str]],
+                          bins: Sequence[int]) -> BinComposition:
+        """The merged composition of all cells belonging to an event."""
+        merged_groups = []
+        for od_pair in od_pairs:
+            for bin_index in bins:
+                cell = self.cell_composition(od_pair, bin_index)
+                merged_groups.extend(cell.groups)
+        first_pair = tuple(od_pairs[0]) if od_pairs else ("", "")
+        first_bin = bins[0] if bins else 0
+        return BinComposition(first_pair, first_bin, merged_groups)
+
+    def summarize(self, od_pairs: Sequence[Tuple[str, str]],
+                  bins: Sequence[int]) -> DominanceSummary:
+        """Dominance summary of an event (per traffic type and attribute)."""
+        composition = self.event_composition(od_pairs, bins)
+        values: Dict[Tuple[TrafficType, str], Optional[int]] = {}
+        for traffic_type in self._series.traffic_types:
+            for attribute in ATTRIBUTES:
+                values[(traffic_type, attribute)] = composition.dominant_value(
+                    attribute, traffic_type, self._threshold)
+        return DominanceSummary(values=values, threshold=self._threshold)

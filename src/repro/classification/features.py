@@ -1,0 +1,196 @@
+"""Feature extraction for detected anomaly events.
+
+For each event the classifier needs:
+
+* the direction and relative size of the traffic change in each traffic
+  type (spike vs dip vs flat), measured on the involved OD flows against
+  their own baseline;
+* the dominant attributes of the event's flow composition;
+* shape features: duration, number of OD flows, packets-per-flow and
+  bytes-per-packet of the *excess* traffic (scans send one small packet per
+  flow, ALPHA transfers send large packets, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.classification.dominance import DominanceAnalyzer, DominanceSummary
+from repro.core.events import AnomalyEvent
+from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
+from repro.utils.validation import require
+
+__all__ = ["EventFeatures", "extract_event_features"]
+
+#: Relative change below which a traffic type is considered unperturbed.
+_FLAT_THRESHOLD = 0.15
+
+
+@dataclass(frozen=True)
+class EventFeatures:
+    """Features of one detected anomaly event.
+
+    Attributes
+    ----------
+    event:
+        The underlying detected event.
+    od_pairs:
+        The (origin, destination) labels of the involved OD flows.
+    relative_change:
+        Per traffic type, the relative change of the involved OD flows
+        during the event versus their baseline ( > 0 is a spike, < 0 a dip).
+    directions:
+        Per traffic type, ``"spike"``, ``"dip"``, or ``"flat"``.
+    dominance:
+        The dominant-attribute summary of the event's flow composition.
+    excess_packets_per_flow:
+        Packets per IP flow of the excess traffic (``None`` when flows did
+        not increase).
+    excess_bytes_per_packet:
+        Bytes per packet of the excess traffic (``None`` when packets did
+        not increase).
+    n_spiking_od_flows, n_dipping_od_flows:
+        How many of the involved OD flows individually spike or dip during
+        the event (used to recognize traffic *moving* between OD flows, the
+        INGRESS-SHIFT signature).
+    """
+
+    event: AnomalyEvent
+    od_pairs: Tuple[Tuple[str, str], ...]
+    relative_change: Mapping[TrafficType, float]
+    directions: Mapping[TrafficType, str]
+    dominance: DominanceSummary
+    excess_packets_per_flow: Optional[float]
+    excess_bytes_per_packet: Optional[float]
+    n_spiking_od_flows: int = 0
+    n_dipping_od_flows: int = 0
+
+    # Convenience predicates used by the rule-based classifier ----------- #
+    def spikes_in(self, traffic_type: TrafficType) -> bool:
+        """Whether the event is a spike in *traffic_type*."""
+        return self.directions.get(TrafficType(traffic_type)) == "spike"
+
+    def dips_in(self, traffic_type: TrafficType) -> bool:
+        """Whether the event is a dip in *traffic_type*."""
+        return self.directions.get(TrafficType(traffic_type)) == "dip"
+
+    def dips_in_all(self) -> bool:
+        """Whether all three traffic types dip (the OUTAGE signature)."""
+        return all(self.dips_in(t) for t in TrafficType.all())
+
+    def has_spike(self) -> bool:
+        """Whether any traffic type spikes."""
+        return any(self.spikes_in(t) for t in TrafficType.all())
+
+    def has_dip(self) -> bool:
+        """Whether any traffic type dips."""
+        return any(self.dips_in(t) for t in TrafficType.all())
+
+    @property
+    def n_od_flows(self) -> int:
+        """Number of OD flows involved in the event."""
+        return len(self.od_pairs)
+
+    @property
+    def duration_bins(self) -> int:
+        """Event duration in bins."""
+        return self.event.duration_bins
+
+
+def _baseline_and_event_volume(
+    series: TrafficMatrixSeries,
+    traffic_type: TrafficType,
+    columns: Sequence[int],
+    bins: Sequence[int],
+) -> Tuple[float, float]:
+    """Baseline (median outside the event) and in-event mean volume."""
+    matrix = series.matrix(traffic_type)
+    selected = matrix[:, list(columns)].sum(axis=1)
+    event_bins = np.asarray(list(bins), dtype=int)
+    mask = np.ones(series.n_bins, dtype=bool)
+    mask[event_bins] = False
+    baseline = float(np.median(selected[mask])) if mask.any() else float(np.median(selected))
+    event_volume = float(selected[event_bins].mean())
+    return baseline, event_volume
+
+
+def extract_event_features(
+    event: AnomalyEvent,
+    series: TrafficMatrixSeries,
+    analyzer: DominanceAnalyzer,
+) -> EventFeatures:
+    """Extract the classification features of one detected event.
+
+    Parameters
+    ----------
+    event:
+        The detected event (OD flows are column indices into *series*).
+    series:
+        The traffic-matrix series the detection ran on.
+    analyzer:
+        Dominance analyzer bound to the same series and its composition.
+    """
+    require(len(event.od_flows) >= 1, "event has no OD flows")
+    columns = sorted(event.od_flows)
+    od_pairs = tuple(series.od_pairs[c] for c in columns)
+    bins = list(event.bins)
+
+    relative_change: Dict[TrafficType, float] = {}
+    directions: Dict[TrafficType, str] = {}
+    excess: Dict[TrafficType, float] = {}
+    for traffic_type in series.traffic_types:
+        baseline, event_volume = _baseline_and_event_volume(
+            series, traffic_type, columns, bins)
+        delta = event_volume - baseline
+        relative = delta / baseline if baseline > 0 else (np.inf if delta > 0 else 0.0)
+        relative_change[traffic_type] = float(relative)
+        excess[traffic_type] = float(delta)
+        if relative > _FLAT_THRESHOLD:
+            directions[traffic_type] = "spike"
+        elif relative < -_FLAT_THRESHOLD:
+            directions[traffic_type] = "dip"
+        else:
+            directions[traffic_type] = "flat"
+
+    flows_excess = excess.get(TrafficType.FLOWS, 0.0)
+    packets_excess = excess.get(TrafficType.PACKETS, 0.0)
+    bytes_excess = excess.get(TrafficType.BYTES, 0.0)
+    packets_per_flow = (packets_excess / flows_excess
+                        if flows_excess > 0 and packets_excess > 0 else None)
+    bytes_per_packet = (bytes_excess / packets_excess
+                        if packets_excess > 0 and bytes_excess > 0 else None)
+
+    # Per-OD-flow directions: an OD flow is "spiking" ("dipping") when its
+    # own traffic in any type rises (falls) markedly during the event.
+    per_flow_threshold = 2 * _FLAT_THRESHOLD
+    n_spiking = 0
+    n_dipping = 0
+    for column in columns:
+        flow_changes = []
+        for traffic_type in series.traffic_types:
+            baseline, event_volume = _baseline_and_event_volume(
+                series, traffic_type, [column], bins)
+            if baseline > 0:
+                flow_changes.append((event_volume - baseline) / baseline)
+        if not flow_changes:
+            continue
+        if max(flow_changes) > per_flow_threshold:
+            n_spiking += 1
+        elif min(flow_changes) < -per_flow_threshold:
+            n_dipping += 1
+
+    dominance = analyzer.summarize(od_pairs, bins)
+    return EventFeatures(
+        event=event,
+        od_pairs=od_pairs,
+        relative_change=relative_change,
+        directions=directions,
+        dominance=dominance,
+        excess_packets_per_flow=packets_per_flow,
+        excess_bytes_per_packet=bytes_per_packet,
+        n_spiking_od_flows=n_spiking,
+        n_dipping_od_flows=n_dipping,
+    )

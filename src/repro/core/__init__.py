@@ -1,0 +1,45 @@
+"""The subspace method — the paper's primary contribution.
+
+Pipeline:
+
+1. :class:`~repro.core.pca.EigenflowDecomposition` decomposes the ``n x p``
+   OD-flow timeseries into eigenflows ordered by captured variance;
+2. :class:`~repro.core.subspace.SubspaceModel` splits the space into a
+   normal subspace (top ``k`` eigenflows, paper ``k = 4``) and an anomalous
+   (residual) subspace, and computes the SPE (``||x~||²``) and Hotelling T²
+   statistics per timebin;
+3. :class:`~repro.core.detector.SubspaceDetector` applies the Q-statistic
+   and T² control limits at the 99.9% confidence level to flag anomalous
+   timebins;
+4. :mod:`repro.core.identification` pinpoints the smallest set of OD flows
+   responsible for each detection;
+5. :mod:`repro.core.events` aggregates detections across traffic types
+   (B/P/F combinations), across OD flows (space), and across consecutive
+   bins (time) into anomaly events — the unit the paper counts in
+   Tables 1 and 3.
+
+The convenience function :func:`detect_network_anomalies` runs the whole
+pipeline over a :class:`~repro.flows.timeseries.TrafficMatrixSeries`.
+"""
+
+from repro.core.pca import EigenflowDecomposition
+from repro.core.subspace import SubspaceModel, T2Scaling
+from repro.core.detector import BinDetection, DetectionResult, SubspaceDetector
+from repro.core.identification import identify_od_flows
+from repro.core.events import AnomalyEvent, aggregate_detections, fuse_traffic_types
+from repro.core.pipeline import NetworkAnomalyReport, detect_network_anomalies
+
+__all__ = [
+    "EigenflowDecomposition",
+    "SubspaceModel",
+    "T2Scaling",
+    "SubspaceDetector",
+    "DetectionResult",
+    "BinDetection",
+    "identify_od_flows",
+    "AnomalyEvent",
+    "aggregate_detections",
+    "fuse_traffic_types",
+    "detect_network_anomalies",
+    "NetworkAnomalyReport",
+]

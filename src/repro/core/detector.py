@@ -1,0 +1,227 @@
+"""The subspace anomaly detector.
+
+:class:`SubspaceDetector` wraps the model fitting (PCA on the traffic
+matrix), the two control limits (Q-statistic for the SPE, the F-based limit
+for T²), and the per-bin decision into one object with a scikit-learn-like
+``fit`` / ``detect`` interface.  The result object carries everything needed
+to reproduce the three rows of Figure 1 and to drive identification and
+event aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pca import EigenflowDecomposition
+from repro.core.subspace import SubspaceModel, T2Scaling
+from repro.utils.validation import ensure_2d, ensure_probability, require
+
+__all__ = ["BinDetection", "DetectionResult", "SubspaceDetector"]
+
+
+@dataclass(frozen=True)
+class BinDetection:
+    """One flagged timebin.
+
+    ``triggered_by`` is ``"spe"``, ``"t2"``, or ``"both"`` depending on
+    which statistic exceeded its control limit.
+    """
+
+    bin_index: int
+    spe_value: float
+    t2_value: float
+    triggered_by: str
+
+    @property
+    def spe_triggered(self) -> bool:
+        """Whether the SPE exceeded the Q-statistic limit."""
+        return self.triggered_by in ("spe", "both")
+
+    @property
+    def t2_triggered(self) -> bool:
+        """Whether T² exceeded its limit."""
+        return self.triggered_by in ("t2", "both")
+
+
+@dataclass
+class DetectionResult:
+    """Full output of a detection pass over one traffic matrix.
+
+    The arrays all have length ``n`` (number of timebins analyzed).
+    """
+
+    state_magnitude: np.ndarray
+    spe: np.ndarray
+    spe_threshold: float
+    t2: np.ndarray
+    t2_threshold: float
+    detections: List[BinDetection] = field(default_factory=list)
+
+    @property
+    def n_bins(self) -> int:
+        """Number of timebins analyzed."""
+        return int(self.spe.shape[0])
+
+    @property
+    def anomalous_bins(self) -> List[int]:
+        """Sorted indices of all flagged timebins."""
+        return sorted(d.bin_index for d in self.detections)
+
+    @property
+    def spe_bins(self) -> List[int]:
+        """Bins flagged by the SPE / Q-statistic test."""
+        return sorted(d.bin_index for d in self.detections if d.spe_triggered)
+
+    @property
+    def t2_bins(self) -> List[int]:
+        """Bins flagged by the T² test."""
+        return sorted(d.bin_index for d in self.detections if d.t2_triggered)
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of timebins flagged."""
+        return len(self.detections) / self.n_bins if self.n_bins else 0.0
+
+    def detection_at(self, bin_index: int) -> Optional[BinDetection]:
+        """The detection at *bin_index*, or ``None`` if the bin is not flagged."""
+        for detection in self.detections:
+            if detection.bin_index == bin_index:
+                return detection
+        return None
+
+    def summary(self) -> Dict[str, float]:
+        """Compact numeric summary (used in reports and benchmarks)."""
+        return {
+            "n_bins": float(self.n_bins),
+            "n_detections": float(len(self.detections)),
+            "n_spe": float(len(self.spe_bins)),
+            "n_t2": float(len(self.t2_bins)),
+            "spe_threshold": float(self.spe_threshold),
+            "t2_threshold": float(self.t2_threshold),
+            "detection_rate": self.detection_rate,
+        }
+
+
+class SubspaceDetector:
+    """PCA subspace anomaly detector with Q-statistic and T² control limits.
+
+    Parameters
+    ----------
+    n_normal:
+        Dimension ``k`` of the normal subspace (paper: 4).
+    confidence:
+        Confidence level for both control limits (paper: 0.999).
+    t2_scaling:
+        T² scaling convention (see :class:`~repro.core.subspace.T2Scaling`).
+    use_t2:
+        Whether to apply the T² test in addition to the SPE test (the
+        paper's extension; disabling it gives the SPE-only detector of the
+        earlier SIGCOMM paper, used in the E6 ablation).
+    center:
+        Whether to column-center the data before PCA.
+    """
+
+    def __init__(
+        self,
+        n_normal: int = 4,
+        confidence: float = 0.999,
+        t2_scaling: T2Scaling = T2Scaling.HOTELLING,
+        use_t2: bool = True,
+        center: bool = True,
+    ) -> None:
+        require(n_normal >= 1, "n_normal must be >= 1")
+        ensure_probability(confidence, "confidence")
+        self._n_normal = n_normal
+        self._confidence = confidence
+        self._t2_scaling = T2Scaling(t2_scaling)
+        self._use_t2 = use_t2
+        self._center = center
+        self._model: Optional[SubspaceModel] = None
+
+    # ------------------------------------------------------------------ #
+    # configuration accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_normal(self) -> int:
+        """Dimension of the normal subspace."""
+        return self._n_normal
+
+    @property
+    def confidence(self) -> float:
+        """Confidence level of the control limits."""
+        return self._confidence
+
+    @property
+    def use_t2(self) -> bool:
+        """Whether the T² test is applied."""
+        return self._use_t2
+
+    @property
+    def model(self) -> SubspaceModel:
+        """The fitted subspace model (raises if :meth:`fit` was not called)."""
+        if self._model is None:
+            raise RuntimeError("detector is not fitted; call fit() first")
+        return self._model
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._model is not None
+
+    # ------------------------------------------------------------------ #
+    # fitting and detection
+    # ------------------------------------------------------------------ #
+    def fit(self, data: np.ndarray) -> "SubspaceDetector":
+        """Fit the PCA subspace model to the ``n x p`` traffic matrix."""
+        matrix = ensure_2d(data, "data")
+        require(matrix.shape[0] > self._n_normal + 1,
+                "need more timebins than n_normal + 1 to fit the model")
+        decomposition = EigenflowDecomposition(matrix, center=self._center)
+        require(decomposition.rank > self._n_normal,
+                "n_normal must be smaller than the rank of the data")
+        self._model = SubspaceModel(decomposition, n_normal=self._n_normal,
+                                    t2_scaling=self._t2_scaling)
+        return self
+
+    def detect(self, data: Optional[np.ndarray] = None) -> DetectionResult:
+        """Run detection on *data* (default: the training matrix itself).
+
+        The paper fits and detects on the same window (one week at a time);
+        passing new data evaluates the fitted model on unseen bins.
+        """
+        model = self.model
+        spe = model.spe(data)
+        t2 = model.t2(data)
+        state = model.state_magnitude(data)
+        spe_threshold = model.spe_threshold(self._confidence)
+        t2_threshold = model.t2_threshold(self._confidence)
+
+        detections: List[BinDetection] = []
+        for bin_index in range(spe.shape[0]):
+            spe_hit = bool(spe[bin_index] > spe_threshold)
+            t2_hit = bool(self._use_t2 and t2[bin_index] > t2_threshold)
+            if not spe_hit and not t2_hit:
+                continue
+            triggered = "both" if (spe_hit and t2_hit) else ("spe" if spe_hit else "t2")
+            detections.append(BinDetection(
+                bin_index=bin_index,
+                spe_value=float(spe[bin_index]),
+                t2_value=float(t2[bin_index]),
+                triggered_by=triggered,
+            ))
+
+        return DetectionResult(
+            state_magnitude=state,
+            spe=spe,
+            spe_threshold=float(spe_threshold),
+            t2=t2,
+            t2_threshold=float(t2_threshold),
+            detections=detections,
+        )
+
+    def fit_detect(self, data: np.ndarray) -> DetectionResult:
+        """Convenience: fit on *data* and detect on the same window."""
+        return self.fit(data).detect()

@@ -1,0 +1,200 @@
+"""Spatio-temporal aggregation of detections into anomaly events.
+
+The paper casts raw detections as triples ``(traffic type, time, OD flow)``
+and then aggregates them three ways:
+
+1. triples sharing the same timebin but coming from different traffic types
+   are merged into the combination categories **BP, BF, FP, BFP** (a BP
+   anomaly is one detected in both the byte and the packet timeseries at
+   the same time);
+2. triples with the same traffic type and time are merged in **space**
+   (their OD flows are unioned);
+3. triples with consecutive time values and the same traffic type are
+   merged in **time**.
+
+The result is a set of :class:`AnomalyEvent` objects, each with a traffic
+combination label (one of B, P, F, BP, BF, FP, BFP), a set of OD flows, and
+a span of consecutive timebins — the unit counted in Tables 1 and 3 and
+histogrammed in Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.detector import DetectionResult
+from repro.flows.timeseries import TrafficType
+from repro.utils.validation import require
+
+__all__ = ["Detection", "AnomalyEvent", "aggregate_detections", "fuse_traffic_types",
+           "COMBINATION_LABELS"]
+
+#: The seven traffic-type combination labels of Table 1, in the paper's order.
+COMBINATION_LABELS: Tuple[str, ...] = ("B", "F", "P", "BF", "BP", "FP", "BFP")
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One raw detection triple: (traffic type, timebin, responsible OD flows)."""
+
+    traffic_type: TrafficType
+    bin_index: int
+    od_flows: Tuple[int, ...]
+    statistic: str = "spe"
+
+    def __post_init__(self) -> None:
+        require(self.bin_index >= 0, "bin_index must be non-negative")
+        require(len(self.od_flows) >= 1, "a detection needs at least one OD flow")
+
+
+@dataclass
+class AnomalyEvent:
+    """An aggregated anomaly event.
+
+    Parameters
+    ----------
+    traffic_label:
+        Combination label (B, P, F, BP, BF, FP, or BFP).
+    start_bin, end_bin:
+        Inclusive timebin span of the event.
+    od_flows:
+        Union of responsible OD-flow column indices.
+    bins:
+        All timebins in the event.
+    statistics:
+        Which statistics triggered ("spe", "t2"), unioned over the span.
+    """
+
+    traffic_label: str
+    start_bin: int
+    end_bin: int
+    od_flows: FrozenSet[int]
+    bins: Tuple[int, ...]
+    statistics: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        require(self.traffic_label in COMBINATION_LABELS,
+                f"traffic_label must be one of {COMBINATION_LABELS}")
+        require(self.start_bin <= self.end_bin, "start_bin must be <= end_bin")
+        require(len(self.od_flows) >= 1, "an event needs at least one OD flow")
+        require(len(self.bins) >= 1, "an event needs at least one bin")
+
+    @property
+    def duration_bins(self) -> int:
+        """Number of consecutive bins spanned by the event."""
+        return self.end_bin - self.start_bin + 1
+
+    def duration_minutes(self, bin_seconds: int = 300) -> float:
+        """Event duration in minutes (Figure 2a measures this)."""
+        return self.duration_bins * bin_seconds / 60.0
+
+    @property
+    def n_od_flows(self) -> int:
+        """Number of OD flows involved (Figure 2b measures this)."""
+        return len(self.od_flows)
+
+    @property
+    def traffic_types(self) -> Tuple[TrafficType, ...]:
+        """The traffic types in the combination label."""
+        return tuple(TrafficType.from_short_label(ch) for ch in self.traffic_label)
+
+    def involves_traffic_type(self, traffic_type: TrafficType) -> bool:
+        """Whether the event was detected in *traffic_type*."""
+        return TrafficType(traffic_type).short_label in self.traffic_label
+
+    def overlaps_bins(self, bins: Iterable[int]) -> bool:
+        """Whether the event's span intersects *bins*."""
+        span = set(self.bins)
+        return any(b in span for b in bins)
+
+
+def _combination_label(traffic_types: Iterable[TrafficType]) -> str:
+    """Canonical combination label for a set of traffic types (B, P, F order)."""
+    present = {TrafficType(t).short_label for t in traffic_types}
+    label = "".join(ch for ch in "BFP" if ch in present)
+    # Canonicalize to the paper's spellings (BP not PB, FP not PF, BFP).
+    require(label != "", "at least one traffic type is required")
+    return label
+
+
+def aggregate_detections(detections: Sequence[Detection]) -> List[AnomalyEvent]:
+    """Aggregate raw detection triples into anomaly events.
+
+    Implements the paper's three-step aggregation (combination labels per
+    bin, union in space, merge of consecutive bins carrying the same label).
+    """
+    if not detections:
+        return []
+
+    # Step 1 & 2: per timebin, collect the traffic types that detected it,
+    # the union of OD flows, and the triggering statistics.
+    per_bin: Dict[int, Dict[str, set]] = {}
+    for detection in detections:
+        entry = per_bin.setdefault(detection.bin_index,
+                                   {"types": set(), "flows": set(), "stats": set()})
+        entry["types"].add(TrafficType(detection.traffic_type))
+        entry["flows"].update(detection.od_flows)
+        entry["stats"].add(detection.statistic)
+
+    # Step 3: merge consecutive bins with the same combination label.
+    events: List[AnomalyEvent] = []
+    sorted_bins = sorted(per_bin.keys())
+    current_bins: List[int] = []
+    current_label: Optional[str] = None
+    current_flows: set = set()
+    current_stats: set = set()
+
+    def _flush() -> None:
+        if not current_bins:
+            return
+        events.append(AnomalyEvent(
+            traffic_label=current_label,
+            start_bin=current_bins[0],
+            end_bin=current_bins[-1],
+            od_flows=frozenset(current_flows),
+            bins=tuple(current_bins),
+            statistics=frozenset(current_stats),
+        ))
+
+    for bin_index in sorted_bins:
+        label = _combination_label(per_bin[bin_index]["types"])
+        contiguous = bool(current_bins) and bin_index == current_bins[-1] + 1
+        if contiguous and label == current_label:
+            current_bins.append(bin_index)
+            current_flows.update(per_bin[bin_index]["flows"])
+            current_stats.update(per_bin[bin_index]["stats"])
+        else:
+            _flush()
+            current_bins = [bin_index]
+            current_label = label
+            current_flows = set(per_bin[bin_index]["flows"])
+            current_stats = set(per_bin[bin_index]["stats"])
+    _flush()
+    return events
+
+
+def fuse_traffic_types(
+    per_type_detections: Mapping[TrafficType, Sequence[Detection]],
+) -> List[AnomalyEvent]:
+    """Fuse per-traffic-type detections into the final event list.
+
+    Thin wrapper over :func:`aggregate_detections` that accepts one
+    detection list per traffic type (the natural output of running the
+    detector three times) and validates consistency.
+    """
+    all_detections: List[Detection] = []
+    for traffic_type, detections in per_type_detections.items():
+        for detection in detections:
+            require(TrafficType(detection.traffic_type) == TrafficType(traffic_type),
+                    "detection traffic_type does not match its mapping key")
+            all_detections.append(detection)
+    return aggregate_detections(all_detections)
+
+
+def count_by_label(events: Sequence[AnomalyEvent]) -> Dict[str, int]:
+    """Number of events per combination label (the rows of Table 1)."""
+    counts = {label: 0 for label in COMBINATION_LABELS}
+    for event in events:
+        counts[event.traffic_label] += 1
+    return counts

@@ -1,0 +1,151 @@
+"""Principal Component Analysis of the OD-flow ensemble.
+
+Following the structural-analysis companion paper, the ``n x p`` OD-flow
+timeseries ``X`` is decomposed by singular value decomposition of the
+(column-centered) data matrix::
+
+    X_c = U S V^T
+
+* the columns of ``V`` are the **principal axes** in OD-flow space;
+* the columns of ``U`` are the **eigenflows** — unit-norm temporal patterns
+  ordered by the variance they capture;
+* the eigenvalues of the sample covariance are ``S² / (n - 1)``.
+
+The decomposition is the only numerical heavy lifting in the subspace
+method; everything else is projections and thresholds built on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_2d, require
+
+__all__ = ["EigenflowDecomposition"]
+
+
+class EigenflowDecomposition:
+    """SVD/PCA decomposition of an OD-flow timeseries matrix.
+
+    Parameters
+    ----------
+    data:
+        The ``n x p`` matrix (rows = timebins, columns = OD flows).
+    center:
+        Whether to subtract the per-column (per-OD-flow) temporal mean
+        before decomposing.  The paper's formulation assumes zero-mean
+        eigenflows, so centering defaults to ``True``.
+    """
+
+    def __init__(self, data: np.ndarray, center: bool = True) -> None:
+        matrix = ensure_2d(data, "data")
+        n, p = matrix.shape
+        require(n >= 2, "need at least two timebins")
+        require(p >= 1, "need at least one OD flow")
+        self._n_samples = n
+        self._n_features = p
+        self._center = center
+        self._column_means = matrix.mean(axis=0) if center else np.zeros(p)
+        centered = matrix - self._column_means
+
+        # Economy SVD: U (n x r), singular values (r,), Vt (r x p).
+        u, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        self._u = u
+        self._singular_values = singular_values
+        self._vt = vt
+
+    # ------------------------------------------------------------------ #
+    # shapes and raw factors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_samples(self) -> int:
+        """Number of timebins ``n``."""
+        return self._n_samples
+
+    @property
+    def n_features(self) -> int:
+        """Number of OD flows ``p``."""
+        return self._n_features
+
+    @property
+    def rank(self) -> int:
+        """Number of available components ``min(n, p)``."""
+        return self._singular_values.size
+
+    @property
+    def centered(self) -> bool:
+        """Whether the data was column-centered before decomposition."""
+        return self._center
+
+    @property
+    def column_means(self) -> np.ndarray:
+        """Per-OD-flow temporal means subtracted before decomposition."""
+        return self._column_means.copy()
+
+    @property
+    def singular_values(self) -> np.ndarray:
+        """Singular values of the (centered) data matrix, descending."""
+        return self._singular_values.copy()
+
+    @property
+    def eigenvalues(self) -> np.ndarray:
+        """Eigenvalues of the sample covariance, ``S² / (n - 1)``, descending."""
+        return self._singular_values**2 / (self._n_samples - 1)
+
+    def eigenflow(self, index: int) -> np.ndarray:
+        """The *index*-th eigenflow (unit-norm temporal pattern, length ``n``)."""
+        require(0 <= index < self.rank, "eigenflow index out of range")
+        return self._u[:, index].copy()
+
+    def eigenflows(self, n_components: Optional[int] = None) -> np.ndarray:
+        """The first *n_components* eigenflows as an ``n x k`` matrix."""
+        k = self.rank if n_components is None else n_components
+        require(0 < k <= self.rank, "n_components out of range")
+        return self._u[:, :k].copy()
+
+    def principal_axis(self, index: int) -> np.ndarray:
+        """The *index*-th principal axis (unit vector in OD-flow space)."""
+        require(0 <= index < self.rank, "principal axis index out of range")
+        return self._vt[index].copy()
+
+    def principal_axes(self, n_components: Optional[int] = None) -> np.ndarray:
+        """The first *n_components* principal axes as a ``p x k`` matrix."""
+        k = self.rank if n_components is None else n_components
+        require(0 < k <= self.rank, "n_components out of range")
+        return self._vt[:k].T.copy()
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Fraction of total variance captured by each component."""
+        eigenvalues = self.eigenvalues
+        total = eigenvalues.sum()
+        if total <= 0:
+            return np.zeros_like(eigenvalues)
+        return eigenvalues / total
+
+    def cumulative_variance_ratio(self) -> np.ndarray:
+        """Cumulative explained-variance fractions."""
+        return np.cumsum(self.explained_variance_ratio())
+
+    def scores(self, data: Optional[np.ndarray] = None) -> np.ndarray:
+        """Principal-component scores (projections on the principal axes).
+
+        Without *data*, returns the training scores ``U S`` (``n x r``);
+        with *data*, projects the (centered) new rows onto the axes.
+        """
+        if data is None:
+            return self._u * self._singular_values[np.newaxis, :]
+        matrix = ensure_2d(data, "data")
+        require(matrix.shape[1] == self._n_features,
+                "data has the wrong number of OD flows")
+        return (matrix - self._column_means) @ self._vt.T
+
+    def reconstruct(self, n_components: int, data: Optional[np.ndarray] = None) -> np.ndarray:
+        """Reconstruction of the data using only the top *n_components*."""
+        require(0 < n_components <= self.rank, "n_components out of range")
+        scores = self.scores(data)[:, :n_components]
+        return scores @ self._vt[:n_components] + self._column_means

@@ -1,0 +1,195 @@
+"""The normal/anomalous subspace split and its two detection statistics.
+
+Given the eigenflow decomposition, the top ``k`` principal axes span the
+**normal subspace** and the remaining axes the **anomalous (residual)
+subspace**.  Every traffic state vector ``x`` (one row of ``X``) splits as
+``x = x̂ + x̃`` with ``x̂ = P Pᵀ x`` the modeled part and ``x̃`` the residual.
+
+Two statistics are computed per timebin:
+
+* the **squared prediction error** ``SPE = ||x̃||²`` — anomalies that live in
+  the residual subspace;
+* the **Hotelling T²** on the normal-subspace scores — anomalies so large
+  (or so widely shared across OD flows) that PCA absorbed them into a top
+  eigenflow, which the SPE alone would miss (the paper's §2.2 extension).
+
+The paper writes ``t²_j = Σ_{i≤k} u²_ij`` over unit-norm eigenflows but
+quotes the classical ``k(n-1)/(n-k)·F`` control limit, which applies to
+eigenvalue-standardized scores.  :class:`T2Scaling` exposes both choices;
+``HOTELLING`` (the statistically consistent one, equal to
+``(n-1)·Σ u²_ij``) is the default and matches the magnitudes of Figure 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.pca import EigenflowDecomposition
+from repro.utils.stats import q_statistic_threshold, t_squared_threshold
+from repro.utils.validation import ensure_2d, ensure_probability, require
+
+__all__ = ["T2Scaling", "SubspaceModel"]
+
+
+class T2Scaling(str, enum.Enum):
+    """How the T² statistic scales the normal-subspace scores."""
+
+    #: Classical Hotelling T²: scores standardized by their eigenvalue,
+    #: i.e. ``Σ_{i≤k} score²_i / λ_i = (n-1) Σ_{i≤k} u²_ij``.
+    HOTELLING = "hotelling"
+    #: The paper's literal formula on unit-norm eigenflows: ``Σ_{i≤k} u²_ij``.
+    RAW_EIGENFLOW = "raw"
+
+
+class SubspaceModel:
+    """Normal/anomalous subspace model fitted to one traffic matrix.
+
+    Parameters
+    ----------
+    decomposition:
+        A fitted :class:`~repro.core.pca.EigenflowDecomposition`.
+    n_normal:
+        Dimension ``k`` of the normal subspace (paper: 4).
+    t2_scaling:
+        Scaling convention for the T² statistic (see :class:`T2Scaling`).
+    """
+
+    def __init__(
+        self,
+        decomposition: EigenflowDecomposition,
+        n_normal: int = 4,
+        t2_scaling: T2Scaling = T2Scaling.HOTELLING,
+    ) -> None:
+        require(1 <= n_normal < decomposition.rank,
+                "n_normal must satisfy 1 <= n_normal < rank of the decomposition")
+        self._decomposition = decomposition
+        self._n_normal = int(n_normal)
+        self._t2_scaling = T2Scaling(t2_scaling)
+        # P: p x k matrix of normal-subspace principal axes.
+        self._normal_axes = decomposition.principal_axes(self._n_normal)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def decomposition(self) -> EigenflowDecomposition:
+        """The underlying eigenflow decomposition."""
+        return self._decomposition
+
+    @property
+    def n_normal(self) -> int:
+        """Dimension ``k`` of the normal subspace."""
+        return self._n_normal
+
+    @property
+    def n_features(self) -> int:
+        """Number of OD flows ``p``."""
+        return self._decomposition.n_features
+
+    @property
+    def n_samples(self) -> int:
+        """Number of training timebins ``n``."""
+        return self._decomposition.n_samples
+
+    @property
+    def t2_scaling(self) -> T2Scaling:
+        """The T² scaling convention in use."""
+        return self._t2_scaling
+
+    @property
+    def normal_axes(self) -> np.ndarray:
+        """The ``p x k`` matrix of normal-subspace principal axes."""
+        return self._normal_axes.copy()
+
+    # ------------------------------------------------------------------ #
+    # projections
+    # ------------------------------------------------------------------ #
+    def _prepare(self, data: Optional[np.ndarray]) -> np.ndarray:
+        if data is None:
+            # Reconstruct the centered training data from the stored factors.
+            decomposition = self._decomposition
+            return decomposition.scores() @ decomposition.principal_axes().T
+        matrix = ensure_2d(data, "data")
+        require(matrix.shape[1] == self.n_features, "data has the wrong number of OD flows")
+        return matrix - self._decomposition.column_means
+
+    def split(self, data: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Split (centered) data into modeled and residual parts.
+
+        Returns ``(x_hat, x_tilde)`` with the same shape as the input; both
+        are expressed in centered coordinates, so ``x_hat + x_tilde``
+        equals the centered data.
+        """
+        centered = self._prepare(data)
+        modeled = centered @ self._normal_axes @ self._normal_axes.T
+        residual = centered - modeled
+        return modeled, residual
+
+    def state_magnitude(self, data: Optional[np.ndarray] = None) -> np.ndarray:
+        """``||x||²`` per timebin of the raw (uncentered) state vector.
+
+        This is the quantity plotted in the top row of Figure 1.
+        """
+        if data is None:
+            centered = self._prepare(None)
+            raw = centered + self._decomposition.column_means
+        else:
+            raw = ensure_2d(data, "data")
+            require(raw.shape[1] == self.n_features, "data has the wrong number of OD flows")
+        return np.sum(raw**2, axis=1)
+
+    # ------------------------------------------------------------------ #
+    # detection statistics
+    # ------------------------------------------------------------------ #
+    def spe(self, data: Optional[np.ndarray] = None) -> np.ndarray:
+        """Squared prediction error ``||x̃||²`` per timebin."""
+        _modeled, residual = self.split(data)
+        return np.sum(residual**2, axis=1)
+
+    def spe_threshold(self, confidence: float = 0.999) -> float:
+        """The Q-statistic control limit for the SPE."""
+        ensure_probability(confidence, "confidence")
+        return q_statistic_threshold(self._decomposition.eigenvalues,
+                                     self._n_normal, confidence)
+
+    def t2(self, data: Optional[np.ndarray] = None) -> np.ndarray:
+        """The T² statistic per timebin (see :class:`T2Scaling`)."""
+        scores = self._decomposition.scores(data)[:, :self._n_normal]
+        eigenvalues = self._decomposition.eigenvalues[:self._n_normal]
+        safe_eigenvalues = np.where(eigenvalues > 0, eigenvalues, np.inf)
+        if self._t2_scaling is T2Scaling.HOTELLING:
+            return np.sum(scores**2 / safe_eigenvalues[np.newaxis, :], axis=1)
+        # Raw eigenflow form: u_ij = score_ij / (singular value) and
+        # t² = Σ u², i.e. the Hotelling value divided by (n - 1).
+        return np.sum(scores**2 / safe_eigenvalues[np.newaxis, :], axis=1) / (
+            self.n_samples - 1)
+
+    def t2_threshold(self, confidence: float = 0.999) -> float:
+        """The T² control limit ``k(n-1)/(n-k)·F(k, n-k; alpha)``.
+
+        Under the ``RAW_EIGENFLOW`` scaling the limit is divided by
+        ``n - 1`` so the two conventions flag identical timebins.
+        """
+        ensure_probability(confidence, "confidence")
+        threshold = t_squared_threshold(self._n_normal, self.n_samples, confidence)
+        if self._t2_scaling is T2Scaling.RAW_EIGENFLOW:
+            return threshold / (self.n_samples - 1)
+        return threshold
+
+    # ------------------------------------------------------------------ #
+    # per-OD-flow attribution helpers (used by identification)
+    # ------------------------------------------------------------------ #
+    def residual_vector(self, data: np.ndarray, bin_index: int) -> np.ndarray:
+        """The residual vector ``x̃`` of one timebin (length ``p``)."""
+        _modeled, residual = self.split(data)
+        require(0 <= bin_index < residual.shape[0], "bin_index out of range")
+        return residual[bin_index]
+
+    def score_vector(self, data: np.ndarray, bin_index: int) -> np.ndarray:
+        """Normal-subspace scores of one timebin (length ``k``)."""
+        scores = self._decomposition.scores(data)[:, :self._n_normal]
+        require(0 <= bin_index < scores.shape[0], "bin_index out of range")
+        return scores[bin_index]

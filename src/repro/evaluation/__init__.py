@@ -1,0 +1,30 @@
+"""Evaluation harness.
+
+* :mod:`repro.evaluation.matching` — matching of detected events to
+  ground-truth injected anomalies;
+* :mod:`repro.evaluation.metrics` — detection and classification metrics;
+* :mod:`repro.evaluation.reporting` — plain-text table and histogram
+  rendering used by the benchmark harness;
+* :mod:`repro.evaluation.experiments` — one runner per paper artifact
+  (Figure 1, Table 1, Figure 2, Table 2, Table 3) plus the ablation,
+  baseline-comparison, and pipeline experiments from DESIGN.md.
+"""
+
+from repro.evaluation.matching import EventMatch, MatchReport, match_events
+from repro.evaluation.metrics import (
+    classification_confusion,
+    detection_metrics,
+    DetectionMetrics,
+)
+from repro.evaluation.reporting import format_histogram, format_table
+
+__all__ = [
+    "EventMatch",
+    "MatchReport",
+    "match_events",
+    "DetectionMetrics",
+    "detection_metrics",
+    "classification_confusion",
+    "format_table",
+    "format_histogram",
+]

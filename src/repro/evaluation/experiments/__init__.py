@@ -1,0 +1,61 @@
+"""Experiment runners — one per paper artifact plus the DESIGN.md extensions.
+
+==========  ===========================================================
+Experiment  Runner
+==========  ===========================================================
+Figure 1    :func:`repro.evaluation.experiments.figure1.run_figure1`
+Table 1     :func:`repro.evaluation.experiments.table1.run_table1`
+Figure 2    :func:`repro.evaluation.experiments.figure2.run_figure2`
+Table 2     :func:`repro.evaluation.experiments.table2.run_table2`
+Table 3     :func:`repro.evaluation.experiments.table3.run_table3`
+E6 / E7     :mod:`repro.evaluation.experiments.ablations`
+E8          :mod:`repro.evaluation.experiments.baseline_comparison`
+E9          :mod:`repro.evaluation.experiments.pipeline`
+==========  ===========================================================
+
+Every runner accepts an already-generated
+:class:`~repro.datasets.synthetic.SyntheticDataset` (so benchmarks can share
+one dataset) and returns a result object with the raw numbers plus a
+``render()`` method producing the paper-style text table.
+"""
+
+from repro.evaluation.experiments.figure1 import Figure1Result, run_figure1
+from repro.evaluation.experiments.table1 import Table1Result, run_table1
+from repro.evaluation.experiments.figure2 import Figure2Result, run_figure2
+from repro.evaluation.experiments.table2 import Table2Result, run_table2
+from repro.evaluation.experiments.table3 import Table3Result, run_table3
+from repro.evaluation.experiments.ablations import (
+    KSweepResult,
+    T2AblationResult,
+    run_ablation_k,
+    run_ablation_t2,
+)
+from repro.evaluation.experiments.baseline_comparison import (
+    BaselineComparisonResult,
+    run_baseline_comparison,
+)
+from repro.evaluation.experiments.pipeline import (
+    ResolutionExperimentResult,
+    run_resolution_experiment,
+)
+
+__all__ = [
+    "Figure1Result",
+    "run_figure1",
+    "Table1Result",
+    "run_table1",
+    "Figure2Result",
+    "run_figure2",
+    "Table2Result",
+    "run_table2",
+    "Table3Result",
+    "run_table3",
+    "T2AblationResult",
+    "run_ablation_t2",
+    "KSweepResult",
+    "run_ablation_k",
+    "BaselineComparisonResult",
+    "run_baseline_comparison",
+    "ResolutionExperimentResult",
+    "run_resolution_experiment",
+]

@@ -1,0 +1,147 @@
+"""Figure 1: the subspace method applied to the three OD-flow traffic types.
+
+The paper's Figure 1 shows, for a common 3.5-day window and for each traffic
+type (bytes, packets, IP-flows), three rows: the state-vector magnitude
+``||x||²``, the residual magnitude ``||x̃||²`` with the Q-statistic
+threshold, and the t² timeseries with the T² threshold.  Anomalies appear as
+spikes above the thresholds while the diurnal periodicity of the raw traffic
+is removed.
+
+:func:`run_figure1` reproduces the three rows numerically and
+:meth:`Figure1Result.render` prints per-row summaries plus checks of the
+qualitative claims (periodicity removed, anomalies isolated as spikes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.detector import DetectionResult, SubspaceDetector
+from repro.datasets.synthetic import SyntheticDataset
+from repro.evaluation.reporting import format_series_summary, format_table
+from repro.flows.timeseries import TrafficType
+from repro.utils.timebins import bins_per_day
+from repro.utils.validation import require
+
+__all__ = ["Figure1Result", "run_figure1"]
+
+
+def _autocorrelation_at(values: np.ndarray, lag: int) -> float:
+    """Autocorrelation of a series at a given lag (0 when degenerate)."""
+    values = np.asarray(values, dtype=float)
+    if values.size <= lag or np.std(values) == 0:
+        return 0.0
+    a = values[:-lag] - values[:-lag].mean()
+    b = values[lag:] - values[lag:].mean()
+    denominator = np.sqrt(np.sum(a**2) * np.sum(b**2))
+    if denominator == 0:
+        return 0.0
+    return float(np.sum(a * b) / denominator)
+
+
+@dataclass
+class Figure1Result:
+    """Reproduction of Figure 1 over one analysis window.
+
+    ``rows[traffic_type]`` holds the three plotted series: the state-vector
+    magnitude, the SPE (with threshold), and t² (with threshold).
+    """
+
+    window_bins: Tuple[int, int]
+    results: Dict[TrafficType, DetectionResult]
+    daily_autocorrelation_state: Dict[TrafficType, float]
+    daily_autocorrelation_residual: Dict[TrafficType, float]
+
+    def spike_bins(self, traffic_type: TrafficType) -> List[int]:
+        """Bins whose residual or t² exceeds its threshold in the window."""
+        return self.results[TrafficType(traffic_type)].anomalous_bins
+
+    def periodicity_removed(self, traffic_type: TrafficType) -> bool:
+        """Whether the residual is much less diurnal than the state vector.
+
+        The paper's claim "the periodicity in the original traffic is largely
+        removed" is checked by comparing the one-day-lag autocorrelation of
+        ``||x||²`` and ``||x̃||²``.
+        """
+        traffic_type = TrafficType(traffic_type)
+        return (self.daily_autocorrelation_residual[traffic_type]
+                < 0.5 * max(self.daily_autocorrelation_state[traffic_type], 1e-9))
+
+    def render(self) -> str:
+        """Text rendition of the figure (per-row summaries and spike bins)."""
+        lines = [f"Figure 1 — subspace method on OD flow traffic "
+                 f"(bins {self.window_bins[0]}..{self.window_bins[1]})"]
+        rows = []
+        for traffic_type, result in self.results.items():
+            lines.append(f"--- {traffic_type.value} ---")
+            lines.append(format_series_summary("state  ||x||^2", result.state_magnitude))
+            lines.append(format_series_summary("residual ||x~||^2", result.spe,
+                                               result.spe_threshold))
+            lines.append(format_series_summary("t^2", result.t2, result.t2_threshold))
+            rows.append([
+                traffic_type.value,
+                f"{self.daily_autocorrelation_state[traffic_type]:.2f}",
+                f"{self.daily_autocorrelation_residual[traffic_type]:.2f}",
+                len(result.anomalous_bins),
+            ])
+        lines.append(format_table(
+            ["traffic type", "diurnal autocorr (state)", "diurnal autocorr (residual)",
+             "bins above threshold"],
+            rows,
+            title="Periodicity removal and anomaly isolation",
+        ))
+        return "\n".join(lines)
+
+
+def run_figure1(
+    dataset: SyntheticDataset,
+    window_days: float = 3.5,
+    start_bin: int = 0,
+    n_normal: int = 4,
+    confidence: float = 0.999,
+) -> Figure1Result:
+    """Reproduce Figure 1 on a window of *dataset*.
+
+    The subspace model is fitted on the full series of each traffic type
+    (as the paper fits per analyzed period) and the three plotted statistics
+    are reported for the requested window.
+    """
+    require(window_days > 0, "window_days must be positive")
+    per_day = bins_per_day(dataset.config.bin_seconds)
+    window_length = int(round(window_days * per_day))
+    end_bin = min(start_bin + window_length, dataset.n_bins)
+    require(start_bin < end_bin, "window is empty")
+
+    results: Dict[TrafficType, DetectionResult] = {}
+    state_autocorr: Dict[TrafficType, float] = {}
+    residual_autocorr: Dict[TrafficType, float] = {}
+    for traffic_type in dataset.series.traffic_types:
+        matrix = dataset.series.matrix(traffic_type)
+        detector = SubspaceDetector(n_normal=n_normal, confidence=confidence)
+        full = detector.fit_detect(matrix)
+        # Restrict the plotted series to the requested window.
+        window_detections = [d for d in full.detections
+                             if start_bin <= d.bin_index < end_bin]
+        windowed = DetectionResult(
+            state_magnitude=full.state_magnitude[start_bin:end_bin],
+            spe=full.spe[start_bin:end_bin],
+            spe_threshold=full.spe_threshold,
+            t2=full.t2[start_bin:end_bin],
+            t2_threshold=full.t2_threshold,
+            detections=[d for d in window_detections],
+        )
+        results[traffic_type] = windowed
+        state_autocorr[traffic_type] = _autocorrelation_at(
+            windowed.state_magnitude, per_day)
+        residual_autocorr[traffic_type] = _autocorrelation_at(
+            windowed.spe, per_day)
+
+    return Figure1Result(
+        window_bins=(start_bin, end_bin - 1),
+        results=results,
+        daily_autocorrelation_state=state_autocorr,
+        daily_autocorrelation_residual=residual_autocorr,
+    )

@@ -1,0 +1,150 @@
+"""E9 — the measurement pipeline and its PoP-resolution rate.
+
+Section 2.1 of the paper reports that the ingress/egress resolution
+procedure (router configurations for ingress, BGP/ISIS tables for egress,
+with the last 11 destination bits anonymized) successfully resolves more
+than 93% of IP flows, accounting for more than 90% of the byte traffic.
+
+This experiment exercises the full record-level pipeline on a slice of the
+synthetic dataset: OD-level volumes are expanded into individual 5-tuple
+flow records, packet-sampled, resolved to PoPs, and re-aggregated, and the
+resolution rates plus the fidelity of the re-aggregated traffic matrix are
+reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.synthetic import SyntheticDataset
+from repro.evaluation.reporting import format_table
+from repro.flows.aggregation import aggregate_records
+from repro.flows.sampling import SamplingConfig, sample_flow_records
+from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
+from repro.routing.resolver import PoPResolver, ResolutionStats
+from repro.traffic.flowgen import FlowSynthesizer
+from repro.utils.rng import RandomState, spawn_rng
+from repro.utils.timebins import TimeBinning
+from repro.utils.validation import require
+
+__all__ = ["ResolutionExperimentResult", "run_resolution_experiment"]
+
+
+@dataclass
+class ResolutionExperimentResult:
+    """Resolution rates and re-aggregation fidelity of the pipeline (E9)."""
+
+    stats: ResolutionStats
+    n_synthesized_records: int
+    n_sampled_records: int
+    reaggregated: TrafficMatrixSeries
+    reference: TrafficMatrixSeries
+    correlation_bytes: float
+
+    @property
+    def flow_resolution_rate(self) -> float:
+        """Fraction of sampled flow records resolved to an OD pair."""
+        return self.stats.flow_resolution_rate
+
+    @property
+    def byte_resolution_rate(self) -> float:
+        """Fraction of sampled byte volume resolved to an OD pair."""
+        return self.stats.byte_resolution_rate
+
+    def meets_paper_targets(self, flow_target: float = 0.93,
+                            byte_target: float = 0.90) -> bool:
+        """Whether the paper's ≥93% / ≥90% resolution rates are met."""
+        return (self.flow_resolution_rate >= flow_target
+                and self.byte_resolution_rate >= byte_target)
+
+    def render(self) -> str:
+        """Summary table of the pipeline experiment."""
+        rows = [
+            ["synthesized flow records", self.n_synthesized_records],
+            ["records surviving 1% packet sampling", self.n_sampled_records],
+            ["flow resolution rate", f"{self.flow_resolution_rate:.1%} (paper: >93%)"],
+            ["byte resolution rate", f"{self.byte_resolution_rate:.1%} (paper: >90%)"],
+            ["unresolved (ingress)", self.stats.unresolved_ingress],
+            ["unresolved (egress)", self.stats.unresolved_egress],
+            ["bytes corr. re-aggregated vs reference", f"{self.correlation_bytes:.3f}"],
+        ]
+        return format_table(["quantity", "value"], rows,
+                            title="E9 — measurement pipeline resolution rates")
+
+
+def run_resolution_experiment(
+    dataset: SyntheticDataset,
+    n_bins: int = 3,
+    start_bin: int = 0,
+    sampling: SamplingConfig = SamplingConfig(sampling_rate=0.01),
+    unresolvable_fraction: float = 0.06,
+    max_flows_per_cell: int = 120,
+    volume_scale: float = 1e-3,
+    seed: RandomState = 1,
+) -> ResolutionExperimentResult:
+    """Run the record-level pipeline on a slice of *dataset* (E9).
+
+    Parameters
+    ----------
+    dataset:
+        The synthetic dataset providing the OD-level volumes and topology.
+    n_bins, start_bin:
+        The slice of bins to expand into individual flow records.
+    sampling:
+        Packet-sampling configuration (paper: 1%).
+    unresolvable_fraction:
+        Fraction of synthesized flows given addresses outside any announced
+        prefix (models the paper's ~7% unresolvable residue).
+    max_flows_per_cell:
+        Cap on synthesized records per (OD pair, bin).
+    volume_scale:
+        Scale factor applied to the OD-level volumes before expansion so the
+        record count stays laptop-sized; resolution rates are scale-free.
+    seed:
+        Randomness for flow synthesis and sampling.
+    """
+    require(n_bins >= 1, "n_bins must be >= 1")
+    require(start_bin + n_bins <= dataset.n_bins, "slice exceeds the dataset")
+    require(0 < volume_scale <= 1.0, "volume_scale must be in (0, 1]")
+
+    window = dataset.series.window(start_bin, start_bin + n_bins)
+    scaled_matrices = {
+        t: window.matrix(t) * volume_scale for t in window.traffic_types
+    }
+    scaled = TrafficMatrixSeries(window.od_pairs, window.binning, scaled_matrices)
+
+    synthesizer = FlowSynthesizer(
+        dataset.network,
+        unresolvable_fraction=unresolvable_fraction,
+        max_flows_per_cell=max_flows_per_cell,
+        seed=spawn_rng(seed, stream="e9-synthesis"),
+    )
+    true_records = list(synthesizer.synthesize_series(scaled))
+    sampled_records = sample_flow_records(true_records, config=sampling,
+                                          seed=spawn_rng(seed, stream="e9-sampling"))
+
+    resolver = PoPResolver(dataset.network)
+    resolved, stats = resolver.resolve_records(sampled_records)
+
+    reaggregated = aggregate_records(resolved, scaled.od_pairs, scaled.binning)
+
+    # Fidelity check: per-OD byte totals of the re-aggregated matrix should
+    # correlate strongly with the (scaled, sampled) reference.
+    reference_bytes = scaled.matrix(TrafficType.BYTES).sum(axis=0)
+    recovered_bytes = reaggregated.matrix(TrafficType.BYTES).sum(axis=0)
+    if np.std(reference_bytes) > 0 and np.std(recovered_bytes) > 0:
+        correlation = float(np.corrcoef(reference_bytes, recovered_bytes)[0, 1])
+    else:
+        correlation = 0.0
+
+    return ResolutionExperimentResult(
+        stats=stats,
+        n_synthesized_records=len(true_records),
+        n_sampled_records=len(sampled_records),
+        reaggregated=reaggregated,
+        reference=scaled,
+        correlation_bytes=correlation,
+    )

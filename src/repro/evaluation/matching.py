@@ -1,0 +1,160 @@
+"""Matching detected anomaly events to ground-truth injected anomalies.
+
+A detected event *matches* a ground-truth anomaly when their timebin spans
+overlap (optionally within a small tolerance) and, unless disabled, they
+share at least one OD flow.  One ground-truth anomaly may be covered by
+several events (e.g. a long outage split into pieces) and, rarely, one event
+may cover several injected anomalies; the report keeps the full bipartite
+mapping so metrics can count either way without double counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.anomalies.types import AnomalyType, GroundTruthAnomaly, GroundTruthLog
+from repro.core.events import AnomalyEvent
+from repro.flows.timeseries import TrafficMatrixSeries
+from repro.utils.validation import require
+
+__all__ = ["EventMatch", "MatchReport", "match_events"]
+
+
+@dataclass(frozen=True)
+class EventMatch:
+    """One (detected event, ground-truth anomaly) match."""
+
+    event_index: int
+    anomaly_id: int
+    overlap_bins: int
+
+    def __post_init__(self) -> None:
+        require(self.overlap_bins >= 1, "a match must overlap in at least one bin")
+
+
+@dataclass
+class MatchReport:
+    """The result of matching a set of events against the ground truth."""
+
+    events: List[AnomalyEvent]
+    ground_truth: GroundTruthLog
+    matches: List[EventMatch] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # derived views
+    # ------------------------------------------------------------------ #
+    def matched_event_indices(self) -> Set[int]:
+        """Indices of events matched to at least one injected anomaly."""
+        return {m.event_index for m in self.matches}
+
+    def matched_anomaly_ids(self) -> Set[int]:
+        """Ids of injected anomalies covered by at least one event."""
+        return {m.anomaly_id for m in self.matches}
+
+    def unmatched_events(self) -> List[int]:
+        """Indices of events with no ground-truth counterpart (false alarms)."""
+        matched = self.matched_event_indices()
+        return [i for i in range(len(self.events)) if i not in matched]
+
+    def missed_anomalies(self) -> List[GroundTruthAnomaly]:
+        """Injected anomalies not covered by any event."""
+        matched = self.matched_anomaly_ids()
+        return [a for a in self.ground_truth if a.anomaly_id not in matched]
+
+    def events_for_anomaly(self, anomaly_id: int) -> List[int]:
+        """Event indices covering one injected anomaly."""
+        return [m.event_index for m in self.matches if m.anomaly_id == anomaly_id]
+
+    def anomalies_for_event(self, event_index: int) -> List[int]:
+        """Injected anomaly ids covered by one event."""
+        return [m.anomaly_id for m in self.matches if m.event_index == event_index]
+
+    # ------------------------------------------------------------------ #
+    # headline numbers
+    # ------------------------------------------------------------------ #
+    @property
+    def n_events(self) -> int:
+        """Number of detected events."""
+        return len(self.events)
+
+    @property
+    def n_ground_truth(self) -> int:
+        """Number of injected anomalies."""
+        return len(self.ground_truth)
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of injected anomalies covered by at least one event."""
+        if not self.n_ground_truth:
+            return 0.0
+        return len(self.matched_anomaly_ids()) / self.n_ground_truth
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """Fraction of detected events with no ground-truth counterpart."""
+        if not self.n_events:
+            return 0.0
+        return len(self.unmatched_events()) / self.n_events
+
+    def detection_rate_by_type(self) -> Dict[AnomalyType, float]:
+        """Per-anomaly-type detection rate."""
+        rates: Dict[AnomalyType, float] = {}
+        matched = self.matched_anomaly_ids()
+        for anomaly_type, total in self.ground_truth.type_counts().items():
+            found = sum(1 for a in self.ground_truth.by_type(anomaly_type)
+                        if a.anomaly_id in matched)
+            rates[anomaly_type] = found / total if total else 0.0
+        return rates
+
+
+def match_events(
+    events: Sequence[AnomalyEvent],
+    ground_truth: GroundTruthLog,
+    series: Optional[TrafficMatrixSeries] = None,
+    require_od_overlap: bool = True,
+    bin_tolerance: int = 1,
+) -> MatchReport:
+    """Match detected events against the injected ground truth.
+
+    Parameters
+    ----------
+    events:
+        Detected anomaly events (OD flows are column indices).
+    ground_truth:
+        The injected anomaly log (OD pairs are PoP-name pairs).
+    series:
+        The traffic series, needed to translate event OD-flow indices into
+        PoP-name pairs when *require_od_overlap* is set.
+    require_od_overlap:
+        Whether a match additionally requires at least one shared OD flow.
+    bin_tolerance:
+        Events and anomalies within this many bins of each other still
+        count as overlapping (detection may lag by a bin).
+    """
+    require(bin_tolerance >= 0, "bin_tolerance must be non-negative")
+    if require_od_overlap:
+        require(series is not None,
+                "series is required when require_od_overlap is set")
+
+    report = MatchReport(events=list(events), ground_truth=ground_truth)
+    for event_index, event in enumerate(report.events):
+        event_bins = set(range(event.start_bin - bin_tolerance,
+                               event.end_bin + bin_tolerance + 1))
+        event_pairs: Set[Tuple[str, str]] = set()
+        if require_od_overlap:
+            event_pairs = {tuple(series.od_pairs[c]) for c in event.od_flows}
+        for anomaly in ground_truth:
+            overlap = event_bins & set(anomaly.bins)
+            if not overlap:
+                continue
+            if require_od_overlap:
+                anomaly_pairs = {tuple(p) for p in anomaly.od_pairs}
+                if not (event_pairs & anomaly_pairs):
+                    continue
+            report.matches.append(EventMatch(
+                event_index=event_index,
+                anomaly_id=anomaly.anomaly_id,
+                overlap_bins=len(overlap),
+            ))
+    return report

@@ -1,0 +1,108 @@
+"""Detection and classification metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.anomalies.types import AnomalyType, GroundTruthLog
+from repro.classification.classifier import ClassificationResult
+from repro.evaluation.matching import MatchReport
+from repro.utils.validation import require
+
+__all__ = ["DetectionMetrics", "detection_metrics", "classification_confusion",
+           "classification_accuracy"]
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Headline detection metrics of one run."""
+
+    n_ground_truth: int
+    n_events: int
+    n_detected: int
+    n_missed: int
+    n_false_alarms: int
+    detection_rate: float
+    false_alarm_rate: float
+    per_type_detection_rate: Mapping[AnomalyType, float]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for reports and benchmarks."""
+        return {
+            "n_ground_truth": self.n_ground_truth,
+            "n_events": self.n_events,
+            "n_detected": self.n_detected,
+            "n_missed": self.n_missed,
+            "n_false_alarms": self.n_false_alarms,
+            "detection_rate": round(self.detection_rate, 4),
+            "false_alarm_rate": round(self.false_alarm_rate, 4),
+            "per_type_detection_rate": {
+                t.value: round(r, 4) for t, r in self.per_type_detection_rate.items()
+            },
+        }
+
+
+def detection_metrics(report: MatchReport) -> DetectionMetrics:
+    """Compute headline detection metrics from a match report."""
+    detected = len(report.matched_anomaly_ids())
+    return DetectionMetrics(
+        n_ground_truth=report.n_ground_truth,
+        n_events=report.n_events,
+        n_detected=detected,
+        n_missed=report.n_ground_truth - detected,
+        n_false_alarms=len(report.unmatched_events()),
+        detection_rate=report.detection_rate,
+        false_alarm_rate=report.false_alarm_rate,
+        per_type_detection_rate=report.detection_rate_by_type(),
+    )
+
+
+def _truth_label(anomaly_type: AnomalyType) -> AnomalyType:
+    """Collapse DOS/DDOS into a single label the way Table 3 does."""
+    if anomaly_type is AnomalyType.DDOS:
+        return AnomalyType.DOS
+    return anomaly_type
+
+
+def classification_confusion(
+    classifications: Sequence[ClassificationResult],
+    match_report: MatchReport,
+) -> Dict[Tuple[AnomalyType, AnomalyType], int]:
+    """Confusion counts (true type, predicted type) over matched events.
+
+    Events matching no ground truth are counted against the special
+    ``FALSE_ALARM`` "true" label; events matching several injected
+    anomalies are scored against the one with the largest bin overlap.
+    """
+    require(len(classifications) == match_report.n_events,
+            "one classification per detected event is required")
+    anomalies_by_id = {a.anomaly_id: a for a in match_report.ground_truth}
+    confusion: Dict[Tuple[AnomalyType, AnomalyType], int] = {}
+    for event_index, classification in enumerate(classifications):
+        matches = [m for m in match_report.matches if m.event_index == event_index]
+        if matches:
+            best = max(matches, key=lambda m: m.overlap_bins)
+            truth = _truth_label(anomalies_by_id[best.anomaly_id].anomaly_type)
+        else:
+            truth = AnomalyType.FALSE_ALARM
+        predicted = _truth_label(classification.anomaly_type)
+        key = (truth, predicted)
+        confusion[key] = confusion.get(key, 0) + 1
+    return confusion
+
+
+def classification_accuracy(
+    confusion: Mapping[Tuple[AnomalyType, AnomalyType], int],
+    include_false_alarms: bool = False,
+) -> float:
+    """Fraction of events whose predicted type matches the true type."""
+    total = 0
+    correct = 0
+    for (truth, predicted), count in confusion.items():
+        if truth is AnomalyType.FALSE_ALARM and not include_false_alarms:
+            continue
+        total += count
+        if truth == predicted:
+            correct += count
+    return correct / total if total else 0.0

@@ -1,0 +1,121 @@
+"""Plain-text rendering of tables and histograms.
+
+The benchmark harness prints the reproduced tables and figures in the same
+row/column layout the paper uses, so a reader can compare shapes directly.
+Everything is fixed-width text — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = ["format_table", "format_histogram", "format_series_summary"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.3g}",
+) -> str:
+    """Render a fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Table rows; cells may be strings or numbers.
+    title:
+        Optional title printed above the table.
+    float_format:
+        Format applied to float cells.
+    """
+    require(len(headers) >= 1, "at least one column is required")
+
+    def _render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    for row in rendered_rows:
+        require(len(row) == len(headers), "every row must match the header width")
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def _format_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[index]) for index, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(_format_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(_format_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_histogram(
+    values: Sequence[float],
+    bin_edges: Sequence[float],
+    title: str = "",
+    max_bar_width: int = 40,
+    label_format: str = "{:g}",
+) -> str:
+    """Render an ASCII histogram (used for Figure 2).
+
+    Parameters
+    ----------
+    values:
+        The observations to histogram.
+    bin_edges:
+        Monotonic bin edges (length ``n_bins + 1``).
+    title:
+        Optional title.
+    max_bar_width:
+        Width in characters of the largest bar.
+    label_format:
+        Format applied to the bin-edge labels.
+    """
+    require(len(bin_edges) >= 2, "at least two bin edges are required")
+    counts, edges = np.histogram(list(values), bins=np.asarray(bin_edges, dtype=float))
+    peak = counts.max() if counts.size and counts.max() > 0 else 1
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, count in enumerate(counts):
+        low = label_format.format(edges[index])
+        high = label_format.format(edges[index + 1])
+        bar = "#" * int(round(count / peak * max_bar_width))
+        lines.append(f"[{low:>8} - {high:>8}) {count:>5d} {bar}")
+    return "\n".join(lines)
+
+
+def format_series_summary(
+    name: str,
+    values: np.ndarray,
+    threshold: Optional[float] = None,
+) -> str:
+    """One-line summary of a detection-statistic timeseries (Figure 1 rows)."""
+    values = np.asarray(values, dtype=float)
+    require(values.size > 0, "values must be non-empty")
+    parts = [
+        f"{name}:",
+        f"min={values.min():.3g}",
+        f"median={np.median(values):.3g}",
+        f"max={values.max():.3g}",
+    ]
+    if threshold is not None:
+        exceed = int(np.sum(values > threshold))
+        parts.append(f"threshold={threshold:.3g}")
+        parts.append(f"bins_above={exceed}")
+    return " ".join(parts)

@@ -1,0 +1,40 @@
+"""Flow-measurement substrate.
+
+Contains the data structures and transformations of the measurement pipeline:
+
+* :mod:`repro.flows.records` — 5-tuple IP flow records (sampled NetFlow
+  style) and packet-level records;
+* :mod:`repro.flows.sampling` — the 1%-packet sampling and one-minute flow
+  export simulator;
+* :mod:`repro.flows.timeseries` — :class:`TrafficMatrixSeries`, the
+  ``n x p`` multivariate OD-flow timeseries of bytes, packets, and IP-flow
+  counts that the subspace method consumes;
+* :mod:`repro.flows.aggregation` — aggregation of resolved flow records into
+  a :class:`TrafficMatrixSeries`;
+* :mod:`repro.flows.composition` — lazily synthesized per-bin 5-tuple
+  composition used by the anomaly classifier.
+"""
+
+from repro.flows.records import FiveTuple, FlowRecord, PacketRecord, TCP, UDP, ICMP
+from repro.flows.sampling import PacketSampler, SamplingConfig, sample_flow_records
+from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
+from repro.flows.aggregation import FlowAggregator, aggregate_records
+from repro.flows.composition import BinComposition, FlowCompositionModel
+
+__all__ = [
+    "FiveTuple",
+    "FlowRecord",
+    "PacketRecord",
+    "TCP",
+    "UDP",
+    "ICMP",
+    "PacketSampler",
+    "SamplingConfig",
+    "sample_flow_records",
+    "TrafficMatrixSeries",
+    "TrafficType",
+    "FlowAggregator",
+    "aggregate_records",
+    "BinComposition",
+    "FlowCompositionModel",
+]

@@ -1,0 +1,350 @@
+"""Per-bin 5-tuple composition of OD-flow traffic.
+
+The subspace method only needs OD-level counts, but *classifying* a detected
+anomaly requires looking at the raw flows inside the anomalous bins: which
+source/destination address ranges and ports dominate (the paper's p = 0.2
+dominance heuristic).
+
+Simulating every background IP flow of a multi-week trace would be wasteful,
+so the composition is synthesized lazily: :class:`FlowCompositionModel`
+produces, for any (OD pair, bin), a :class:`BinComposition` whose totals
+match the traffic matrix, consisting of
+
+* a *background* mixture of flows drawn from the customer prefixes of the
+  origin/destination PoPs and a realistic application-port profile, plus
+* any *injected* flow groups registered by the anomaly injectors for that
+  (OD pair, bin) — e.g. the DOS attack's packet storm toward a single
+  destination address.
+
+Because injected groups are registered with their exact byte/packet/flow
+volumes, dominance analysis on the synthesized composition sees precisely
+the signal the corresponding real anomaly would produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.flows.records import TCP, UDP
+from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
+from repro.routing.prefixes import Prefix, format_ipv4, random_address_in_prefix
+from repro.topology.network import Network
+from repro.utils.rng import RandomState, spawn_rng
+from repro.utils.validation import ensure_probability, require
+
+__all__ = ["FlowGroup", "BinComposition", "FlowCompositionModel",
+           "DEFAULT_APPLICATION_PORTS"]
+
+#: Default application mixture for background traffic: (dst port, protocol,
+#: relative weight).  Web leads, with mail, ssh, dns, ftp, news, file sharing
+#: and a generic "ephemeral/other" bucket (dst port 0 stands for "random high
+#: port").  No single port exceeds the paper's 0.2 dominance threshold, so
+#: ordinary background cells exhibit no dominant port — dominance is a
+#: property of anomalies, as in the paper.
+DEFAULT_APPLICATION_PORTS: Tuple[Tuple[int, int, float], ...] = (
+    (80, TCP, 0.18),
+    (443, TCP, 0.12),
+    (25, TCP, 0.07),
+    (22, TCP, 0.06),
+    (53, UDP, 0.07),
+    (21, TCP, 0.04),
+    (119, TCP, 0.03),
+    (554, TCP, 0.04),
+    (1412, TCP, 0.10),   # file sharing (kazaa/morpheus), as noted in the paper
+    (6346, TCP, 0.05),   # gnutella
+    (0, TCP, 0.24),      # ephemeral / other
+)
+
+
+@dataclass(frozen=True)
+class FlowGroup:
+    """A group of IP flows sharing (or summarized by) common attributes.
+
+    This is the unit of dominance analysis: a group may describe a single
+    heavy flow (an ALPHA transfer), a set of flows from many sources to one
+    destination (a DDOS), or a slice of background traffic.
+
+    ``src_address``/``dst_address`` are representative addresses; ``spread``
+    attributes indicate how many distinct values the group actually spans
+    (1 = a single address/port, large = many).
+    """
+
+    src_address: int
+    dst_address: int
+    src_port: int
+    dst_port: int
+    protocol: int
+    bytes: float
+    packets: float
+    flows: float
+    n_src_addresses: int = 1
+    n_dst_addresses: int = 1
+    n_src_ports: int = 1
+    n_dst_ports: int = 1
+    label: str = "background"
+
+    def __post_init__(self) -> None:
+        require(self.bytes >= 0 and self.packets >= 0 and self.flows >= 0,
+                "volumes must be non-negative")
+        require(self.n_src_addresses >= 1 and self.n_dst_addresses >= 1,
+                "address spreads must be >= 1")
+        require(self.n_src_ports >= 1 and self.n_dst_ports >= 1,
+                "port spreads must be >= 1")
+
+    def volume(self, traffic_type: TrafficType) -> float:
+        """The group's volume in the given traffic type."""
+        return {TrafficType.BYTES: self.bytes,
+                TrafficType.PACKETS: self.packets,
+                TrafficType.FLOWS: self.flows}[TrafficType(traffic_type)]
+
+
+class BinComposition:
+    """The flow composition of one (OD pair, timebin) cell.
+
+    Provides the dominance queries the paper's classification heuristics
+    need: whether a single source address range, destination address range,
+    source port, or destination port accounts for more than a fraction
+    ``p`` of the cell's traffic (for any chosen traffic type).
+    """
+
+    #: Address-range granularity for "address range" dominance (a /24).
+    RANGE_PREFIX_LENGTH = 24
+
+    def __init__(self, od_pair: Tuple[str, str], bin_index: int,
+                 groups: Sequence[FlowGroup]) -> None:
+        self.od_pair = tuple(od_pair)
+        self.bin_index = int(bin_index)
+        self.groups: List[FlowGroup] = list(groups)
+
+    # ------------------------------------------------------------------ #
+    # totals
+    # ------------------------------------------------------------------ #
+    def total(self, traffic_type: TrafficType) -> float:
+        """Total volume of the cell in *traffic_type*."""
+        return float(sum(g.volume(traffic_type) for g in self.groups))
+
+    # ------------------------------------------------------------------ #
+    # dominance analysis
+    # ------------------------------------------------------------------ #
+    def _aggregate(self, key_fn, traffic_type: TrafficType,
+                   spread_fn=None) -> Dict:
+        totals: Dict = {}
+        for group in self.groups:
+            volume = group.volume(traffic_type)
+            if volume <= 0:
+                continue
+            # Groups spanning many distinct values of the keyed attribute do
+            # not concentrate volume on any single value: spread their volume
+            # across that many values so dominance is computed fairly.
+            spread = spread_fn(group) if spread_fn is not None else 1
+            key = key_fn(group)
+            totals[key] = totals.get(key, 0.0) + volume / max(spread, 1)
+        return totals
+
+    def dominant_value(self, attribute: str, traffic_type: TrafficType,
+                       threshold: float = 0.2) -> Optional[int]:
+        """Return the dominant value of *attribute*, or ``None``.
+
+        *attribute* is one of ``"src_range"``, ``"dst_range"``,
+        ``"src_port"``, ``"dst_port"``.  A value is dominant when it carries
+        more than *threshold* of the cell's total volume in *traffic_type*
+        (paper: threshold 0.2).
+        """
+        ensure_probability(threshold, "threshold")
+        total = self.total(traffic_type)
+        if total <= 0:
+            return None
+        shift = 32 - self.RANGE_PREFIX_LENGTH
+        key_fns = {
+            "src_range": (lambda g: g.src_address >> shift, lambda g: g.n_src_addresses),
+            "dst_range": (lambda g: g.dst_address >> shift, lambda g: g.n_dst_addresses),
+            "src_port": (lambda g: g.src_port, lambda g: g.n_src_ports),
+            "dst_port": (lambda g: g.dst_port, lambda g: g.n_dst_ports),
+        }
+        if attribute not in key_fns:
+            raise ValueError(f"unknown attribute {attribute!r}")
+        key_fn, spread_fn = key_fns[attribute]
+        totals = self._aggregate(key_fn, traffic_type, spread_fn)
+        if not totals:
+            return None
+        best_key, best_volume = max(totals.items(), key=lambda kv: kv[1])
+        if best_volume / total > threshold:
+            if attribute.endswith("range"):
+                return int(best_key) << shift
+            return int(best_key)
+        return None
+
+    def has_dominant(self, attribute: str, traffic_type: TrafficType,
+                     threshold: float = 0.2) -> bool:
+        """Whether any value of *attribute* is dominant."""
+        return self.dominant_value(attribute, traffic_type, threshold) is not None
+
+    def dominant_summary(self, traffic_type: TrafficType,
+                         threshold: float = 0.2) -> Dict[str, Optional[int]]:
+        """Dominant value (or ``None``) for all four attributes."""
+        return {
+            attribute: self.dominant_value(attribute, traffic_type, threshold)
+            for attribute in ("src_range", "dst_range", "src_port", "dst_port")
+        }
+
+    def labels(self) -> List[str]:
+        """Distinct group labels present in the cell (diagnostics)."""
+        return sorted({g.label for g in self.groups})
+
+    def merge(self, other: "BinComposition") -> "BinComposition":
+        """Concatenate two compositions of the same cell."""
+        require(self.od_pair == other.od_pair and self.bin_index == other.bin_index,
+                "can only merge compositions of the same cell")
+        return BinComposition(self.od_pair, self.bin_index, self.groups + other.groups)
+
+
+class FlowCompositionModel:
+    """Lazily synthesizes the per-bin flow composition of a dataset.
+
+    Parameters
+    ----------
+    network:
+        The backbone network (provides customer prefixes per PoP).
+    application_ports:
+        The background application-port mixture.
+    n_background_groups:
+        Number of background flow groups synthesized per cell.
+    seed:
+        Randomness source; compositions are deterministic per
+        (OD pair, bin) for a fixed seed.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        application_ports: Sequence[Tuple[int, int, float]] = DEFAULT_APPLICATION_PORTS,
+        n_background_groups: int = 24,
+        seed: RandomState = None,
+    ) -> None:
+        require(n_background_groups >= 1, "n_background_groups must be >= 1")
+        self._network = network
+        self._ports = list(application_ports)
+        port_weights = np.array([w for _, _, w in self._ports], dtype=float)
+        require(np.all(port_weights > 0), "port weights must be positive")
+        self._port_probabilities = port_weights / port_weights.sum()
+        self._n_background_groups = n_background_groups
+        self._base_seed = spawn_rng(seed, stream="composition").integers(0, 2**31)
+        self._injected: Dict[Tuple[Tuple[str, str], int], List[FlowGroup]] = {}
+        self._pop_prefixes: Dict[str, List[Prefix]] = {}
+        for pop in network.pop_names:
+            prefixes = [Prefix.parse(p) for c in network.customers_at(pop)
+                        for p in c.prefixes]
+            if not prefixes:
+                # PoPs without explicit customers still need some address
+                # space for background traffic.
+                index = network.pop_names.index(pop)
+                prefixes = [Prefix.parse(f"172.{16 + index}.0.0/16")]
+            self._pop_prefixes[pop] = prefixes
+
+    # ------------------------------------------------------------------ #
+    # injection interface (used by anomaly injectors)
+    # ------------------------------------------------------------------ #
+    def register_injected_groups(self, od_pair: Tuple[str, str], bin_index: int,
+                                 groups: Iterable[FlowGroup]) -> None:
+        """Attach injected flow groups to a (OD pair, bin) cell."""
+        key = (tuple(od_pair), int(bin_index))
+        self._injected.setdefault(key, []).extend(groups)
+
+    def injected_groups(self, od_pair: Tuple[str, str], bin_index: int) -> List[FlowGroup]:
+        """Injected groups registered for a cell (empty list if none)."""
+        return list(self._injected.get((tuple(od_pair), int(bin_index)), []))
+
+    def injected_cells(self) -> List[Tuple[Tuple[str, str], int]]:
+        """All cells that carry injected groups."""
+        return list(self._injected.keys())
+
+    # ------------------------------------------------------------------ #
+    # composition synthesis
+    # ------------------------------------------------------------------ #
+    def composition(self, series: TrafficMatrixSeries, od_pair: Tuple[str, str],
+                    bin_index: int,
+                    injected_bin_index: Optional[int] = None) -> BinComposition:
+        """Synthesize the composition of one cell, consistent with *series*.
+
+        The injected groups are included as registered; the remaining volume
+        (cell total minus injected) is filled with background groups.
+
+        Parameters
+        ----------
+        series, od_pair, bin_index:
+            The cell to synthesize; *bin_index* indexes into *series*.
+        injected_bin_index:
+            Bin index under which injected groups were registered, when it
+            differs from *bin_index* (e.g. the series is a window of a
+            longer dataset).  Defaults to *bin_index*.
+        """
+        od_pair = tuple(od_pair)
+        lookup_bin = bin_index if injected_bin_index is None else injected_bin_index
+        injected = self.injected_groups(od_pair, lookup_bin)
+        totals = {
+            t: float(series.matrix(t)[bin_index, series.od_index(*od_pair)])
+            for t in series.traffic_types
+        }
+        injected_totals = {
+            t: sum(g.volume(t) for g in injected) for t in totals
+        }
+        residual = {
+            t: max(totals[t] - injected_totals[t], 0.0) for t in totals
+        }
+        background = self._background_groups(od_pair, bin_index, residual)
+        return BinComposition(od_pair, bin_index, injected + background)
+
+    def _background_groups(self, od_pair: Tuple[str, str], bin_index: int,
+                           residual: Mapping[TrafficType, float]) -> List[FlowGroup]:
+        if all(v <= 0 for v in residual.values()):
+            return []
+        origin, destination = od_pair
+        rng = self._cell_rng(od_pair, bin_index)
+        n_groups = self._n_background_groups
+        shares = rng.dirichlet(np.full(n_groups, 1.5))
+
+        src_prefixes = self._pop_prefixes[origin]
+        dst_prefixes = self._pop_prefixes[destination]
+        byte_total = residual.get(TrafficType.BYTES, 0.0)
+        packet_total = residual.get(TrafficType.PACKETS, 0.0)
+        flow_total = residual.get(TrafficType.FLOWS, 0.0)
+
+        groups: List[FlowGroup] = []
+        for i in range(n_groups):
+            share = float(shares[i])
+            if share <= 0:
+                continue
+            port_index = int(rng.choice(len(self._ports), p=self._port_probabilities))
+            dst_port, protocol, _weight = self._ports[port_index]
+            if dst_port == 0:
+                dst_port = int(rng.integers(1024, 65536))
+            src_prefix = src_prefixes[int(rng.integers(0, len(src_prefixes)))]
+            dst_prefix = dst_prefixes[int(rng.integers(0, len(dst_prefixes)))]
+            flows = flow_total * share
+            groups.append(FlowGroup(
+                src_address=random_address_in_prefix(src_prefix, rng),
+                dst_address=random_address_in_prefix(dst_prefix, rng),
+                src_port=int(rng.integers(1024, 65536)),
+                dst_port=dst_port,
+                protocol=protocol,
+                bytes=byte_total * share,
+                packets=packet_total * share,
+                flows=flows,
+                n_src_addresses=max(1, int(round(flows))),
+                n_dst_addresses=max(1, int(round(flows / 4)) or 1),
+                n_src_ports=max(1, int(round(flows))),
+                n_dst_ports=1,
+                label="background",
+            ))
+        return groups
+
+    def _cell_rng(self, od_pair: Tuple[str, str], bin_index: int) -> np.random.Generator:
+        """Deterministic per-cell RNG so compositions are reproducible."""
+        label = f"{od_pair[0]}->{od_pair[1]}@{bin_index}"
+        label_hash = 0
+        for char in label.encode("utf-8"):
+            label_hash = (label_hash * 131 + char) % (2**31)
+        return np.random.default_rng(int(self._base_seed) ^ label_hash)

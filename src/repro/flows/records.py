@@ -1,0 +1,154 @@
+"""Flow and packet record data structures.
+
+A *flow record* is what Juniper's Traffic Sampling / NetFlow exports: packets
+sampled at a router are aggregated per 5-tuple (source/destination address
+and port, protocol) over an export interval, carrying the sampled byte and
+packet counts.  The paper builds all of its analysis on such records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.routing.prefixes import format_ipv4
+from repro.utils.validation import require
+
+__all__ = ["TCP", "UDP", "ICMP", "FiveTuple", "PacketRecord", "FlowRecord"]
+
+#: IANA protocol numbers used throughout the synthetic traffic.
+ICMP = 1
+TCP = 6
+UDP = 17
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """The classic 5-tuple flow key."""
+
+    src_address: int
+    dst_address: int
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def __post_init__(self) -> None:
+        require(0 <= self.src_port <= 65535, "src_port out of range")
+        require(0 <= self.dst_port <= 65535, "dst_port out of range")
+        require(0 <= self.protocol <= 255, "protocol out of range")
+
+    def reversed(self) -> "FiveTuple":
+        """The key of the reverse direction of this flow."""
+        return FiveTuple(
+            src_address=self.dst_address,
+            dst_address=self.src_address,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            protocol=self.protocol,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{format_ipv4(self.src_address)}:{self.src_port} -> "
+            f"{format_ipv4(self.dst_address)}:{self.dst_port} proto {self.protocol}"
+        )
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """A single packet observation at a router (pre-sampling)."""
+
+    timestamp: float
+    key: FiveTuple
+    size_bytes: int
+    observing_router: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        require(self.size_bytes > 0, "packet size must be positive")
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """A sampled, exported flow record.
+
+    Parameters
+    ----------
+    key:
+        The 5-tuple flow key.
+    start_time, end_time:
+        Flow activity window in seconds (within the export interval).
+    bytes, packets:
+        Sampled byte and packet counts (i.e. the counts *after* packet
+        sampling; multiply by the inverse sampling rate to estimate the
+        original volume).
+    observing_router:
+        The router that exported the record (identifies the ingress PoP).
+    ingress_pop, egress_pop:
+        Filled in by the PoP resolver; ``None`` on raw records.
+    """
+
+    key: FiveTuple
+    start_time: float
+    end_time: float
+    bytes: float
+    packets: float
+    observing_router: Optional[str] = None
+    ingress_pop: Optional[str] = None
+    egress_pop: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        require(self.end_time >= self.start_time, "end_time must be >= start_time")
+        require(self.bytes >= 0, "bytes must be non-negative")
+        require(self.packets >= 0, "packets must be non-negative")
+
+    # Convenience accessors mirroring the 5-tuple fields ----------------- #
+    @property
+    def src_address(self) -> int:
+        """Source IPv4 address (integer form)."""
+        return self.key.src_address
+
+    @property
+    def dst_address(self) -> int:
+        """Destination IPv4 address (integer form)."""
+        return self.key.dst_address
+
+    @property
+    def src_port(self) -> int:
+        """Source transport port."""
+        return self.key.src_port
+
+    @property
+    def dst_port(self) -> int:
+        """Destination transport port."""
+        return self.key.dst_port
+
+    @property
+    def protocol(self) -> int:
+        """IP protocol number."""
+        return self.key.protocol
+
+    @property
+    def duration(self) -> float:
+        """Flow activity duration in seconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def od_pair(self) -> Optional[Tuple[str, str]]:
+        """The (ingress, egress) PoP pair if resolved, else ``None``."""
+        if self.ingress_pop is None or self.egress_pop is None:
+            return None
+        return self.ingress_pop, self.egress_pop
+
+    def with_od(self, ingress_pop: str, egress_pop: str) -> "FlowRecord":
+        """Return a copy annotated with the resolved OD pair."""
+        return replace(self, ingress_pop=ingress_pop, egress_pop=egress_pop)
+
+    def scaled(self, inverse_sampling_rate: float) -> "FlowRecord":
+        """Return a copy with counts scaled by *inverse_sampling_rate*.
+
+        Used to renormalize sampled counts back to estimated true volumes.
+        """
+        require(inverse_sampling_rate > 0, "inverse_sampling_rate must be positive")
+        return replace(self,
+                       bytes=self.bytes * inverse_sampling_rate,
+                       packets=self.packets * inverse_sampling_rate)

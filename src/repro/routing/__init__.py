@@ -1,0 +1,50 @@
+"""Routing substrate.
+
+Implements the pieces of the measurement pipeline the paper uses to turn raw
+flow records into Origin-Destination flows:
+
+* :mod:`repro.routing.prefixes` — IPv4 address/prefix arithmetic and a
+  longest-prefix-match trie;
+* :mod:`repro.routing.igp` — IS-IS-like shortest path routing over the
+  backbone (used for path/egress computation and the OUTAGE rerouting);
+* :mod:`repro.routing.bgp` — a BGP-style RIB mapping destination prefixes to
+  egress PoPs;
+* :mod:`repro.routing.config` — router configuration files listing customer
+  and peer interfaces (used for ingress resolution);
+* :mod:`repro.routing.resolver` — the :class:`PoPResolver` that assigns
+  ingress and egress PoPs to each flow record, including the paper's 11-bit
+  destination-address anonymization;
+* :mod:`repro.routing.tables` — daily routing-table snapshots.
+"""
+
+from repro.routing.prefixes import (
+    Prefix,
+    PrefixTable,
+    format_ipv4,
+    parse_ipv4,
+    random_address_in_prefix,
+)
+from repro.routing.igp import IGPRouting
+from repro.routing.bgp import BGPTable, BGPRoute
+from repro.routing.config import InterfaceConfig, RouterConfig, build_router_configs
+from repro.routing.resolver import PoPResolver, ResolutionStats, anonymize_address
+from repro.routing.tables import RoutingSnapshot, SnapshotSeries
+
+__all__ = [
+    "Prefix",
+    "PrefixTable",
+    "parse_ipv4",
+    "format_ipv4",
+    "random_address_in_prefix",
+    "IGPRouting",
+    "BGPTable",
+    "BGPRoute",
+    "InterfaceConfig",
+    "RouterConfig",
+    "build_router_configs",
+    "PoPResolver",
+    "ResolutionStats",
+    "anonymize_address",
+    "RoutingSnapshot",
+    "SnapshotSeries",
+]

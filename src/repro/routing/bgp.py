@@ -1,0 +1,123 @@
+"""BGP-style routing information base for egress-PoP resolution.
+
+The paper resolves the egress PoP of each flow by looking the destination
+address up in BGP (and ISIS) tables, following the methodology of Feldmann
+et al.  Our :class:`BGPTable` maps destination prefixes to the set of egress
+PoPs announcing them; when several egress PoPs announce the same prefix the
+lookup breaks the tie hot-potato style, i.e. the egress closest (in IGP
+distance) to the ingress PoP wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.routing.igp import IGPRouting
+from repro.routing.prefixes import Prefix, PrefixTable
+from repro.topology.network import Customer, Network
+from repro.utils.validation import require
+
+__all__ = ["BGPRoute", "BGPTable"]
+
+
+@dataclass(frozen=True)
+class BGPRoute:
+    """A BGP route: a destination prefix and the PoPs announcing it."""
+
+    prefix: Prefix
+    egress_pops: Tuple[str, ...]
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        require(len(self.egress_pops) >= 1, "a BGP route needs at least one egress PoP")
+
+
+class BGPTable:
+    """Prefix → egress-PoP table with hot-potato tie-breaking.
+
+    Parameters
+    ----------
+    network:
+        The backbone network (used to validate PoP names).
+    """
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+        self._table: PrefixTable[BGPRoute] = PrefixTable()
+        self._routes: List[BGPRoute] = []
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def announce(self, prefix: Prefix | str, egress_pops: Sequence[str],
+                 origin: str = "") -> None:
+        """Announce *prefix* from *egress_pops*.
+
+        A later announcement of the same prefix replaces the earlier one
+        (routing tables in the paper are recomputed once per day).
+        """
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        for pop in egress_pops:
+            self._network.pop(pop)
+        route = BGPRoute(prefix=prefix, egress_pops=tuple(egress_pops), origin=origin)
+        self._table.insert(prefix, route)
+        self._routes.append(route)
+
+    @classmethod
+    def from_customers(cls, network: Network,
+                       customers: Optional[Iterable[Customer]] = None) -> "BGPTable":
+        """Build a table announcing every customer prefix from its PoP(s).
+
+        Multihomed customers are announced from all their attachment PoPs,
+        which is what makes hot-potato egress selection (and the
+        INGRESS-SHIFT anomaly) possible.
+        """
+        table = cls(network)
+        for customer in (customers if customers is not None else network.customers):
+            for prefix_text in customer.prefixes:
+                table.announce(prefix_text, customer.attachment_pops, origin=customer.name)
+        return table
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def routes(self) -> List[BGPRoute]:
+        """All announced routes (most recent announcement per prefix wins on lookup)."""
+        return list(self._routes)
+
+    def lookup(self, address: int) -> Optional[BGPRoute]:
+        """Longest-prefix-match lookup of *address*."""
+        return self._table.lookup(address)
+
+    def egress_pop(self, address: int, ingress_pop: Optional[str] = None,
+                   igp: Optional[IGPRouting] = None) -> Optional[str]:
+        """Resolve the egress PoP for a destination *address*.
+
+        When the covering route is announced from several PoPs the choice is
+        hot-potato: the candidate with minimum IGP distance from
+        *ingress_pop* (requires *igp*); otherwise the first announced PoP.
+        Returns ``None`` when no route covers the address.
+        """
+        route = self._table.lookup(address)
+        if route is None:
+            return None
+        if len(route.egress_pops) == 1:
+            return route.egress_pops[0]
+        if ingress_pop is not None and igp is not None:
+            choice = igp.closest_pop(route.egress_pops, ingress_pop)
+            if choice is not None:
+                return choice
+        return route.egress_pops[0]
+
+    def coverage_fraction(self, addresses: Iterable[int]) -> float:
+        """Fraction of *addresses* covered by some route (diagnostic helper)."""
+        addresses = list(addresses)
+        require(len(addresses) > 0, "addresses must be non-empty")
+        covered = sum(1 for a in addresses if self._table.covers(a))
+        return covered / len(addresses)

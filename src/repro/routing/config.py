@@ -1,0 +1,130 @@
+"""Router configuration files.
+
+The paper identifies the *ingress* PoP of a flow "by inspecting the router
+configuration files for interfaces connecting Abilene's customers and peers";
+it also uses the configs to resolve customer addresses missing from the BGP
+tables.  This module models just enough of a router configuration to support
+that: a list of access interfaces, each bound to a customer/peer and the
+prefixes reachable through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.routing.prefixes import Prefix, PrefixTable
+from repro.topology.network import Network
+from repro.utils.validation import require
+
+__all__ = ["InterfaceConfig", "RouterConfig", "build_router_configs"]
+
+
+@dataclass(frozen=True)
+class InterfaceConfig:
+    """An access interface on a backbone router.
+
+    Parameters
+    ----------
+    name:
+        Interface name, e.g. ``"ge-0/1/0"``.
+    description:
+        Free-form description; by convention names the attached customer.
+    customer:
+        Name of the attached customer or peer.
+    prefixes:
+        Prefixes reachable through this interface.
+    """
+
+    name: str
+    description: str
+    customer: str
+    prefixes: Tuple[str, ...] = ()
+
+    def parsed_prefixes(self) -> List[Prefix]:
+        """The interface prefixes parsed into :class:`Prefix` objects."""
+        return [Prefix.parse(p) for p in self.prefixes]
+
+
+@dataclass
+class RouterConfig:
+    """Configuration of one backbone router: its PoP and access interfaces."""
+
+    router: str
+    pop: str
+    interfaces: List[InterfaceConfig] = field(default_factory=list)
+
+    def add_interface(self, interface: InterfaceConfig) -> None:
+        """Append an access interface."""
+        self.interfaces.append(interface)
+
+    def customer_prefixes(self) -> List[Tuple[Prefix, str]]:
+        """All (prefix, customer) pairs configured on this router."""
+        pairs: List[Tuple[Prefix, str]] = []
+        for interface in self.interfaces:
+            for prefix in interface.parsed_prefixes():
+                pairs.append((prefix, interface.customer))
+        return pairs
+
+    def render(self) -> str:
+        """Render a Juniper-flavoured textual configuration (for examples/docs)."""
+        lines = [f"## router {self.router} (pop {self.pop})", "interfaces {"]
+        for index, interface in enumerate(self.interfaces):
+            lines.append(f"    {interface.name} {{")
+            lines.append(f'        description "{interface.description}";')
+            for prefix in interface.prefixes:
+                lines.append(f"        family inet {{ address {prefix}; }}")
+            lines.append("    }")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_router_configs(network: Network) -> Dict[str, RouterConfig]:
+    """Derive router configurations from the network's customer attachments.
+
+    Every customer gets one access interface on the (first) backbone router
+    of each PoP it attaches to; the interface carries the customer's
+    prefixes.  The result maps router name → configuration.
+    """
+    configs: Dict[str, RouterConfig] = {}
+    for router in network.routers:
+        configs[router.name] = RouterConfig(router=router.name, pop=router.pop)
+
+    for customer in network.customers:
+        for pop_index, pop_name in enumerate(customer.attachment_pops):
+            routers = network.routers_at(pop_name)
+            require(len(routers) > 0, f"PoP {pop_name!r} has no routers")
+            router_name = routers[0].name
+            interface = InterfaceConfig(
+                name=f"ge-{pop_index}/0/{len(configs[router_name].interfaces)}",
+                description=f"to {customer.name}",
+                customer=customer.name,
+                prefixes=customer.prefixes,
+            )
+            configs[router_name].add_interface(interface)
+    return configs
+
+
+def ingress_prefix_table(configs: Iterable[RouterConfig],
+                         network: Network) -> PrefixTable[str]:
+    """Build a prefix → ingress-PoP table from router configurations.
+
+    When a prefix appears on interfaces at several PoPs (a multihomed
+    customer) the customer's *primary* attachment wins; the resolver may
+    override this per-flow (e.g. during an ingress shift).
+    """
+    table: PrefixTable[str] = PrefixTable()
+    chosen: Dict[Prefix, Tuple[bool, str]] = {}
+    for config in configs:
+        for prefix, customer_name in config.customer_prefixes():
+            try:
+                primary_pop = network.customer(customer_name).pop
+            except KeyError:
+                primary_pop = config.pop
+            is_primary = config.pop == primary_pop
+            current = chosen.get(prefix)
+            if current is None or (is_primary and not current[0]):
+                chosen[prefix] = (is_primary, config.pop)
+    for prefix, (_is_primary, pop) in chosen.items():
+        table.insert(prefix, pop)
+    return table

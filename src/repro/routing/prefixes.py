@@ -1,0 +1,210 @@
+"""IPv4 address and prefix arithmetic plus longest-prefix matching.
+
+Addresses are represented as plain ``int`` (0..2^32-1) throughout the flow
+pipeline for speed; the helpers here convert to and from dotted-quad strings
+and implement a binary-trie :class:`PrefixTable` for longest-prefix match,
+which is what both the BGP RIB and the customer-interface lookup build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+import numpy as np
+
+from repro.utils.rng import RandomState, spawn_rng
+from repro.utils.validation import require
+
+__all__ = [
+    "parse_ipv4",
+    "format_ipv4",
+    "Prefix",
+    "PrefixTable",
+    "random_address_in_prefix",
+]
+
+_MAX_ADDRESS = 2**32 - 1
+
+T = TypeVar("T")
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse a dotted-quad IPv4 address into an integer."""
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError as exc:
+            raise ValueError(f"invalid IPv4 address {text!r}") from exc
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid IPv4 address {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(address: int) -> str:
+    """Format an integer address as a dotted-quad string."""
+    if not 0 <= address <= _MAX_ADDRESS:
+        raise ValueError(f"address {address} out of IPv4 range")
+    return ".".join(str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """An IPv4 prefix (network address + mask length)."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        require(0 <= self.length <= 32, "prefix length must be in [0, 32]")
+        require(0 <= self.network <= _MAX_ADDRESS, "network address out of range")
+        if self.network & ~self.mask:
+            raise ValueError(
+                f"network address {format_ipv4(self.network)} has host bits set "
+                f"for /{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` notation (bare addresses are /32)."""
+        if "/" in text:
+            addr_text, length_text = text.split("/", 1)
+            length = int(length_text)
+        else:
+            addr_text, length = text, 32
+        address = parse_ipv4(addr_text)
+        mask = _mask_for(length)
+        return cls(network=address & mask, length=length)
+
+    @property
+    def mask(self) -> int:
+        """The netmask as an integer."""
+        return _mask_for(self.length)
+
+    @property
+    def n_addresses(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (32 - self.length)
+
+    @property
+    def first_address(self) -> int:
+        """Lowest address in the prefix."""
+        return self.network
+
+    @property
+    def last_address(self) -> int:
+        """Highest address in the prefix."""
+        return self.network | ~self.mask & _MAX_ADDRESS
+
+    def contains(self, address: int) -> bool:
+        """Whether *address* falls inside the prefix."""
+        return (address & self.mask) == self.network
+
+    def subnets(self, new_length: int) -> List["Prefix"]:
+        """Enumerate the subnets of the prefix at *new_length*."""
+        require(new_length >= self.length, "new_length must be >= current length")
+        require(new_length <= 32, "new_length must be <= 32")
+        step = 1 << (32 - new_length)
+        return [
+            Prefix(network=self.network + i * step, length=new_length)
+            for i in range(1 << (new_length - self.length))
+        ]
+
+    def __str__(self) -> str:
+        return f"{format_ipv4(self.network)}/{self.length}"
+
+
+def _mask_for(length: int) -> int:
+    require(0 <= length <= 32, "prefix length must be in [0, 32]")
+    if length == 0:
+        return 0
+    return (_MAX_ADDRESS << (32 - length)) & _MAX_ADDRESS
+
+
+def random_address_in_prefix(prefix: Prefix, rng: RandomState = None) -> int:
+    """Draw a uniformly random address inside *prefix*."""
+    generator = spawn_rng(rng)
+    offset = int(generator.integers(0, prefix.n_addresses))
+    return prefix.network + offset
+
+
+class _TrieNode(Generic[T]):
+    """Node of the binary prefix trie."""
+
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_TrieNode[T]"]] = [None, None]
+        self.value: Optional[T] = None
+        self.has_value = False
+
+
+class PrefixTable(Generic[T]):
+    """Longest-prefix-match table mapping prefixes to arbitrary values.
+
+    Implemented as a binary trie over address bits; lookups walk at most 32
+    levels and return the value of the most specific covering prefix.
+    """
+
+    def __init__(self) -> None:
+        self._root: _TrieNode[T] = _TrieNode()
+        self._entries: Dict[Prefix, T] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[Prefix, T]]:
+        return iter(self._entries.items())
+
+    def insert(self, prefix: Prefix, value: T) -> None:
+        """Insert or replace the entry for *prefix*."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (31 - depth)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _TrieNode()
+            node = node.children[bit]
+        node.value = value
+        node.has_value = True
+        self._entries[prefix] = value
+
+    def insert_str(self, prefix_text: str, value: T) -> None:
+        """Insert using ``"a.b.c.d/len"`` notation."""
+        self.insert(Prefix.parse(prefix_text), value)
+
+    def lookup(self, address: int) -> Optional[T]:
+        """Longest-prefix-match lookup; returns ``None`` when no prefix covers."""
+        node = self._root
+        best: Optional[T] = node.value if node.has_value else None
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = node.value
+        return best
+
+    def lookup_prefix(self, address: int) -> Optional[Tuple[Prefix, T]]:
+        """Like :meth:`lookup` but also returns the matching prefix."""
+        best: Optional[Tuple[Prefix, T]] = None
+        best_length = -1
+        for prefix, value in self._entries.items():
+            if prefix.contains(address) and prefix.length > best_length:
+                best = (prefix, value)
+                best_length = prefix.length
+        return best
+
+    def covers(self, address: int) -> bool:
+        """Whether any prefix in the table covers *address*."""
+        return self.lookup(address) is not None
+
+    def prefixes(self) -> List[Prefix]:
+        """All prefixes currently in the table."""
+        return list(self._entries.keys())

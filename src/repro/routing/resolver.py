@@ -1,0 +1,214 @@
+"""Ingress/egress PoP resolution for flow records.
+
+This is the heart of the paper's data-reduction step: every sampled IP flow
+is mapped to an Origin-Destination pair of PoPs.
+
+* The **ingress** PoP is taken from the router where the flow was observed
+  (the paper collects flow records at every router, so the observing
+  router's PoP is the ingress); when resolving records without an observing
+  router, the source address is matched against customer interfaces from
+  the router configurations.
+* The **egress** PoP is resolved by longest-prefix-match against the BGP
+  table (augmented with configuration prefixes), with hot-potato
+  tie-breaking for multihomed prefixes.
+* Abilene anonymizes the last 11 bits of destination addresses; the
+  resolver reproduces this (:func:`anonymize_address`) and the resolution
+  statistics show it rarely matters because few routing prefixes are longer
+  than /21.
+
+The paper reports that ≥ 93% of IP flows (≥ 90% of bytes) resolve; the
+:class:`ResolutionStats` returned by :meth:`PoPResolver.resolve_records`
+measures the same quantities for experiment E9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.routing.bgp import BGPTable
+from repro.routing.config import RouterConfig, build_router_configs, ingress_prefix_table
+from repro.routing.igp import IGPRouting
+from repro.routing.prefixes import PrefixTable
+from repro.topology.network import Network
+
+__all__ = ["anonymize_address", "ResolutionStats", "PoPResolver"]
+
+#: Number of low-order destination-address bits Abilene zeroes for privacy.
+ANONYMIZED_BITS = 11
+
+
+def anonymize_address(address: int, bits: int = ANONYMIZED_BITS) -> int:
+    """Zero the last *bits* bits of *address* (Abilene's destination anonymization)."""
+    if bits <= 0:
+        return address
+    mask = ~((1 << bits) - 1) & 0xFFFFFFFF
+    return address & mask
+
+
+@dataclass
+class ResolutionStats:
+    """Counters describing how well flow records resolved to OD pairs."""
+
+    total_flows: int = 0
+    resolved_flows: int = 0
+    total_bytes: float = 0.0
+    resolved_bytes: float = 0.0
+    unresolved_ingress: int = 0
+    unresolved_egress: int = 0
+
+    @property
+    def flow_resolution_rate(self) -> float:
+        """Fraction of flow records fully resolved to an OD pair."""
+        return self.resolved_flows / self.total_flows if self.total_flows else 0.0
+
+    @property
+    def byte_resolution_rate(self) -> float:
+        """Fraction of byte volume carried by resolved flow records."""
+        return self.resolved_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    def merge(self, other: "ResolutionStats") -> "ResolutionStats":
+        """Return the element-wise sum of two stats objects."""
+        return ResolutionStats(
+            total_flows=self.total_flows + other.total_flows,
+            resolved_flows=self.resolved_flows + other.resolved_flows,
+            total_bytes=self.total_bytes + other.total_bytes,
+            resolved_bytes=self.resolved_bytes + other.resolved_bytes,
+            unresolved_ingress=self.unresolved_ingress + other.unresolved_ingress,
+            unresolved_egress=self.unresolved_egress + other.unresolved_egress,
+        )
+
+
+class PoPResolver:
+    """Resolve flow records to (ingress PoP, egress PoP) pairs.
+
+    Parameters
+    ----------
+    network:
+        The backbone network.
+    bgp_table:
+        BGP RIB used for egress resolution.  When ``None`` it is built from
+        the network's customer prefixes.
+    igp:
+        IGP routing used for hot-potato tie-breaking and reachability.  When
+        ``None`` a failure-free instance is built.
+    router_configs:
+        Router configurations used for ingress resolution of records that do
+        not carry an observation router, and to augment the egress table with
+        customer prefixes missing from BGP (the paper does the same).
+    anonymized_bits:
+        Number of destination-address bits zeroed before egress lookup.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        bgp_table: Optional[BGPTable] = None,
+        igp: Optional[IGPRouting] = None,
+        router_configs: Optional[Dict[str, RouterConfig]] = None,
+        anonymized_bits: int = ANONYMIZED_BITS,
+    ) -> None:
+        self._network = network
+        self._igp = igp if igp is not None else IGPRouting(network)
+        self._bgp = bgp_table if bgp_table is not None else BGPTable.from_customers(network)
+        configs = router_configs if router_configs is not None else build_router_configs(network)
+        self._configs = configs
+        self._ingress_table: PrefixTable[str] = ingress_prefix_table(configs.values(), network)
+        self._router_pop: Dict[str, str] = {r.name: r.pop for r in network.routers}
+        self._anonymized_bits = anonymized_bits
+
+    # ------------------------------------------------------------------ #
+    # single-record resolution
+    # ------------------------------------------------------------------ #
+    def resolve_ingress(self, src_address: int,
+                        observing_router: Optional[str] = None) -> Optional[str]:
+        """Resolve the ingress PoP of a record.
+
+        Prefers the observing router's PoP (the record was exported by the
+        ingress router); falls back to matching the source address against
+        customer interface prefixes.
+        """
+        if observing_router is not None:
+            pop = self._router_pop.get(observing_router)
+            if pop is not None:
+                return pop
+        return self._ingress_table.lookup(src_address)
+
+    def resolve_egress(self, dst_address: int,
+                       ingress_pop: Optional[str] = None) -> Optional[str]:
+        """Resolve the egress PoP of a record from its destination address.
+
+        The destination address is anonymized first (as in the Abilene data),
+        then looked up in the BGP table with hot-potato tie-breaking.
+        Customer prefixes absent from BGP are covered because the table is
+        augmented from router configurations at construction time.
+        """
+        anonymized = anonymize_address(dst_address, self._anonymized_bits)
+        egress = self._bgp.egress_pop(anonymized, ingress_pop=ingress_pop, igp=self._igp)
+        if egress is not None:
+            return egress
+        # Fall back to the configuration-derived ingress table: customer
+        # prefixes not present in BGP (the paper's augmentation step).
+        return self._ingress_table.lookup(anonymized)
+
+    def resolve(self, src_address: int, dst_address: int,
+                observing_router: Optional[str] = None) -> Optional[Tuple[str, str]]:
+        """Resolve a record to an (ingress, egress) PoP pair, or ``None``."""
+        ingress = self.resolve_ingress(src_address, observing_router)
+        if ingress is None:
+            return None
+        egress = self.resolve_egress(dst_address, ingress_pop=ingress)
+        if egress is None:
+            return None
+        return ingress, egress
+
+    # ------------------------------------------------------------------ #
+    # batch resolution
+    # ------------------------------------------------------------------ #
+    def resolve_records(self, records: Iterable) -> Tuple[List, ResolutionStats]:
+        """Resolve an iterable of :class:`~repro.flows.records.FlowRecord`.
+
+        Returns the list of records annotated with ``ingress_pop`` and
+        ``egress_pop`` (unresolvable records are dropped, as in the paper)
+        and the resolution statistics.
+        """
+        stats = ResolutionStats()
+        resolved = []
+        for record in records:
+            stats.total_flows += 1
+            stats.total_bytes += record.bytes
+            ingress = self.resolve_ingress(record.src_address, record.observing_router)
+            if ingress is None:
+                stats.unresolved_ingress += 1
+                continue
+            egress = self.resolve_egress(record.dst_address, ingress_pop=ingress)
+            if egress is None:
+                stats.unresolved_egress += 1
+                continue
+            stats.resolved_flows += 1
+            stats.resolved_bytes += record.bytes
+            resolved.append(record.with_od(ingress, egress))
+        return resolved, stats
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def network(self) -> Network:
+        """The underlying network."""
+        return self._network
+
+    @property
+    def bgp_table(self) -> BGPTable:
+        """The BGP table used for egress resolution."""
+        return self._bgp
+
+    @property
+    def igp(self) -> IGPRouting:
+        """The IGP routing instance used for tie-breaking."""
+        return self._igp
+
+    @property
+    def router_configs(self) -> Dict[str, RouterConfig]:
+        """Router configurations used for ingress resolution."""
+        return dict(self._configs)

@@ -1,0 +1,134 @@
+"""Daily routing-table snapshots.
+
+The paper notes that its routing tables (BGP + ISIS) are "computed once a
+day and stay unchanged for that day".  :class:`SnapshotSeries` reproduces
+that operational detail: a sequence of dated :class:`RoutingSnapshot`
+objects, each bundling the BGP table, IGP state, and resolver valid for one
+day.  The dataset generator uses it so that an internal routing change (an
+INGRESS-SHIFT) can take effect only from the next snapshot — the same
+limitation the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.routing.bgp import BGPTable
+from repro.routing.igp import IGPRouting
+from repro.routing.resolver import PoPResolver
+from repro.topology.network import Network
+from repro.utils.timebins import SECONDS_PER_DAY
+from repro.utils.validation import require
+
+__all__ = ["RoutingSnapshot", "SnapshotSeries"]
+
+
+@dataclass
+class RoutingSnapshot:
+    """Routing state valid for one day.
+
+    Parameters
+    ----------
+    day_index:
+        Day number (0-based) from the start of the measurement period.
+    resolver:
+        The PoP resolver built from that day's BGP/ISIS/config state.
+    failed_pops, failed_links:
+        Failures active when the snapshot was taken (informational).
+    """
+
+    day_index: int
+    resolver: PoPResolver
+    failed_pops: Tuple[str, ...] = ()
+    failed_links: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def igp(self) -> IGPRouting:
+        """The IGP state embedded in the snapshot's resolver."""
+        return self.resolver.igp
+
+    @property
+    def bgp(self) -> BGPTable:
+        """The BGP table embedded in the snapshot's resolver."""
+        return self.resolver.bgp_table
+
+
+class SnapshotSeries:
+    """A sequence of daily routing snapshots covering a measurement period.
+
+    Parameters
+    ----------
+    network:
+        The backbone network.
+    n_days:
+        Number of days to cover.
+    start_seconds:
+        Absolute time of day 0 (seconds), matching the dataset's binning.
+    """
+
+    def __init__(self, network: Network, n_days: int, start_seconds: int = 0) -> None:
+        require(n_days > 0, "n_days must be positive")
+        self._network = network
+        self._n_days = n_days
+        self._start_seconds = start_seconds
+        self._snapshots: Dict[int, RoutingSnapshot] = {}
+        self._default = RoutingSnapshot(day_index=-1, resolver=PoPResolver(network))
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def set_snapshot(self, day_index: int, resolver: PoPResolver,
+                     failed_pops: Iterable[str] = (),
+                     failed_links: Iterable[Tuple[str, str]] = ()) -> None:
+        """Install a custom snapshot for *day_index*."""
+        require(0 <= day_index < self._n_days, "day_index out of range")
+        self._snapshots[day_index] = RoutingSnapshot(
+            day_index=day_index,
+            resolver=resolver,
+            failed_pops=tuple(failed_pops),
+            failed_links=tuple(failed_links),
+        )
+
+    def apply_failure(self, day_index: int, failed_pops: Iterable[str] = (),
+                      failed_links: Iterable[Tuple[str, str]] = ()) -> None:
+        """Install a snapshot for *day_index* with the given failures applied."""
+        failed_pops = tuple(failed_pops)
+        failed_links = tuple(failed_links)
+        igp = IGPRouting(self._network, failed_links=failed_links, failed_pops=failed_pops)
+        resolver = PoPResolver(self._network, igp=igp)
+        self.set_snapshot(day_index, resolver, failed_pops=failed_pops,
+                          failed_links=failed_links)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_days(self) -> int:
+        """Number of days covered by the series."""
+        return self._n_days
+
+    def day_of(self, time_seconds: float) -> int:
+        """Day index containing *time_seconds*."""
+        offset = time_seconds - self._start_seconds
+        require(offset >= 0, "time before the start of the snapshot series")
+        day = int(offset // SECONDS_PER_DAY)
+        require(day < self._n_days, "time beyond the end of the snapshot series")
+        return day
+
+    def snapshot_for_day(self, day_index: int) -> RoutingSnapshot:
+        """Snapshot valid on *day_index* (the default, failure-free one if unset)."""
+        require(0 <= day_index < self._n_days, "day_index out of range")
+        return self._snapshots.get(day_index, self._default)
+
+    def snapshot_at(self, time_seconds: float) -> RoutingSnapshot:
+        """Snapshot valid at absolute time *time_seconds*."""
+        return self.snapshot_for_day(self.day_of(time_seconds))
+
+    def resolver_at(self, time_seconds: float) -> PoPResolver:
+        """Resolver valid at absolute time *time_seconds*."""
+        return self.snapshot_at(time_seconds).resolver
+
+    def days_with_failures(self) -> List[int]:
+        """Day indices that have a non-default snapshot installed."""
+        return sorted(self._snapshots.keys())

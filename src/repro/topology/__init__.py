@@ -1,0 +1,30 @@
+"""Network topology substrate.
+
+Models a backbone network as a set of Points of Presence (PoPs), backbone
+routers, inter-PoP links, and attached customers/peers.  The concrete
+topology used throughout the reproduction is the 11-PoP Abilene backbone
+(:func:`abilene_topology`), but everything downstream (routing, traffic
+generation, the detector) works with any :class:`Network`.
+"""
+
+from repro.topology.network import (
+    Customer,
+    Link,
+    Network,
+    PoP,
+    Router,
+)
+from repro.topology.abilene import ABILENE_POP_NAMES, abilene_topology
+from repro.topology.builder import TopologyBuilder, random_backbone
+
+__all__ = [
+    "PoP",
+    "Router",
+    "Link",
+    "Customer",
+    "Network",
+    "ABILENE_POP_NAMES",
+    "abilene_topology",
+    "TopologyBuilder",
+    "random_backbone",
+]

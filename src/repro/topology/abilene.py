@@ -1,0 +1,167 @@
+"""The Abilene (Internet2) backbone topology used in the paper.
+
+Abilene had 11 points of presence spanning the continental US, giving the
+121 OD pairs the paper analyzes.  The link set below follows the published
+Abilene map of 2003/2004; IGP weights are representative (roughly
+proportional to fiber distance), which is all shortest-path routing needs.
+
+Each PoP is given a set of synthetic customers with address prefixes so the
+ingress/egress resolution pipeline has something realistic to work on.  The
+CALREN customer at LOSA is multihomed to SNVA — the paper's INGRESS-SHIFT
+example involves exactly this customer shifting traffic from LOSA to SNVA
+during the LOSA outage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.topology.network import Customer, Link, Network, PoP, Router
+
+__all__ = ["ABILENE_POP_NAMES", "ABILENE_LINKS", "abilene_topology"]
+
+#: The 11 Abilene PoP codes (as used in Abilene operational reports).
+ABILENE_POP_NAMES: Tuple[str, ...] = (
+    "ATLA",  # Atlanta
+    "CHIN",  # Chicago
+    "DNVR",  # Denver
+    "HSTN",  # Houston
+    "IPLS",  # Indianapolis
+    "KSCY",  # Kansas City
+    "LOSA",  # Los Angeles
+    "NYCM",  # New York
+    "SNVA",  # Sunnyvale
+    "STTL",  # Seattle
+    "WASH",  # Washington DC
+)
+
+_POP_CITIES: Dict[str, str] = {
+    "ATLA": "Atlanta, GA",
+    "CHIN": "Chicago, IL",
+    "DNVR": "Denver, CO",
+    "HSTN": "Houston, TX",
+    "IPLS": "Indianapolis, IN",
+    "KSCY": "Kansas City, MO",
+    "LOSA": "Los Angeles, CA",
+    "NYCM": "New York, NY",
+    "SNVA": "Sunnyvale, CA",
+    "STTL": "Seattle, WA",
+    "WASH": "Washington, DC",
+}
+
+#: Relative traffic weight of each PoP (drives the gravity model).  The
+#: values loosely track the size of the research community each PoP serves.
+_POP_WEIGHTS: Dict[str, float] = {
+    "ATLA": 1.1,
+    "CHIN": 1.6,
+    "DNVR": 0.8,
+    "HSTN": 0.9,
+    "IPLS": 1.0,
+    "KSCY": 0.7,
+    "LOSA": 1.5,
+    "NYCM": 1.8,
+    "SNVA": 1.4,
+    "STTL": 0.9,
+    "WASH": 1.6,
+}
+
+#: Bidirectional Abilene backbone adjacencies with representative IS-IS
+#: weights.  Each entry is (pop_a, pop_b, igp_weight).
+ABILENE_LINKS: Tuple[Tuple[str, str, float], ...] = (
+    ("STTL", "SNVA", 861.0),
+    ("STTL", "DNVR", 1295.0),
+    ("SNVA", "LOSA", 366.0),
+    ("SNVA", "DNVR", 1893.0),
+    ("LOSA", "HSTN", 1705.0),
+    ("DNVR", "KSCY", 639.0),
+    ("KSCY", "HSTN", 902.0),
+    ("KSCY", "IPLS", 548.0),
+    ("HSTN", "ATLA", 1045.0),
+    ("IPLS", "CHIN", 260.0),
+    ("IPLS", "ATLA", 700.0),
+    ("CHIN", "NYCM", 1000.0),
+    ("ATLA", "WASH", 740.0),
+    ("NYCM", "WASH", 277.0),
+)
+
+#: Synthetic customers attached at each PoP: (customer name, pop, prefix
+#: count, weight, multihomed PoPs).  Prefixes themselves are assigned
+#: deterministically below from a per-PoP /12 aggregate.
+_CUSTOMER_SPECS: Tuple[Tuple[str, str, int, float, Tuple[str, ...]], ...] = (
+    ("GATECH", "ATLA", 3, 1.0, ()),
+    ("UFL", "ATLA", 2, 0.8, ()),
+    ("UCHICAGO", "CHIN", 3, 1.2, ()),
+    ("WISCNET", "CHIN", 3, 1.0, ()),
+    ("MERIT", "CHIN", 2, 0.9, ()),
+    ("FRGP", "DNVR", 3, 0.9, ()),
+    ("UTAH", "DNVR", 2, 0.6, ()),
+    ("LEARN", "HSTN", 3, 0.9, ()),
+    ("IU", "IPLS", 3, 1.1, ()),
+    ("PURDUE", "IPLS", 2, 0.8, ()),
+    ("GPN", "KSCY", 3, 0.7, ()),
+    ("CALREN", "LOSA", 4, 1.4, ("SNVA",)),
+    ("USC", "LOSA", 2, 0.9, ()),
+    ("NYSERNET", "NYCM", 3, 1.3, ()),
+    ("MAGPI", "NYCM", 2, 1.0, ()),
+    ("CENIC", "SNVA", 3, 1.2, ()),
+    ("STANFORD", "SNVA", 2, 1.0, ()),
+    ("PNWGP", "STTL", 3, 0.9, ()),
+    ("MAX", "WASH", 3, 1.2, ()),
+    ("NIH", "WASH", 2, 1.1, ()),
+    ("GEANT-PEER", "NYCM", 3, 1.2, ()),
+    ("APAN-PEER", "LOSA", 2, 0.8, ()),
+)
+
+
+def _customer_prefixes(pop_index: int, customer_index: int, count: int) -> Tuple[str, ...]:
+    """Deterministic /16 prefixes for a customer.
+
+    Each PoP owns the 10.<16*pop_index>.0.0/12 aggregate; customers carve
+    successive /16s out of it.  Peers additionally receive prefixes from the
+    198.<x>.0.0 space so that the egress-resolution path exercises
+    non-RFC1918 lookups too.
+    """
+    base_second_octet = (pop_index * 16) % 240
+    prefixes: List[str] = []
+    for i in range(count):
+        second = base_second_octet + (customer_index * count + i) % 16
+        prefixes.append(f"10.{second}.0.0/16")
+    return tuple(prefixes)
+
+
+def abilene_topology(customers_per_pop: int | None = None) -> Network:
+    """Build the 11-PoP Abilene network used throughout the reproduction.
+
+    Parameters
+    ----------
+    customers_per_pop:
+        When given, keep only the first *customers_per_pop* customers at each
+        PoP (useful for small, fast test scenarios).  ``None`` keeps the full
+        customer set.
+    """
+    pops = [
+        PoP(name=name, city=_POP_CITIES[name], region_weight=_POP_WEIGHTS[name])
+        for name in ABILENE_POP_NAMES
+    ]
+    routers = [Router(name=f"{name}-rtr", pop=name) for name in ABILENE_POP_NAMES]
+
+    links: List[Link] = []
+    for pop_a, pop_b, weight in ABILENE_LINKS:
+        links.append(Link(source=f"{pop_a}-rtr", target=f"{pop_b}-rtr", igp_weight=weight))
+        links.append(Link(source=f"{pop_b}-rtr", target=f"{pop_a}-rtr", igp_weight=weight))
+
+    customers: List[Customer] = []
+    per_pop_count: Dict[str, int] = {name: 0 for name in ABILENE_POP_NAMES}
+    for spec_index, (name, pop, prefix_count, weight, multihomed) in enumerate(_CUSTOMER_SPECS):
+        if customers_per_pop is not None and per_pop_count[pop] >= customers_per_pop:
+            continue
+        per_pop_count[pop] += 1
+        pop_index = ABILENE_POP_NAMES.index(pop)
+        prefixes = _customer_prefixes(pop_index, spec_index, prefix_count)
+        customers.append(
+            Customer(name=name, pop=pop, prefixes=prefixes, weight=weight,
+                     multihomed_pops=multihomed)
+        )
+
+    return Network(pops=pops, routers=routers, links=links,
+                   customers=customers, name="abilene")

@@ -1,0 +1,40 @@
+"""Synthetic traffic generation.
+
+Produces Abilene-like OD flow traffic with the statistical structure the
+subspace method relies on:
+
+* a **gravity model** sets the mean traffic matrix from PoP weights
+  (:mod:`repro.traffic.gravity`);
+* **diurnal and weekly profiles** give every OD flow the strong common
+  temporal trends that end up in the top eigenflows
+  (:mod:`repro.traffic.seasonality`);
+* **noise models** provide per-flow variability, including temporally
+  correlated (AR(1)) and heavy-tailed components
+  (:mod:`repro.traffic.noise`);
+* the **generator** combines these into a
+  :class:`~repro.flows.timeseries.TrafficMatrixSeries` of byte, packet and
+  IP-flow counts with realistic cross-type coupling
+  (:mod:`repro.traffic.generator`);
+* the **flow synthesizer** expands OD-level volumes into individual 5-tuple
+  flow records for the record-level pipeline
+  (:mod:`repro.traffic.flowgen`).
+"""
+
+from repro.traffic.gravity import GravityModel
+from repro.traffic.seasonality import DiurnalProfile, WeeklyProfile, SeasonalityModel
+from repro.traffic.noise import NoiseModel, ar1_noise, lognormal_noise
+from repro.traffic.generator import GeneratorConfig, ODTrafficGenerator
+from repro.traffic.flowgen import FlowSynthesizer
+
+__all__ = [
+    "GravityModel",
+    "DiurnalProfile",
+    "WeeklyProfile",
+    "SeasonalityModel",
+    "NoiseModel",
+    "ar1_noise",
+    "lognormal_noise",
+    "GeneratorConfig",
+    "ODTrafficGenerator",
+    "FlowSynthesizer",
+]

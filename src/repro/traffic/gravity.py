@@ -1,0 +1,134 @@
+"""Gravity model for the mean OD traffic matrix.
+
+The classical gravity model sets the mean traffic from PoP *i* to PoP *j*
+proportional to the product of an "outbound mass" of *i* and an "inbound
+mass" of *j*.  It is the standard first-order model of backbone traffic
+matrices and matches the structural findings of Lakhina et al.'s companion
+paper (a few strong common factors dominate the ensemble of OD flows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.topology.network import Network
+from repro.utils.rng import RandomState, spawn_rng
+from repro.utils.validation import ensure_positive, require
+
+__all__ = ["GravityModel"]
+
+
+class GravityModel:
+    """Gravity model over the PoPs of a network.
+
+    Parameters
+    ----------
+    network:
+        The backbone network; PoP ``region_weight`` values provide the
+        gravity masses.
+    total_volume:
+        Network-wide mean volume per bin (in the units of the traffic type
+        being modeled, e.g. bytes per 5-minute bin).
+    self_traffic_fraction:
+        Fraction of a PoP's traffic that stays local (the OD self-pairs,
+        which exist in the 121-pair Abilene matrix but are comparatively
+        small).
+    mass_jitter:
+        Multiplicative lognormal jitter applied independently to each PoP's
+        inbound and outbound mass, so the matrix is not exactly rank one.
+    seed:
+        Randomness for the jitter.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        total_volume: float = 1.0e9,
+        self_traffic_fraction: float = 0.02,
+        mass_jitter: float = 0.15,
+        seed: RandomState = None,
+    ) -> None:
+        ensure_positive(total_volume, "total_volume")
+        require(0.0 <= self_traffic_fraction < 1.0,
+                "self_traffic_fraction must be in [0, 1)")
+        require(mass_jitter >= 0.0, "mass_jitter must be non-negative")
+        self._network = network
+        self._total_volume = float(total_volume)
+        self._self_fraction = float(self_traffic_fraction)
+
+        rng = spawn_rng(seed, stream="gravity")
+        weights = np.array([pop.region_weight for pop in network.pops], dtype=float)
+        out_jitter = np.exp(rng.normal(0.0, mass_jitter, size=weights.size))
+        in_jitter = np.exp(rng.normal(0.0, mass_jitter, size=weights.size))
+        self._out_mass = weights * out_jitter
+        self._in_mass = weights * in_jitter
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def network(self) -> Network:
+        """The underlying network."""
+        return self._network
+
+    @property
+    def total_volume(self) -> float:
+        """Network-wide mean volume per bin."""
+        return self._total_volume
+
+    def outbound_mass(self) -> np.ndarray:
+        """Per-PoP outbound gravity masses (after jitter)."""
+        return self._out_mass.copy()
+
+    def inbound_mass(self) -> np.ndarray:
+        """Per-PoP inbound gravity masses (after jitter)."""
+        return self._in_mass.copy()
+
+    # ------------------------------------------------------------------ #
+    # the matrix
+    # ------------------------------------------------------------------ #
+    def mean_matrix(self) -> np.ndarray:
+        """The ``n_pops x n_pops`` mean traffic matrix.
+
+        Off-diagonal entries follow the gravity form
+        ``T_ij ∝ out_i * in_j``; diagonal (self-pair) entries carry
+        ``self_traffic_fraction`` of the total, split proportionally to PoP
+        weight.  The matrix sums to ``total_volume``.
+        """
+        n = self._network.n_pops
+        outer = np.outer(self._out_mass, self._in_mass)
+        np.fill_diagonal(outer, 0.0)
+        off_diagonal_total = self._total_volume * (1.0 - self._self_fraction)
+        if outer.sum() > 0:
+            matrix = outer / outer.sum() * off_diagonal_total
+        else:
+            matrix = np.zeros((n, n))
+
+        if self._self_fraction > 0:
+            self_weights = self._out_mass * self._in_mass
+            self_weights = self_weights / self_weights.sum()
+            np.fill_diagonal(matrix, self._self_fraction * self._total_volume * self_weights)
+        return matrix
+
+    def mean_vector(self) -> np.ndarray:
+        """The mean matrix flattened in the library's OD-pair column order."""
+        return self.mean_matrix().reshape(-1)
+
+    def od_mean(self, origin: str, destination: str) -> float:
+        """Mean volume of a single OD pair."""
+        names = self._network.pop_names
+        matrix = self.mean_matrix()
+        return float(matrix[names.index(origin), names.index(destination)])
+
+    def scaled(self, factor: float) -> "GravityModel":
+        """A copy of the model with total volume scaled by *factor*."""
+        ensure_positive(factor, "factor")
+        clone = GravityModel.__new__(GravityModel)
+        clone._network = self._network
+        clone._total_volume = self._total_volume * factor
+        clone._self_fraction = self._self_fraction
+        clone._out_mass = self._out_mass.copy()
+        clone._in_mass = self._in_mass.copy()
+        return clone

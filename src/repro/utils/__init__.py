@@ -1,0 +1,36 @@
+"""Shared utilities: statistics helpers, time binning, RNG management, validation.
+
+These helpers are deliberately small and dependency-light; every other
+subpackage builds on them.
+"""
+
+from repro.utils.rng import RandomState, spawn_rng
+from repro.utils.stats import (
+    f_quantile,
+    normal_quantile,
+    q_statistic_threshold,
+    t_squared_threshold,
+)
+from repro.utils.timebins import TimeBinning, bins_per_day, bins_per_week
+from repro.utils.validation import (
+    ensure_2d,
+    ensure_positive,
+    ensure_probability,
+    require,
+)
+
+__all__ = [
+    "RandomState",
+    "spawn_rng",
+    "normal_quantile",
+    "f_quantile",
+    "q_statistic_threshold",
+    "t_squared_threshold",
+    "TimeBinning",
+    "bins_per_day",
+    "bins_per_week",
+    "require",
+    "ensure_2d",
+    "ensure_positive",
+    "ensure_probability",
+]

@@ -1,0 +1,131 @@
+"""Time-bin bookkeeping.
+
+The paper aggregates sampled flow records into 5-minute bins; a week of data
+is ``n = 2016`` bins.  :class:`TimeBinning` centralizes the conversion between
+seconds, bin indices, and human-readable timestamps so that the traffic
+generator, injectors, detector, and evaluation all agree on indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.utils.validation import require
+
+__all__ = ["TimeBinning", "bins_per_day", "bins_per_week", "SECONDS_PER_MINUTE"]
+
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_DAY = 86_400
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+def bins_per_day(bin_seconds: int = 300) -> int:
+    """Number of bins in one day for the given bin width (default 5 minutes)."""
+    require(bin_seconds > 0, "bin_seconds must be positive")
+    require(SECONDS_PER_DAY % bin_seconds == 0, "bin_seconds must divide one day")
+    return SECONDS_PER_DAY // bin_seconds
+
+
+def bins_per_week(bin_seconds: int = 300) -> int:
+    """Number of bins in one week for the given bin width (default 5 minutes)."""
+    return 7 * bins_per_day(bin_seconds)
+
+
+@dataclass(frozen=True)
+class TimeBinning:
+    """Uniform time binning starting at ``start_seconds``.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of bins covered by the dataset.
+    bin_seconds:
+        Width of each bin in seconds (paper default: 300 s = 5 minutes).
+    start_seconds:
+        Absolute start time of bin 0, in seconds (arbitrary epoch).
+    """
+
+    n_bins: int
+    bin_seconds: int = 300
+    start_seconds: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.n_bins > 0, "n_bins must be positive")
+        require(self.bin_seconds > 0, "bin_seconds must be positive")
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    @property
+    def duration_seconds(self) -> int:
+        """Total covered duration in seconds."""
+        return self.n_bins * self.bin_seconds
+
+    @property
+    def end_seconds(self) -> int:
+        """Absolute end time (exclusive) in seconds."""
+        return self.start_seconds + self.duration_seconds
+
+    def bin_of(self, time_seconds: float) -> int:
+        """Return the bin index containing *time_seconds*.
+
+        Raises ``ValueError`` when the time falls outside the covered range.
+        """
+        offset = time_seconds - self.start_seconds
+        if offset < 0 or offset >= self.duration_seconds:
+            raise ValueError(
+                f"time {time_seconds} outside binning range "
+                f"[{self.start_seconds}, {self.end_seconds})"
+            )
+        return int(offset // self.bin_seconds)
+
+    def bin_start(self, bin_index: int) -> int:
+        """Absolute start time of *bin_index* in seconds."""
+        self._check_index(bin_index)
+        return self.start_seconds + bin_index * self.bin_seconds
+
+    def bin_range(self, bin_index: int) -> Tuple[int, int]:
+        """Half-open ``(start, end)`` time range of *bin_index* in seconds."""
+        start = self.bin_start(bin_index)
+        return start, start + self.bin_seconds
+
+    def bins_between(self, start_seconds: float, end_seconds: float) -> List[int]:
+        """All bin indices overlapping the half-open interval ``[start, end)``."""
+        require(end_seconds > start_seconds, "end_seconds must exceed start_seconds")
+        first = max(0, int((start_seconds - self.start_seconds) // self.bin_seconds))
+        last = min(
+            self.n_bins - 1,
+            int((end_seconds - self.start_seconds - 1e-9) // self.bin_seconds),
+        )
+        if last < first:
+            return []
+        return list(range(first, last + 1))
+
+    def duration_minutes(self, n_bins: int) -> float:
+        """Duration in minutes spanned by *n_bins* consecutive bins."""
+        return n_bins * self.bin_seconds / SECONDS_PER_MINUTE
+
+    def rebin_factor(self, coarse_bin_seconds: int) -> int:
+        """Number of fine bins per coarse bin when re-binning."""
+        require(coarse_bin_seconds % self.bin_seconds == 0,
+                "coarse bin width must be a multiple of the fine bin width")
+        return coarse_bin_seconds // self.bin_seconds
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.n_bins))
+
+    def __len__(self) -> int:
+        return self.n_bins
+
+    def _check_index(self, bin_index: int) -> None:
+        if not 0 <= bin_index < self.n_bins:
+            raise IndexError(f"bin index {bin_index} out of range [0, {self.n_bins})")
+
+
+def week_binning(weeks: int = 1, bin_seconds: int = 300, start_seconds: int = 0) -> TimeBinning:
+    """Convenience constructor: a binning covering *weeks* whole weeks."""
+    require(weeks > 0, "weeks must be positive")
+    return TimeBinning(n_bins=weeks * bins_per_week(bin_seconds),
+                       bin_seconds=bin_seconds,
+                       start_seconds=start_seconds)

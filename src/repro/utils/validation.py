@@ -1,0 +1,53 @@
+"""Argument validation helpers used across the library.
+
+The functions raise ``ValueError`` with a descriptive message so that call
+sites stay compact while errors remain actionable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["require", "ensure_2d", "ensure_positive", "ensure_probability"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError`` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def ensure_2d(array: Any, name: str = "array") -> np.ndarray:
+    """Coerce *array* to a 2-D float ndarray, raising if that is impossible.
+
+    Parameters
+    ----------
+    array:
+        Array-like input; lists of lists and 2-D ndarrays are accepted.
+    name:
+        Name used in error messages.
+    """
+    result = np.asarray(array, dtype=float)
+    if result.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got ndim={result.ndim}")
+    if result.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(result)):
+        raise ValueError(f"{name} must contain only finite values")
+    return result
+
+
+def ensure_positive(value: float, name: str = "value") -> float:
+    """Return *value* if strictly positive, otherwise raise ``ValueError``."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return float(value)
+
+
+def ensure_probability(value: float, name: str = "value") -> float:
+    """Return *value* if it lies in the open interval (0, 1)."""
+    if not np.isfinite(value) or not 0.0 < value < 1.0:
+        raise ValueError(f"{name} must lie strictly between 0 and 1, got {value!r}")
+    return float(value)

@@ -1,0 +1,300 @@
+"""Unit tests for the anomaly injection substrate."""
+
+import numpy as np
+import pytest
+
+from repro.anomalies import (
+    AlphaInjector,
+    AnomalyScheduler,
+    AnomalyType,
+    DosInjector,
+    FlashCrowdInjector,
+    GroundTruthAnomaly,
+    GroundTruthLog,
+    IngressShiftInjector,
+    InjectionContext,
+    OutageInjector,
+    PointMultipointInjector,
+    ScanInjector,
+    ScheduleConfig,
+    WormInjector,
+)
+from repro.flows.composition import FlowCompositionModel
+from repro.flows.timeseries import TrafficType
+from repro.traffic import ODTrafficGenerator
+from repro.utils.timebins import TimeBinning
+
+
+@pytest.fixture()
+def context(abilene, clean_series):
+    """A fresh injection context over a copy of the clean one-day series."""
+    return InjectionContext(
+        network=abilene,
+        series=clean_series.copy(),
+        composition=FlowCompositionModel(abilene, seed=0),
+        ground_truth=GroundTruthLog(),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestGroundTruth:
+    def test_anomaly_bins_and_duration(self):
+        anomaly = GroundTruthAnomaly(
+            anomaly_id=0, anomaly_type=AnomalyType.ALPHA, start_bin=10, end_bin=12,
+            od_pairs=(("A", "B"),), expected_traffic_types=frozenset({TrafficType.BYTES}))
+        assert anomaly.bins == (10, 11, 12)
+        assert anomaly.duration_bins == 3
+        assert anomaly.duration_minutes() == 15.0
+        assert anomaly.overlaps_bins([12])
+        assert anomaly.overlaps_window(0, 10)
+        assert not anomaly.overlaps_window(13, 20)
+
+    def test_log_unique_ids_and_queries(self):
+        log = GroundTruthLog()
+        for i, anomaly_type in enumerate((AnomalyType.ALPHA, AnomalyType.DOS)):
+            log.add(GroundTruthAnomaly(
+                anomaly_id=i, anomaly_type=anomaly_type, start_bin=i * 10,
+                end_bin=i * 10 + 1, od_pairs=(("A", "B"),),
+                expected_traffic_types=frozenset({TrafficType.BYTES})))
+        assert len(log) == 2
+        assert log.next_id() == 2
+        assert len(log.by_type(AnomalyType.ALPHA)) == 1
+        assert len(log.overlapping_bins([0])) == 1
+        assert log.type_counts()[AnomalyType.DOS] == 1
+        with pytest.raises(ValueError):
+            log.add(GroundTruthAnomaly(
+                anomaly_id=0, anomaly_type=AnomalyType.SCAN, start_bin=0, end_bin=0,
+                od_pairs=(("A", "B"),),
+                expected_traffic_types=frozenset({TrafficType.FLOWS})))
+
+    def test_shifted(self):
+        log = GroundTruthLog([GroundTruthAnomaly(
+            anomaly_id=0, anomaly_type=AnomalyType.ALPHA, start_bin=10, end_bin=11,
+            od_pairs=(("A", "B"),), expected_traffic_types=frozenset({TrafficType.BYTES}))])
+        shifted = log.shifted(-5)
+        assert shifted.anomalies[0].start_bin == 5
+
+
+class TestVolumeInjectors:
+    def _delta(self, context, before, traffic_type, od_pair, bins):
+        column = context.series.od_index(*od_pair)
+        after = context.series.matrix(traffic_type)[bins, column]
+        return after - before.matrix(traffic_type)[bins, column]
+
+    def test_alpha_adds_bytes_to_single_od(self, context):
+        before = context.series.copy()
+        injector = AlphaInjector(start_bin=20, duration_bins=2,
+                                 od_pair=("LOSA", "NYCM"), magnitude=5.0)
+        anomaly = injector.inject(context)
+        assert anomaly.anomaly_type is AnomalyType.ALPHA
+        assert anomaly.od_pairs == (("LOSA", "NYCM"),)
+        delta = self._delta(context, before, TrafficType.BYTES, ("LOSA", "NYCM"), [20, 21])
+        network_mean = before.matrix(TrafficType.BYTES).mean()
+        assert np.all(delta > 4.5 * network_mean)
+        # other OD pairs untouched
+        other = context.series.od_series(TrafficType.BYTES, "CHIN", "WASH")
+        assert np.allclose(other, before.od_series(TrafficType.BYTES, "CHIN", "WASH"))
+
+    def test_alpha_registers_dominant_flow_group(self, context):
+        injector = AlphaInjector(start_bin=20, duration_bins=1,
+                                 od_pair=("LOSA", "NYCM"), magnitude=6.0)
+        injector.inject(context)
+        groups = context.composition.injected_groups(("LOSA", "NYCM"), 20)
+        assert len(groups) == 1
+        assert groups[0].label == "alpha"
+        assert groups[0].n_src_addresses == 1 and groups[0].n_dst_addresses == 1
+
+    def test_dos_is_packet_flow_heavy_not_byte_heavy(self, context):
+        before = context.series.copy()
+        injector = DosInjector(start_bin=30, duration_bins=2,
+                               od_pairs=[("CHIN", "WASH")], magnitude=6.0,
+                               packets_per_flow=3.0)
+        anomaly = injector.inject(context)
+        assert anomaly.anomaly_type is AnomalyType.DOS
+        packet_delta = self._delta(context, before, TrafficType.PACKETS,
+                                   ("CHIN", "WASH"), [30])
+        byte_delta = self._delta(context, before, TrafficType.BYTES,
+                                 ("CHIN", "WASH"), [30])
+        rel_packets = packet_delta[0] / before.matrix(TrafficType.PACKETS).mean()
+        rel_bytes = byte_delta[0] / before.matrix(TrafficType.BYTES).mean()
+        assert rel_packets > 5.0
+        assert rel_bytes < 1.0
+
+    def test_ddos_spans_multiple_od_pairs_same_victim(self, context):
+        pairs = [("CHIN", "WASH"), ("LOSA", "WASH"), ("STTL", "WASH")]
+        injector = DosInjector(start_bin=40, duration_bins=1, od_pairs=pairs,
+                               magnitude=9.0)
+        anomaly = injector.inject(context)
+        assert anomaly.anomaly_type is AnomalyType.DDOS
+        assert set(anomaly.od_pairs) == set(pairs)
+        # all attack groups share one victim address
+        victims = {g.dst_address
+                   for pair in pairs
+                   for g in context.composition.injected_groups(pair, 40)}
+        assert len(victims) == 1
+
+    def test_dos_requires_single_victim_pop(self):
+        with pytest.raises(ValueError):
+            DosInjector(start_bin=0, duration_bins=1,
+                        od_pairs=[("A", "B"), ("A", "C")])
+
+    def test_flash_crowd_flow_heavy_with_service_port(self, context):
+        before = context.series.copy()
+        injector = FlashCrowdInjector(start_bin=50, duration_bins=1,
+                                      od_pair=("ATLA", "SNVA"), magnitude=6.0,
+                                      service_port=80)
+        anomaly = injector.inject(context)
+        assert anomaly.attributes["service_port"] == 80
+        flow_delta = self._delta(context, before, TrafficType.FLOWS, ("ATLA", "SNVA"), [50])
+        assert flow_delta[0] > 5.0 * before.matrix(TrafficType.FLOWS).mean()
+        groups = context.composition.injected_groups(("ATLA", "SNVA"), 50)
+        assert groups[0].dst_port == 80
+        assert groups[0].n_src_addresses > 10  # many clients
+        assert groups[0].n_dst_addresses == 1  # one server
+
+    def test_scan_one_packet_per_flow(self, context):
+        injector = ScanInjector(start_bin=60, duration_bins=1,
+                                od_pair=("DNVR", "HSTN"), magnitude=5.0,
+                                network_scan=True, target_port=139)
+        injector.inject(context)
+        group = context.composition.injected_groups(("DNVR", "HSTN"), 60)[0]
+        assert group.packets / group.flows < 1.5
+        assert group.n_src_addresses == 1      # single scanner
+        assert group.n_dst_addresses > 1       # many targets
+        assert group.dst_port == 139
+
+    def test_port_scan_spreads_ports_not_addresses(self, context):
+        injector = ScanInjector(start_bin=60, duration_bins=1,
+                                od_pair=("DNVR", "HSTN"), magnitude=5.0,
+                                network_scan=False)
+        injector.inject(context)
+        group = context.composition.injected_groups(("DNVR", "HSTN"), 60)[0]
+        assert group.n_dst_addresses == 1
+        assert group.n_dst_ports > 1
+
+    def test_worm_spreads_across_od_pairs_single_port(self, context):
+        pairs = [("CHIN", "ATLA"), ("NYCM", "LOSA")]
+        injector = WormInjector(start_bin=70, duration_bins=1, od_pairs=pairs,
+                                magnitude=8.0, worm_port=1433)
+        anomaly = injector.inject(context)
+        assert anomaly.anomaly_type is AnomalyType.WORM
+        for pair in pairs:
+            group = context.composition.injected_groups(pair, 70)[0]
+            assert group.dst_port == 1433
+            assert group.n_src_addresses > 1
+            assert group.n_dst_addresses > 1
+
+    def test_point_multipoint_single_server_many_clients(self, context):
+        pairs = [("WASH", "LOSA"), ("WASH", "SNVA")]
+        injector = PointMultipointInjector(start_bin=80, duration_bins=1,
+                                           od_pairs=pairs, magnitude=7.0,
+                                           content_port=119)
+        anomaly = injector.inject(context)
+        assert anomaly.anomaly_type is AnomalyType.POINT_MULTIPOINT
+        sources = {context.composition.injected_groups(pair, 80)[0].src_address
+                   for pair in pairs}
+        assert len(sources) == 1
+        assert anomaly.attributes["content_port"] == 119
+
+    def test_point_multipoint_requires_common_origin(self):
+        with pytest.raises(ValueError):
+            PointMultipointInjector(start_bin=0, duration_bins=1,
+                                    od_pairs=[("A", "B"), ("C", "B")])
+
+    def test_window_validation(self, context):
+        injector = AlphaInjector(start_bin=10_000, duration_bins=1,
+                                 od_pair=("LOSA", "NYCM"))
+        with pytest.raises(ValueError):
+            injector.inject(context)
+
+
+class TestOperationalInjectors:
+    def test_outage_zeroes_traffic_of_pop(self, context):
+        injector = OutageInjector(start_bin=100, duration_bins=12, pop="LOSA",
+                                  residual_fraction=0.0)
+        anomaly = injector.inject(context)
+        assert anomaly.anomaly_type is AnomalyType.OUTAGE
+        assert len(anomaly.od_pairs) == 20  # 2 * (11 - 1) directed pairs
+        losa_out = context.series.od_series(TrafficType.BYTES, "LOSA", "NYCM")
+        assert np.all(losa_out[100:112] == 0.0)
+        assert losa_out[99] > 0.0
+        # unrelated OD pairs untouched
+        assert context.series.od_series(TrafficType.BYTES, "CHIN", "WASH")[105] > 0
+
+    def test_outage_residual_fraction(self, context):
+        before = context.series.copy()
+        OutageInjector(start_bin=100, duration_bins=2, pop="LOSA",
+                       residual_fraction=0.1).inject(context)
+        before_value = before.od_series(TrafficType.FLOWS, "LOSA", "NYCM")[100]
+        after_value = context.series.od_series(TrafficType.FLOWS, "LOSA", "NYCM")[100]
+        assert after_value == pytest.approx(0.1 * before_value, rel=1e-6)
+
+    def test_ingress_shift_moves_traffic(self, context):
+        before = context.series.copy()
+        injector = IngressShiftInjector(start_bin=120, duration_bins=6,
+                                        from_pop="LOSA", to_pop="SNVA",
+                                        shifted_fraction=0.5, customer="CALREN")
+        anomaly = injector.inject(context)
+        assert anomaly.anomaly_type is AnomalyType.INGRESS_SHIFT
+        for traffic_type in TrafficType.all():
+            moved_from = (before.od_series(traffic_type, "LOSA", "NYCM")[121]
+                          - context.series.od_series(traffic_type, "LOSA", "NYCM")[121])
+            moved_to = (context.series.od_series(traffic_type, "SNVA", "NYCM")[121]
+                        - before.od_series(traffic_type, "SNVA", "NYCM")[121])
+            assert moved_from > 0
+            assert moved_to == pytest.approx(moved_from, rel=1e-9)
+
+    def test_ingress_shift_conserves_totals(self, context):
+        before_total = context.series.total_series(TrafficType.FLOWS).sum()
+        IngressShiftInjector(start_bin=120, duration_bins=6, from_pop="LOSA",
+                             to_pop="SNVA", shifted_fraction=0.6).inject(context)
+        after_total = context.series.total_series(TrafficType.FLOWS).sum()
+        assert after_total == pytest.approx(before_total, rel=1e-9)
+
+    def test_ingress_shift_requires_distinct_pops(self):
+        with pytest.raises(ValueError):
+            IngressShiftInjector(start_bin=0, duration_bins=1,
+                                 from_pop="LOSA", to_pop="LOSA")
+
+
+class TestScheduler:
+    def test_schedule_counts_scale_with_weeks(self, abilene):
+        config = ScheduleConfig()
+        full = config.scaled_counts(2016, 300)
+        half = config.scaled_counts(1008, 300)
+        assert full[AnomalyType.ALPHA] == 30
+        assert half[AnomalyType.ALPHA] == 15
+
+    def test_build_schedule_is_sorted_and_inside_range(self, abilene):
+        binning = TimeBinning(n_bins=2016)
+        scheduler = AnomalyScheduler(abilene, seed=5)
+        injectors = scheduler.build_schedule(binning)
+        starts = [injector.start_bin for injector in injectors]
+        assert starts == sorted(starts)
+        assert all(injector.end_bin < binning.n_bins for injector in injectors)
+        assert len(injectors) > 40
+
+    def test_schedule_windows_do_not_overlap(self, abilene):
+        binning = TimeBinning(n_bins=2016)
+        scheduler = AnomalyScheduler(abilene, seed=6)
+        injectors = scheduler.build_schedule(binning)
+        occupied = set()
+        for injector in injectors:
+            window = set(injector.bins)
+            assert not (window & occupied)
+            occupied |= window
+
+    def test_schedule_reproducible(self, abilene):
+        binning = TimeBinning(n_bins=1008)
+        a = AnomalyScheduler(abilene, seed=7).build_schedule(binning)
+        b = AnomalyScheduler(abilene, seed=7).build_schedule(binning)
+        assert [(i.start_bin, type(i).__name__) for i in a] == \
+               [(i.start_bin, type(i).__name__) for i in b]
+
+    def test_apply_populates_ground_truth(self, context):
+        scheduler = AnomalyScheduler(context.network, seed=8)
+        log = scheduler.apply(context)
+        assert len(log) > 0
+        assert log is context.ground_truth
+        counts = log.type_counts()
+        assert AnomalyType.ALPHA in counts

@@ -1,0 +1,110 @@
+"""Unit tests for the per-flow baseline detectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EWMADetector, FourierDetector, WaveletDetector
+
+
+def _seasonal_matrix(n=576, p=8, seed=0, spikes=()):
+    rng = np.random.default_rng(seed)
+    time = np.arange(n)
+    base = 100.0 + 40.0 * np.sin(2 * np.pi * time / 288.0)
+    scale = rng.uniform(0.5, 2.0, size=p)
+    data = np.outer(base, scale) + rng.normal(0, 3.0, size=(n, p))
+    data = np.clip(data, 0, None)
+    for bin_index, flow, magnitude in spikes:
+        data[bin_index, flow] += magnitude
+    return data
+
+
+ALL_DETECTORS = [
+    pytest.param(EWMADetector, id="ewma"),
+    pytest.param(WaveletDetector, id="wavelet"),
+    pytest.param(FourierDetector, id="fourier"),
+]
+
+
+@pytest.mark.parametrize("detector_class", ALL_DETECTORS)
+class TestCommonBehaviour:
+    def test_scores_shape_and_nonnegative(self, detector_class):
+        data = _seasonal_matrix()
+        scores = detector_class().score(data)
+        assert scores.shape == data.shape
+        assert np.all(scores >= 0)
+
+    def test_detects_large_spike(self, detector_class):
+        data = _seasonal_matrix(spikes=[(300, 2, 400.0)])
+        result = detector_class(quantile=0.999).detect(data)
+        assert 300 in result.anomalous_bins()
+        assert 2 in result.flows_at(300)
+
+    def test_quantile_controls_flag_budget(self, detector_class):
+        data = _seasonal_matrix()
+        loose = detector_class(quantile=0.99).detect(data)
+        tight = detector_class(quantile=0.9999).detect(data)
+        assert tight.n_flagged_cells <= loose.n_flagged_cells
+
+    def test_explicit_threshold_respected(self, detector_class):
+        data = _seasonal_matrix()
+        result = detector_class(threshold=1e12).detect(data)
+        assert result.n_flagged_cells == 0
+        assert result.threshold == 1e12
+
+    def test_detection_rate_between_zero_and_one(self, detector_class):
+        result = detector_class().detect(_seasonal_matrix())
+        assert 0.0 <= result.detection_rate() <= 1.0
+
+
+class TestEWMASpecifics:
+    def test_warmup_bins_not_flagged(self):
+        data = _seasonal_matrix(spikes=[(5, 0, 500.0)])
+        result = EWMADetector(warmup_bins=12, quantile=0.999).detect(data)
+        assert 5 not in result.anomalous_bins()
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EWMADetector(alpha=1.5)
+
+    def test_score_resets_are_deterministic(self):
+        data = _seasonal_matrix()
+        a = EWMADetector().score(data)
+        b = EWMADetector().score(data)
+        assert np.allclose(a, b)
+
+
+class TestWaveletSpecifics:
+    def test_levels_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            WaveletDetector(levels=[-1])
+
+    def test_excluding_fine_levels_misses_single_bin_spike(self):
+        data = _seasonal_matrix(spikes=[(300, 2, 200.0)])
+        fine = WaveletDetector(levels=(0, 1), quantile=0.999).detect(data)
+        coarse_only = WaveletDetector(levels=(6,), quantile=0.999).detect(data)
+        fine_score = fine.scores[300, 2]
+        coarse_score = coarse_only.scores[300, 2]
+        assert fine_score > coarse_score
+
+
+class TestFourierSpecifics:
+    def test_removes_seasonality(self):
+        data = _seasonal_matrix()
+        scores = FourierDetector(n_components=10).score(data)
+        # After removing the strongest components, the scores should show no
+        # strong diurnal autocorrelation.
+        series = scores[:, 0]
+        lag = 288
+        a = series[:-lag] - series[:-lag].mean()
+        b = series[lag:] - series[lag:].mean()
+        autocorr = np.sum(a * b) / np.sqrt(np.sum(a**2) * np.sum(b**2))
+        assert abs(autocorr) < 0.3
+
+    def test_zero_components_keeps_only_mean(self):
+        data = _seasonal_matrix()
+        scores = FourierDetector(n_components=0).score(data)
+        assert scores.shape == data.shape
+
+    def test_invalid_component_count(self):
+        with pytest.raises(ValueError):
+            FourierDetector(n_components=-1)

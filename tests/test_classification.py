@@ -1,0 +1,149 @@
+"""Unit and integration tests for dominance analysis and the rule-based classifier."""
+
+import numpy as np
+import pytest
+
+from repro.anomalies import (
+    AlphaInjector,
+    AnomalyType,
+    DosInjector,
+    FlashCrowdInjector,
+    GroundTruthLog,
+    IngressShiftInjector,
+    InjectionContext,
+    OutageInjector,
+    PointMultipointInjector,
+    ScanInjector,
+    WormInjector,
+)
+from repro.classification import (
+    DominanceAnalyzer,
+    RuleBasedClassifier,
+    extract_event_features,
+)
+from repro.core import detect_network_anomalies
+from repro.flows.composition import FlowCompositionModel
+from repro.flows.timeseries import TrafficType
+
+
+@pytest.fixture()
+def injected_environment(abilene, clean_series):
+    """A copy of the clean series plus the machinery to inject and classify."""
+    series = clean_series.copy()
+    composition = FlowCompositionModel(abilene, seed=0)
+    context = InjectionContext(
+        network=abilene,
+        series=series,
+        composition=composition,
+        ground_truth=GroundTruthLog(),
+        rng=np.random.default_rng(42),
+    )
+    return context
+
+
+def _classify_injected(context, injector, expect_detection=True):
+    """Inject one anomaly, run detection and classification, return results."""
+    anomaly = injector.inject(context)
+    report = detect_network_anomalies(context.series)
+    analyzer = DominanceAnalyzer(context.series, context.composition)
+    classifier = RuleBasedClassifier()
+    matching = [event for event in report.events if event.overlaps_bins(anomaly.bins)]
+    if expect_detection:
+        assert matching, f"injected {anomaly.anomaly_type} was not detected"
+    results = []
+    for event in matching:
+        features = extract_event_features(event, context.series, analyzer)
+        results.append(classifier.classify(features))
+    return anomaly, results
+
+
+class TestDominanceAnalyzer:
+    def test_summary_over_clean_cells_has_no_dominant_source(self, abilene, clean_series):
+        analyzer = DominanceAnalyzer(clean_series, FlowCompositionModel(abilene, seed=0))
+        summary = analyzer.summarize([("LOSA", "NYCM")], [10, 11])
+        assert not summary.has_dominant(TrafficType.FLOWS, "src_range")
+
+    def test_threshold_validated(self, abilene, clean_series):
+        with pytest.raises(ValueError):
+            DominanceAnalyzer(clean_series, FlowCompositionModel(abilene), threshold=1.5)
+
+    def test_event_composition_merges_cells(self, abilene, clean_series):
+        analyzer = DominanceAnalyzer(clean_series, FlowCompositionModel(abilene, seed=0))
+        merged = analyzer.event_composition([("LOSA", "NYCM"), ("CHIN", "WASH")], [3, 4])
+        single = analyzer.cell_composition(("LOSA", "NYCM"), 3)
+        assert len(merged.groups) > len(single.groups)
+
+
+class TestClassifierOnInjectedAnomalies:
+    def test_alpha_classified_as_alpha(self, injected_environment):
+        injector = AlphaInjector(start_bin=40, duration_bins=2,
+                                 od_pair=("LOSA", "NYCM"), magnitude=7.0,
+                                 packet_size_bytes=1400.0)
+        _anomaly, results = _classify_injected(injected_environment, injector)
+        assert AnomalyType.ALPHA in {r.anomaly_type for r in results}
+
+    def test_dos_classified_as_dos(self, injected_environment):
+        injector = DosInjector(start_bin=60, duration_bins=2,
+                               od_pairs=[("CHIN", "WASH")], magnitude=7.0,
+                               target_port=0, packets_per_flow=3.0)
+        _anomaly, results = _classify_injected(injected_environment, injector)
+        assert AnomalyType.DOS in {r.anomaly_type for r in results}
+
+    def test_ddos_classified_as_ddos(self, injected_environment):
+        pairs = [("CHIN", "WASH"), ("LOSA", "WASH"), ("STTL", "WASH")]
+        injector = DosInjector(start_bin=80, duration_bins=2, od_pairs=pairs,
+                               magnitude=10.0, target_port=113, packets_per_flow=2.0)
+        _anomaly, results = _classify_injected(injected_environment, injector)
+        assert {AnomalyType.DDOS, AnomalyType.DOS} & {r.anomaly_type for r in results}
+
+    def test_flash_crowd_classified_as_flash(self, injected_environment):
+        injector = FlashCrowdInjector(start_bin=100, duration_bins=2,
+                                      od_pair=("ATLA", "SNVA"), magnitude=7.0,
+                                      service_port=80, packets_per_flow=6.0)
+        _anomaly, results = _classify_injected(injected_environment, injector)
+        assert AnomalyType.FLASH_CROWD in {r.anomaly_type for r in results}
+
+    def test_scan_classified_as_scan(self, injected_environment):
+        injector = ScanInjector(start_bin=120, duration_bins=2,
+                                od_pair=("DNVR", "HSTN"), magnitude=6.0,
+                                network_scan=True, target_port=139)
+        _anomaly, results = _classify_injected(injected_environment, injector)
+        assert AnomalyType.SCAN in {r.anomaly_type for r in results}
+
+    def test_worm_classified_as_worm(self, injected_environment):
+        pairs = [("CHIN", "ATLA"), ("NYCM", "LOSA"), ("STTL", "HSTN")]
+        injector = WormInjector(start_bin=140, duration_bins=2, od_pairs=pairs,
+                                magnitude=12.0, worm_port=1433)
+        _anomaly, results = _classify_injected(injected_environment, injector)
+        assert AnomalyType.WORM in {r.anomaly_type for r in results}
+
+    def test_point_multipoint_classified(self, injected_environment):
+        pairs = [("WASH", "LOSA"), ("WASH", "SNVA"), ("WASH", "CHIN")]
+        injector = PointMultipointInjector(start_bin=160, duration_bins=2,
+                                           od_pairs=pairs, magnitude=9.0,
+                                           content_port=119)
+        _anomaly, results = _classify_injected(injected_environment, injector)
+        assert AnomalyType.POINT_MULTIPOINT in {r.anomaly_type for r in results}
+
+    def test_outage_classified_as_outage(self, injected_environment):
+        # 12 bins (one hour): long enough to matter, short enough that PCA
+        # on a one-day window does not absorb the outage into the normal
+        # subspace (week-long windows tolerate much longer outages).
+        injector = OutageInjector(start_bin=180, duration_bins=12, pop="LOSA")
+        _anomaly, results = _classify_injected(injected_environment, injector)
+        assert AnomalyType.OUTAGE in {r.anomaly_type for r in results}
+
+    def test_ingress_shift_classified(self, injected_environment):
+        injector = IngressShiftInjector(start_bin=220, duration_bins=12,
+                                        from_pop="LOSA", to_pop="SNVA",
+                                        shifted_fraction=0.8, customer="CALREN")
+        _anomaly, results = _classify_injected(injected_environment, injector)
+        labels = {r.anomaly_type for r in results}
+        assert {AnomalyType.INGRESS_SHIFT, AnomalyType.OUTAGE} & labels
+
+    def test_classification_results_carry_rationale(self, injected_environment):
+        injector = AlphaInjector(start_bin=40, duration_bins=1,
+                                 od_pair=("LOSA", "NYCM"), magnitude=7.0,
+                                 packet_size_bytes=1400.0)
+        _anomaly, results = _classify_injected(injected_environment, injector)
+        assert all(isinstance(r.rationale, str) and r.rationale for r in results)

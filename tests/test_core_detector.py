@@ -1,0 +1,235 @@
+"""Unit tests for the subspace detector, identification, and event aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import BinDetection, DetectionResult, SubspaceDetector
+from repro.core.events import (
+    COMBINATION_LABELS,
+    AnomalyEvent,
+    Detection,
+    aggregate_detections,
+    count_by_label,
+    fuse_traffic_types,
+)
+from repro.core.identification import identify_od_flows, spe_contributions
+from repro.flows.timeseries import TrafficType
+
+
+def _synthetic_matrix(n=600, p=30, seed=0, spikes=()):
+    """Low-rank diurnal-ish data plus optional (bin, flow, magnitude) spikes."""
+    rng = np.random.default_rng(seed)
+    time = np.arange(n)
+    base = 100.0 + 30.0 * np.sin(2 * np.pi * time / 288.0)
+    scale = rng.uniform(0.5, 2.0, size=p)
+    data = np.outer(base, scale) + rng.normal(0, 2.0, size=(n, p)) * scale
+    data = np.clip(data, 0, None)
+    for bin_index, flow, magnitude in spikes:
+        data[bin_index, flow] += magnitude
+    return data
+
+
+class TestSubspaceDetector:
+    def test_fit_detect_on_clean_data_has_few_detections(self):
+        detector = SubspaceDetector(n_normal=4, confidence=0.999)
+        result = detector.fit_detect(_synthetic_matrix())
+        assert result.detection_rate < 0.02
+
+    def test_detects_injected_spike(self):
+        data = _synthetic_matrix(spikes=[(300, 5, 800.0)])
+        result = SubspaceDetector().fit_detect(data)
+        assert 300 in result.anomalous_bins
+
+    def test_unfitted_detector_raises(self):
+        with pytest.raises(RuntimeError):
+            SubspaceDetector().detect(np.ones((10, 5)))
+
+    def test_model_property_after_fit(self):
+        detector = SubspaceDetector().fit(_synthetic_matrix())
+        assert detector.is_fitted
+        assert detector.model.n_normal == 4
+
+    def test_detect_on_new_data(self):
+        train = _synthetic_matrix(seed=1)
+        test = _synthetic_matrix(seed=2, spikes=[(100, 3, 900.0)])
+        detector = SubspaceDetector().fit(train)
+        result = detector.detect(test)
+        assert 100 in result.anomalous_bins
+
+    def test_disable_t2(self):
+        data = _synthetic_matrix(spikes=[(300, 5, 800.0)])
+        result = SubspaceDetector(use_t2=False).fit_detect(data)
+        assert result.t2_bins == []
+
+    def test_higher_confidence_fewer_detections(self):
+        data = _synthetic_matrix(seed=3)
+        low = SubspaceDetector(confidence=0.95).fit_detect(data)
+        high = SubspaceDetector(confidence=0.9999).fit_detect(data)
+        assert len(high.detections) <= len(low.detections)
+
+    def test_result_summary_fields(self):
+        result = SubspaceDetector().fit_detect(_synthetic_matrix())
+        summary = result.summary()
+        assert summary["n_bins"] == 600
+        assert {"n_detections", "spe_threshold", "t2_threshold"} <= set(summary)
+
+    def test_detection_lookup(self):
+        data = _synthetic_matrix(spikes=[(300, 5, 800.0)])
+        result = SubspaceDetector().fit_detect(data)
+        detection = result.detection_at(300)
+        assert detection is not None
+        assert detection.spe_triggered or detection.t2_triggered
+        assert result.detection_at(1) is None or result.detection_at(1).bin_index == 1
+
+    def test_needs_enough_bins(self):
+        with pytest.raises(ValueError):
+            SubspaceDetector(n_normal=4).fit(np.ones((4, 10)))
+
+    def test_rank_must_exceed_n_normal(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(50, 3))
+        with pytest.raises(ValueError):
+            SubspaceDetector(n_normal=4).fit(data)
+
+
+class TestIdentification:
+    def test_spe_identification_finds_spiked_flow(self):
+        # Fit on clean data, detect on perturbed data, so the spike cannot be
+        # absorbed into the normal subspace and must appear in the residual.
+        clean = _synthetic_matrix()
+        perturbed = _synthetic_matrix(spikes=[(300, 5, 300.0)])
+        detector = SubspaceDetector().fit(clean)
+        result = detector.detect(perturbed)
+        assert 300 in result.spe_bins
+        flows = identify_od_flows(detector.model, perturbed, 300, "spe",
+                                  result.spe_threshold)
+        assert flows[0] == 5
+
+    def test_spe_identification_multiple_flows(self):
+        clean = _synthetic_matrix()
+        perturbed = _synthetic_matrix(spikes=[(300, 5, 280.0), (300, 11, 260.0)])
+        detector = SubspaceDetector().fit(clean)
+        result = detector.detect(perturbed)
+        flows = identify_od_flows(detector.model, perturbed, 300, "spe",
+                                  result.spe_threshold)
+        assert {5, 11} <= set(flows[:4])
+
+    def test_identified_set_brings_statistic_under_threshold(self):
+        data = _synthetic_matrix(spikes=[(300, 5, 800.0)])
+        detector = SubspaceDetector().fit(data)
+        result = detector.detect()
+        flows = identify_od_flows(detector.model, data, 300, "spe",
+                                  result.spe_threshold)
+        contributions = spe_contributions(detector.model, data, 300)
+        remaining = contributions.sum() - contributions[flows].sum()
+        assert remaining <= result.spe_threshold
+
+    def test_t2_identification_returns_nonempty(self):
+        # A spike shared by many flows is captured in the normal subspace.
+        data = _synthetic_matrix()
+        data[200, :] *= 1.8
+        detector = SubspaceDetector().fit(data)
+        result = detector.detect()
+        flows = identify_od_flows(detector.model, data, 200, "t2",
+                                  result.t2_threshold, max_flows=10)
+        assert len(flows) >= 1
+        assert all(0 <= f < data.shape[1] for f in flows)
+
+    def test_max_flows_cap(self):
+        data = _synthetic_matrix(spikes=[(300, f, 500.0) for f in range(10)])
+        detector = SubspaceDetector().fit(data)
+        result = detector.detect()
+        flows = identify_od_flows(detector.model, data, 300, "spe",
+                                  result.spe_threshold, max_flows=3)
+        assert len(flows) <= 3
+
+    def test_invalid_statistic_rejected(self):
+        data = _synthetic_matrix()
+        detector = SubspaceDetector().fit(data)
+        with pytest.raises(ValueError):
+            identify_od_flows(detector.model, data, 0, "bogus", 1.0)
+
+
+class TestEventAggregation:
+    def _detection(self, traffic_type, bin_index, flows=(1,)):
+        return Detection(traffic_type=traffic_type, bin_index=bin_index,
+                         od_flows=tuple(flows))
+
+    def test_empty_input(self):
+        assert aggregate_detections([]) == []
+
+    def test_single_type_single_bin(self):
+        events = aggregate_detections([self._detection(TrafficType.BYTES, 10)])
+        assert len(events) == 1
+        assert events[0].traffic_label == "B"
+        assert events[0].duration_bins == 1
+
+    def test_same_bin_two_types_becomes_bp(self):
+        events = aggregate_detections([
+            self._detection(TrafficType.BYTES, 10, (1,)),
+            self._detection(TrafficType.PACKETS, 10, (2,)),
+        ])
+        assert len(events) == 1
+        assert events[0].traffic_label == "BP"
+        assert events[0].od_flows == frozenset({1, 2})
+
+    def test_all_three_types_becomes_bfp(self):
+        events = aggregate_detections([
+            self._detection(TrafficType.BYTES, 4),
+            self._detection(TrafficType.FLOWS, 4),
+            self._detection(TrafficType.PACKETS, 4),
+        ])
+        assert events[0].traffic_label == "BFP"
+
+    def test_consecutive_bins_same_label_merged(self):
+        events = aggregate_detections([
+            self._detection(TrafficType.FLOWS, 7, (3,)),
+            self._detection(TrafficType.FLOWS, 8, (4,)),
+            self._detection(TrafficType.FLOWS, 9, (3,)),
+        ])
+        assert len(events) == 1
+        assert events[0].start_bin == 7 and events[0].end_bin == 9
+        assert events[0].od_flows == frozenset({3, 4})
+        assert events[0].duration_minutes() == 15.0
+
+    def test_gap_splits_events(self):
+        events = aggregate_detections([
+            self._detection(TrafficType.FLOWS, 7),
+            self._detection(TrafficType.FLOWS, 9),
+        ])
+        assert len(events) == 2
+
+    def test_label_change_splits_events(self):
+        events = aggregate_detections([
+            self._detection(TrafficType.FLOWS, 7),
+            self._detection(TrafficType.PACKETS, 8),
+        ])
+        assert len(events) == 2
+        assert {e.traffic_label for e in events} == {"F", "P"}
+
+    def test_count_by_label_covers_all_labels(self):
+        events = aggregate_detections([
+            self._detection(TrafficType.BYTES, 1),
+            self._detection(TrafficType.BYTES, 5),
+            self._detection(TrafficType.FLOWS, 5),
+        ])
+        counts = count_by_label(events)
+        assert set(counts) == set(COMBINATION_LABELS)
+        assert counts["B"] == 1
+        assert counts["BF"] == 1
+
+    def test_fuse_traffic_types_validates_keys(self):
+        with pytest.raises(ValueError):
+            fuse_traffic_types({
+                TrafficType.BYTES: [self._detection(TrafficType.FLOWS, 1)],
+            })
+
+    def test_event_helpers(self):
+        event = AnomalyEvent(traffic_label="FP", start_bin=10, end_bin=12,
+                             od_flows=frozenset({1, 2}), bins=(10, 11, 12))
+        assert event.n_od_flows == 2
+        assert event.involves_traffic_type(TrafficType.FLOWS)
+        assert not event.involves_traffic_type(TrafficType.BYTES)
+        assert event.overlaps_bins([12, 40])
+        assert not event.overlaps_bins([13])
+        assert set(event.traffic_types) == {TrafficType.FLOWS, TrafficType.PACKETS}

@@ -1,0 +1,158 @@
+"""Unit tests for the eigenflow decomposition and the subspace model."""
+
+import numpy as np
+import pytest
+
+from repro.core.pca import EigenflowDecomposition
+from repro.core.subspace import SubspaceModel, T2Scaling
+from repro.utils.stats import t_squared_threshold
+
+
+def _low_rank_data(n=500, p=40, rank=3, noise=0.01, seed=0):
+    """Data with a known low-rank structure plus small noise."""
+    rng = np.random.default_rng(seed)
+    temporal = rng.normal(size=(n, rank))
+    spatial = rng.normal(size=(rank, p))
+    return temporal @ spatial + noise * rng.normal(size=(n, p))
+
+
+class TestEigenflowDecomposition:
+    def test_eigenvalues_descending_and_nonnegative(self):
+        decomposition = EigenflowDecomposition(_low_rank_data())
+        eigenvalues = decomposition.eigenvalues
+        assert np.all(np.diff(eigenvalues) <= 1e-9)
+        assert np.all(eigenvalues >= -1e-12)
+
+    def test_eigenflows_are_orthonormal(self):
+        decomposition = EigenflowDecomposition(_low_rank_data())
+        u = decomposition.eigenflows(5)
+        assert np.allclose(u.T @ u, np.eye(5), atol=1e-10)
+
+    def test_principal_axes_are_orthonormal(self):
+        decomposition = EigenflowDecomposition(_low_rank_data())
+        v = decomposition.principal_axes(5)
+        assert np.allclose(v.T @ v, np.eye(5), atol=1e-10)
+
+    def test_low_rank_structure_recovered(self):
+        decomposition = EigenflowDecomposition(_low_rank_data(rank=3, noise=1e-6))
+        ratios = decomposition.explained_variance_ratio()
+        assert ratios[:3].sum() > 0.999
+        assert ratios[3] < 1e-6
+
+    def test_full_reconstruction_recovers_data(self):
+        data = _low_rank_data()
+        decomposition = EigenflowDecomposition(data)
+        reconstructed = decomposition.reconstruct(decomposition.rank)
+        assert np.allclose(reconstructed, data, atol=1e-8)
+
+    def test_partial_reconstruction_error_decreases_with_k(self):
+        data = _low_rank_data(rank=5, noise=0.5)
+        decomposition = EigenflowDecomposition(data)
+        errors = [np.linalg.norm(data - decomposition.reconstruct(k))
+                  for k in (1, 3, 5, 10)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_column_means_subtracted(self):
+        data = _low_rank_data() + 100.0
+        decomposition = EigenflowDecomposition(data, center=True)
+        assert np.allclose(decomposition.column_means, data.mean(axis=0))
+
+    def test_uncentered_mode(self):
+        data = np.abs(_low_rank_data()) + 10.0
+        decomposition = EigenflowDecomposition(data, center=False)
+        assert np.allclose(decomposition.column_means, 0.0)
+
+    def test_scores_of_training_data(self):
+        data = _low_rank_data()
+        decomposition = EigenflowDecomposition(data)
+        scores = decomposition.scores()
+        external = decomposition.scores(data)
+        assert np.allclose(scores, external, atol=1e-8)
+
+    def test_scores_shape_validation(self):
+        decomposition = EigenflowDecomposition(_low_rank_data(p=40))
+        with pytest.raises(ValueError):
+            decomposition.scores(np.ones((10, 39)))
+
+    def test_eigenvalue_relation_to_singular_values(self):
+        data = _low_rank_data(n=200)
+        decomposition = EigenflowDecomposition(data)
+        expected = decomposition.singular_values**2 / (200 - 1)
+        assert np.allclose(decomposition.eigenvalues, expected)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            EigenflowDecomposition(np.ones((1, 5)))
+
+
+class TestSubspaceModel:
+    def _model(self, data, k=4, scaling=T2Scaling.HOTELLING):
+        return SubspaceModel(EigenflowDecomposition(data), n_normal=k,
+                             t2_scaling=scaling)
+
+    def test_split_reconstructs_centered_data(self):
+        data = _low_rank_data()
+        model = self._model(data)
+        modeled, residual = model.split(data)
+        centered = data - data.mean(axis=0)
+        assert np.allclose(modeled + residual, centered, atol=1e-8)
+
+    def test_modeled_and_residual_orthogonal(self):
+        data = _low_rank_data()
+        model = self._model(data)
+        modeled, residual = model.split(data)
+        assert abs(np.sum(modeled * residual)) < 1e-6 * np.sum(modeled**2)
+
+    def test_spe_small_for_low_rank_data(self):
+        data = _low_rank_data(rank=3, noise=1e-6)
+        model = self._model(data, k=3)
+        assert model.spe(data).max() < 1e-6
+
+    def test_spe_detects_residual_perturbation(self):
+        data = _low_rank_data(rank=3, noise=0.01)
+        model = self._model(data, k=4)
+        threshold = model.spe_threshold(0.999)
+        perturbed = data.copy()
+        perturbed[100, 7] += 10.0   # large single-flow deviation
+        spe = model.spe(perturbed)
+        assert spe[100] > threshold
+        assert np.median(spe) < threshold
+
+    def test_t2_mean_close_to_k(self):
+        """For Gaussian data, Hotelling T² with k components has mean ≈ k."""
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(3000, 30))
+        model = self._model(data, k=4)
+        assert model.t2().mean() == pytest.approx(4.0, rel=0.1)
+
+    def test_t2_threshold_matches_formula(self):
+        data = _low_rank_data(n=800)
+        model = self._model(data, k=4)
+        assert model.t2_threshold(0.999) == pytest.approx(
+            t_squared_threshold(4, 800, 0.999))
+
+    def test_raw_scaling_flags_same_bins(self):
+        data = _low_rank_data(rank=3, noise=0.05, n=400)
+        hotelling = self._model(data, k=4, scaling=T2Scaling.HOTELLING)
+        raw = self._model(data, k=4, scaling=T2Scaling.RAW_EIGENFLOW)
+        flags_hotelling = hotelling.t2(data) > hotelling.t2_threshold()
+        flags_raw = raw.t2(data) > raw.t2_threshold()
+        assert np.array_equal(flags_hotelling, flags_raw)
+
+    def test_state_magnitude_is_uncentered(self):
+        data = np.abs(_low_rank_data()) + 50.0
+        model = self._model(data)
+        assert np.allclose(model.state_magnitude(data), np.sum(data**2, axis=1))
+
+    def test_n_normal_bounds(self):
+        data = _low_rank_data(n=50, p=10)
+        with pytest.raises(ValueError):
+            SubspaceModel(EigenflowDecomposition(data), n_normal=10)
+
+    def test_residual_and_score_vectors(self):
+        data = _low_rank_data()
+        model = self._model(data)
+        residual = model.residual_vector(data, 5)
+        scores = model.score_vector(data, 5)
+        assert residual.shape == (data.shape[1],)
+        assert scores.shape == (4,)

@@ -1,0 +1,123 @@
+"""Tests for dataset generation and the end-to-end diagnosis pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import detect_network_anomalies
+from repro.datasets import DatasetConfig, generate_abilene_dataset, small_scenario
+from repro.evaluation import detection_metrics, match_events
+from repro.flows.timeseries import TrafficType
+
+
+class TestDatasetConfig:
+    def test_n_bins(self):
+        assert DatasetConfig(weeks=1).n_bins == 2016
+        assert DatasetConfig(weeks=0.5).n_bins == 1008
+
+    def test_invalid_weeks(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(weeks=0)
+
+
+class TestGenerateAbileneDataset:
+    def test_dataset_shape_and_ground_truth(self, small_dataset):
+        assert small_dataset.network.n_pops == 11
+        assert small_dataset.n_od_pairs == 121
+        assert small_dataset.n_bins == 576
+        assert len(small_dataset.ground_truth) > 0
+
+    def test_clean_series_differs_from_injected(self, small_dataset):
+        assert not small_dataset.series.allclose(small_dataset.clean_series)
+
+    def test_clean_dataset_has_no_anomalies(self, clean_dataset):
+        assert len(clean_dataset.ground_truth) == 0
+        assert clean_dataset.series.allclose(clean_dataset.clean_series)
+
+    def test_reproducible_for_same_seed(self):
+        config = DatasetConfig(weeks=1.0 / 7.0)
+        a = generate_abilene_dataset(config, seed=99)
+        b = generate_abilene_dataset(config, seed=99)
+        assert a.series.allclose(b.series)
+        assert len(a.ground_truth) == len(b.ground_truth)
+
+    def test_summary_fields(self, small_dataset):
+        summary = small_dataset.summary()
+        assert summary["n_od_pairs"] == 121
+        assert summary["n_injected_anomalies"] == len(small_dataset.ground_truth)
+        assert "traffic" in summary
+
+    def test_week_window(self):
+        dataset = generate_abilene_dataset(DatasetConfig(weeks=1.0 / 7.0, schedule=None),
+                                           seed=1)
+        with pytest.raises(ValueError):
+            dataset.week_window(1)
+        window = dataset.week_window(0)
+        assert window.n_bins == dataset.n_bins
+
+    def test_explicit_injectors_override_schedule(self, abilene):
+        from repro.anomalies import AlphaInjector
+        config = DatasetConfig(weeks=1.0 / 7.0)
+        injector = AlphaInjector(start_bin=50, duration_bins=1,
+                                 od_pair=("LOSA", "NYCM"), magnitude=6.0)
+        dataset = generate_abilene_dataset(config, seed=2, injectors=[injector])
+        assert len(dataset.ground_truth) == 1
+        assert dataset.ground_truth.anomalies[0].start_bin == 50
+
+
+class TestSmallScenario:
+    def test_small_scenario_dimensions(self):
+        dataset = small_scenario(n_pops=4, n_days=1.0, seed=0)
+        assert dataset.network.n_pops == 4
+        assert dataset.n_od_pairs == 16
+        assert dataset.n_bins == 288
+
+    def test_small_scenario_without_anomalies(self):
+        dataset = small_scenario(n_pops=4, n_days=1.0, seed=0, with_anomalies=False)
+        assert len(dataset.ground_truth) == 0
+
+
+class TestEndToEndDiagnosis:
+    def test_pipeline_detects_most_injected_anomalies(self, small_dataset):
+        report = detect_network_anomalies(small_dataset.series)
+        match = match_events(report.events, small_dataset.ground_truth,
+                             series=small_dataset.series)
+        metrics = detection_metrics(match)
+        assert metrics.detection_rate > 0.6
+        assert metrics.n_events > 0
+
+    def test_pipeline_low_false_alarm_rate_on_clean_data(self, clean_dataset):
+        report = detect_network_anomalies(clean_dataset.series)
+        # 99.9% confidence over 576 bins and three traffic types: expect at
+        # most a small handful of false events.
+        assert report.n_events <= 15
+        for result in report.results.values():
+            assert result.detection_rate < 0.02
+
+    def test_report_structure(self, small_dataset):
+        report = detect_network_anomalies(small_dataset.series)
+        assert set(report.results) == set(TrafficType.all())
+        assert set(report.detections) == set(TrafficType.all())
+        for traffic_type, detections in report.detections.items():
+            for detection in detections:
+                assert detection.traffic_type == traffic_type
+                assert len(detection.od_flows) >= 1
+        counts = report.label_counts()
+        assert sum(counts.values()) == report.n_events
+
+    def test_report_od_pair_translation(self, small_dataset):
+        report = detect_network_anomalies(small_dataset.series)
+        if report.events:
+            event = report.events[0]
+            pair = report.od_pair_of(next(iter(event.od_flows)))
+            assert pair in small_dataset.series.od_pairs
+
+    def test_subset_of_traffic_types(self, small_dataset):
+        report = detect_network_anomalies(small_dataset.series,
+                                          traffic_types=[TrafficType.BYTES])
+        assert list(report.results) == [TrafficType.BYTES]
+        assert all(event.traffic_label == "B" for event in report.events)
+
+    def test_events_within_series_range(self, small_dataset):
+        report = detect_network_anomalies(small_dataset.series)
+        for event in report.events:
+            assert 0 <= event.start_bin <= event.end_bin < small_dataset.n_bins

@@ -1,0 +1,175 @@
+"""Unit tests for ground-truth matching, metrics, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.anomalies.types import AnomalyType, GroundTruthAnomaly, GroundTruthLog
+from repro.classification.classifier import ClassificationResult
+from repro.core.events import AnomalyEvent
+from repro.evaluation import (
+    detection_metrics,
+    format_histogram,
+    format_table,
+    match_events,
+)
+from repro.evaluation.metrics import classification_accuracy, classification_confusion
+from repro.evaluation.reporting import format_series_summary
+from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
+from repro.utils.timebins import TimeBinning
+
+
+def _series(pairs=(("A", "B"), ("B", "A"), ("A", "C")), n_bins=50):
+    binning = TimeBinning(n_bins=n_bins)
+    matrices = {TrafficType.BYTES: np.ones((n_bins, len(pairs)))}
+    return TrafficMatrixSeries(list(pairs), binning, matrices)
+
+
+def _event(start, end, flows=(0,), label="B"):
+    return AnomalyEvent(traffic_label=label, start_bin=start, end_bin=end,
+                        od_flows=frozenset(flows), bins=tuple(range(start, end + 1)))
+
+
+def _truth(anomaly_id, start, end, pairs=(("A", "B"),),
+           anomaly_type=AnomalyType.ALPHA):
+    return GroundTruthAnomaly(
+        anomaly_id=anomaly_id, anomaly_type=anomaly_type, start_bin=start, end_bin=end,
+        od_pairs=tuple(pairs), expected_traffic_types=frozenset({TrafficType.BYTES}))
+
+
+class TestMatching:
+    def test_overlapping_event_matches(self):
+        series = _series()
+        log = GroundTruthLog([_truth(0, 10, 12)])
+        report = match_events([_event(11, 11)], log, series=series)
+        assert report.detection_rate == 1.0
+        assert report.false_alarm_rate == 0.0
+        assert report.matches[0].overlap_bins >= 1
+
+    def test_od_overlap_required(self):
+        series = _series()
+        log = GroundTruthLog([_truth(0, 10, 12, pairs=(("B", "A"),))])
+        # event involves OD flow 0 = ("A", "B") which is not the anomaly's pair
+        report = match_events([_event(11, 11, flows=(0,))], log, series=series)
+        assert report.detection_rate == 0.0
+        relaxed = match_events([_event(11, 11, flows=(0,))], log, series=series,
+                               require_od_overlap=False)
+        assert relaxed.detection_rate == 1.0
+
+    def test_bin_tolerance(self):
+        series = _series()
+        log = GroundTruthLog([_truth(0, 10, 10)])
+        exact = match_events([_event(12, 12)], log, series=series, bin_tolerance=0)
+        tolerant = match_events([_event(12, 12)], log, series=series, bin_tolerance=2)
+        assert exact.detection_rate == 0.0
+        assert tolerant.detection_rate == 1.0
+
+    def test_unmatched_events_are_false_alarms(self):
+        series = _series()
+        log = GroundTruthLog([_truth(0, 10, 12)])
+        report = match_events([_event(11, 11), _event(40, 40)], log, series=series)
+        assert report.unmatched_events() == [1]
+        assert report.false_alarm_rate == pytest.approx(0.5)
+
+    def test_missed_anomalies(self):
+        series = _series()
+        log = GroundTruthLog([_truth(0, 10, 12), _truth(1, 30, 31)])
+        report = match_events([_event(11, 11)], log, series=series)
+        missed = report.missed_anomalies()
+        assert [a.anomaly_id for a in missed] == [1]
+
+    def test_per_type_detection_rate(self):
+        series = _series()
+        log = GroundTruthLog([
+            _truth(0, 10, 12, anomaly_type=AnomalyType.ALPHA),
+            _truth(1, 30, 31, anomaly_type=AnomalyType.SCAN),
+        ])
+        report = match_events([_event(11, 11)], log, series=series)
+        rates = report.detection_rate_by_type()
+        assert rates[AnomalyType.ALPHA] == 1.0
+        assert rates[AnomalyType.SCAN] == 0.0
+
+    def test_requires_series_when_od_overlap(self):
+        log = GroundTruthLog([_truth(0, 10, 12)])
+        with pytest.raises(ValueError):
+            match_events([_event(11, 11)], log, series=None)
+
+
+class TestMetrics:
+    def test_detection_metrics_fields(self):
+        series = _series()
+        log = GroundTruthLog([_truth(0, 10, 12), _truth(1, 30, 31)])
+        report = match_events([_event(11, 11), _event(45, 45)], log, series=series)
+        metrics = detection_metrics(report)
+        assert metrics.n_ground_truth == 2
+        assert metrics.n_detected == 1
+        assert metrics.n_missed == 1
+        assert metrics.n_false_alarms == 1
+        assert metrics.detection_rate == pytest.approx(0.5)
+        assert metrics.as_dict()["n_events"] == 2
+
+    def test_confusion_and_accuracy(self):
+        series = _series()
+        log = GroundTruthLog([
+            _truth(0, 10, 12, anomaly_type=AnomalyType.ALPHA),
+            _truth(1, 30, 31, anomaly_type=AnomalyType.DDOS),
+        ])
+        events = [_event(11, 11), _event(30, 30), _event(45, 45)]
+        report = match_events(events, log, series=series)
+
+        def _classification(event, anomaly_type):
+            features = object.__new__(type("F", (), {}))  # placeholder features
+            return ClassificationResult(features=None, anomaly_type=anomaly_type,
+                                        rationale="test")
+
+        classifications = [
+            _classification(events[0], AnomalyType.ALPHA),
+            _classification(events[1], AnomalyType.DOS),   # DDOS collapses to DOS
+            _classification(events[2], AnomalyType.FALSE_ALARM),
+        ]
+        confusion = classification_confusion(classifications, report)
+        assert confusion[(AnomalyType.ALPHA, AnomalyType.ALPHA)] == 1
+        assert confusion[(AnomalyType.DOS, AnomalyType.DOS)] == 1
+        assert confusion[(AnomalyType.FALSE_ALARM, AnomalyType.FALSE_ALARM)] == 1
+        assert classification_accuracy(confusion) == 1.0
+
+    def test_confusion_requires_one_classification_per_event(self):
+        series = _series()
+        log = GroundTruthLog([_truth(0, 10, 12)])
+        report = match_events([_event(11, 11)], log, series=series)
+        with pytest.raises(ValueError):
+            classification_confusion([], report)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_content(self):
+        text = format_table(["name", "count"], [["alpha", 10], ["dos", 2]],
+                            title="events")
+        lines = text.splitlines()
+        assert lines[0] == "events"
+        assert "alpha" in text and "10" in text
+        assert len(lines) == 5  # title + header + separator + 2 rows
+
+    def test_format_table_validates_row_width(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_format_table_float_formatting(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_format_histogram_counts(self):
+        text = format_histogram([1, 1, 2, 5, 9], bin_edges=[0, 2, 4, 10],
+                                title="h")
+        lines = text.splitlines()
+        assert lines[0] == "h"
+        # bins [0,2), [2,4), [4,10) hold 2, 1, 2 observations respectively
+        assert "    2 " in lines[1] and "    1 " in lines[2] and "    2 " in lines[3]
+
+    def test_format_histogram_requires_edges(self):
+        with pytest.raises(ValueError):
+            format_histogram([1.0], bin_edges=[1.0])
+
+    def test_format_series_summary(self):
+        text = format_series_summary("spe", np.array([1.0, 2.0, 50.0]), threshold=10.0)
+        assert "bins_above=1" in text
+        assert "median=2" in text

@@ -1,0 +1,169 @@
+"""Integration tests for the experiment runners (one per paper artifact).
+
+These run on the small two-day session dataset so they stay fast; the full
+paper-scale runs live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.anomalies.types import AnomalyType
+from repro.evaluation.experiments import (
+    run_ablation_k,
+    run_ablation_t2,
+    run_baseline_comparison,
+    run_figure1,
+    run_figure2,
+    run_resolution_experiment,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.flows.timeseries import TrafficType
+
+
+class TestFigure1:
+    def test_rows_present_for_all_traffic_types(self, small_dataset):
+        result = run_figure1(small_dataset, window_days=1.5)
+        assert set(result.results) == set(TrafficType.all())
+        for detection in result.results.values():
+            assert detection.spe.shape[0] == int(1.5 * 288)
+            assert detection.spe_threshold > 0
+            assert detection.t2_threshold > 0
+
+    def test_periodicity_removed_claim(self, small_dataset):
+        result = run_figure1(small_dataset, window_days=2.0)
+        for traffic_type in TrafficType.all():
+            assert result.periodicity_removed(traffic_type)
+
+    def test_anomalies_appear_as_spikes(self, small_dataset):
+        result = run_figure1(small_dataset, window_days=2.0)
+        flagged = set()
+        for traffic_type in TrafficType.all():
+            flagged.update(result.spike_bins(traffic_type))
+        injected_bins = {b for a in small_dataset.ground_truth for b in a.bins}
+        assert flagged & injected_bins
+
+    def test_render_contains_sections(self, small_dataset):
+        text = run_figure1(small_dataset, window_days=1.0).render()
+        assert "Figure 1" in text
+        assert "bytes" in text and "packets" in text and "flows" in text
+
+    def test_invalid_window(self, small_dataset):
+        with pytest.raises(ValueError):
+            run_figure1(small_dataset, window_days=0)
+
+
+class TestTable1:
+    def test_counts_structure_and_claims(self, small_dataset):
+        result = run_table1(small_dataset, week_by_week=False)
+        assert set(result.counts) == {"B", "F", "P", "BF", "BP", "FP", "BFP"}
+        assert result.total_events > 0
+        # the paper's structural claim: byte-and-flow-only detections are rare
+        assert result.counts["BF"] <= 1
+        text = result.render()
+        assert "Table 1" in text and "BFP" in text
+
+    def test_paper_counts_embedded_for_comparison(self, small_dataset):
+        result = run_table1(small_dataset, week_by_week=False)
+        assert result.paper_counts["F"] == 142
+        assert sum(result.paper_counts.values()) == 383
+
+
+class TestFigure2:
+    def test_histograms_cover_all_events(self, small_dataset):
+        result = run_figure2(small_dataset)
+        assert result.n_events > 0
+        assert len(result.durations_minutes) == len(result.od_flow_counts)
+        assert all(d >= 5.0 for d in result.durations_minutes)
+        assert all(c >= 1 for c in result.od_flow_counts)
+
+    def test_most_anomalies_are_small(self, small_dataset):
+        result = run_figure2(small_dataset)
+        assert result.fraction_short(60.0) > 0.5
+        assert result.median_od_flows() <= 8
+
+    def test_render(self, small_dataset):
+        text = run_figure2(small_dataset).render()
+        assert "duration" in text and "OD flows" in text
+
+
+class TestTable2:
+    def test_signatures_consistent_for_detected_types(self, small_dataset):
+        result = run_table2(small_dataset)
+        assert result.overall_consistency() > 0.6
+        alpha = result.observation(AnomalyType.ALPHA)
+        assert alpha.n_injected > 0
+        assert alpha.detection_rate > 0.6
+        # ALPHA events must exhibit the dominant source+destination signature
+        assert alpha.dominant_src_count >= alpha.n_detected * 0.8
+        assert alpha.dominant_dst_count >= alpha.n_detected * 0.8
+
+    def test_render(self, small_dataset):
+        text = run_table2(small_dataset).render()
+        assert "Table 2" in text and "ALPHA" in text
+
+
+class TestTable3:
+    def test_cross_tab_and_headline_numbers(self, small_dataset):
+        result = run_table3(small_dataset, week_by_week=False)
+        assert result.total_events() > 0
+        assert 0.0 <= result.false_alarm_fraction() <= 0.3
+        assert result.detection.detection_rate > 0.6
+        assert result.classification_accuracy() > 0.5
+        # DOS attacks must not be byte-only detections (paper's claim)
+        assert result.dos_in_byte_only_row() == 0
+        text = result.render()
+        assert "Table 3" in text and "False Alarm" in text
+
+    def test_alpha_detected_in_byte_involving_rows(self, small_dataset):
+        result = run_table3(small_dataset, week_by_week=False)
+        if result.column_total("ALPHA"):
+            assert result.alpha_in_byte_rows_fraction() > 0.5
+
+
+class TestAblations:
+    def test_t2_ablation(self, small_dataset):
+        result = run_ablation_t2(small_dataset)
+        assert result.with_t2.n_detected >= result.without_t2.n_detected
+        assert result.anomalies_only_caught_with_t2 >= 0
+        assert "T2" in result.render()
+
+    def test_k_sweep(self, small_dataset):
+        result = run_ablation_k(small_dataset, k_values=(2, 4, 8))
+        assert set(result.metrics_by_k) == {2, 4, 8}
+        for metrics in result.metrics_by_k.values():
+            assert 0.0 <= metrics.detection_rate <= 1.0
+        assert "k=4 (paper)" in result.render()
+
+
+class TestBaselineComparison:
+    def test_subspace_compares_against_all_baselines(self, small_dataset):
+        result = run_baseline_comparison(small_dataset)
+        assert len(result.baselines) == 3
+        assert result.subspace.detection_rate > 0.5
+        for metrics in result.baselines.values():
+            assert 0.0 <= metrics.detection_rate <= 1.0
+        assert "subspace" in result.render()
+
+
+class TestResolutionExperiment:
+    def test_meets_paper_targets(self, small_dataset):
+        # A coarser sampling rate keeps enough surviving records for the
+        # resolution-rate estimate to have small variance in a fast test;
+        # the rate itself does not depend on the sampling rate.
+        from repro.flows.sampling import SamplingConfig
+
+        result = run_resolution_experiment(
+            small_dataset, n_bins=3, volume_scale=2e-3,
+            sampling=SamplingConfig(sampling_rate=0.1))
+        assert result.n_synthesized_records > 0
+        assert result.n_sampled_records > 200
+        assert result.meets_paper_targets(flow_target=0.90, byte_target=0.88)
+        assert "resolution" in result.render()
+
+    def test_unresolvable_fraction_lowers_rate(self, small_dataset):
+        clean = run_resolution_experiment(small_dataset, n_bins=1,
+                                          unresolvable_fraction=0.0)
+        dirty = run_resolution_experiment(small_dataset, n_bins=1,
+                                          unresolvable_fraction=0.4)
+        assert clean.flow_resolution_rate > dirty.flow_resolution_rate

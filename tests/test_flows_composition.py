@@ -1,0 +1,151 @@
+"""Unit tests for the per-bin flow-composition model and dominance queries."""
+
+import numpy as np
+import pytest
+
+from repro.flows.composition import BinComposition, FlowCompositionModel, FlowGroup
+from repro.flows.records import TCP
+from repro.flows.timeseries import TrafficType
+from repro.routing.prefixes import parse_ipv4
+
+
+def _group(src="10.0.0.1", dst="10.1.0.1", sport=1000, dport=80,
+           bytes_=100.0, packets=10.0, flows=1.0, **kwargs):
+    return FlowGroup(src_address=parse_ipv4(src), dst_address=parse_ipv4(dst),
+                     src_port=sport, dst_port=dport, protocol=TCP,
+                     bytes=bytes_, packets=packets, flows=flows, **kwargs)
+
+
+class TestFlowGroup:
+    def test_volume_lookup(self):
+        group = _group(bytes_=5, packets=3, flows=2)
+        assert group.volume(TrafficType.BYTES) == 5
+        assert group.volume(TrafficType.PACKETS) == 3
+        assert group.volume(TrafficType.FLOWS) == 2
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            _group(bytes_=-1)
+
+    def test_spreads_must_be_positive(self):
+        with pytest.raises(ValueError):
+            _group(n_src_addresses=0)
+
+
+class TestBinCompositionDominance:
+    def test_single_heavy_group_dominates_everything(self):
+        groups = [_group(bytes_=90), _group(src="10.5.0.1", dst="10.6.0.1",
+                                            sport=2222, dport=443, bytes_=10)]
+        composition = BinComposition(("A", "B"), 0, groups)
+        assert composition.dominant_value("dst_port", TrafficType.BYTES) == 80
+        assert composition.has_dominant("src_range", TrafficType.BYTES)
+        assert composition.has_dominant("dst_range", TrafficType.BYTES)
+
+    def test_below_threshold_not_dominant(self):
+        groups = [_group(dport=port, src=f"10.{i}.0.1", bytes_=10)
+                  for i, port in enumerate(range(1000, 1010))]
+        composition = BinComposition(("A", "B"), 0, groups)
+        assert composition.dominant_value("dst_port", TrafficType.BYTES) is None
+        assert composition.dominant_value("src_range", TrafficType.BYTES) is None
+
+    def test_spread_dilutes_dominance(self):
+        # One group carries 60% of the flows but spans 1000 destination
+        # addresses, so no single destination range is dominant.
+        spread_group = _group(flows=60, n_dst_addresses=1000)
+        focused_group = _group(dst="10.9.0.1", flows=40)
+        composition = BinComposition(("A", "B"), 0, [spread_group, focused_group])
+        dominant = composition.dominant_value("dst_range", TrafficType.FLOWS)
+        assert dominant == parse_ipv4("10.9.0.0")
+
+    def test_port_spread_dilutes_port_dominance(self):
+        # Port scan: 80 flows spread over 500 destination ports, so even the
+        # group's representative port carries a negligible share.
+        scan_group = _group(dport=7, flows=80, n_dst_ports=500)
+        web_group = _group(dport=80, flows=19)
+        composition = BinComposition(("A", "B"), 0, [scan_group, web_group])
+        assert composition.dominant_value("dst_port", TrafficType.FLOWS) is None
+
+    def test_dominant_value_respects_threshold_argument(self):
+        groups = [_group(bytes_=30), _group(src="10.5.0.1", dport=443, bytes_=70)]
+        composition = BinComposition(("A", "B"), 0, groups)
+        assert composition.dominant_value("dst_port", TrafficType.BYTES,
+                                          threshold=0.5) == 443
+        assert composition.dominant_value("dst_port", TrafficType.BYTES,
+                                          threshold=0.75) is None
+
+    def test_empty_composition(self):
+        composition = BinComposition(("A", "B"), 0, [])
+        assert composition.total(TrafficType.BYTES) == 0.0
+        assert composition.dominant_value("dst_port", TrafficType.BYTES) is None
+
+    def test_dominant_summary_keys(self):
+        composition = BinComposition(("A", "B"), 0, [_group()])
+        summary = composition.dominant_summary(TrafficType.BYTES)
+        assert set(summary) == {"src_range", "dst_range", "src_port", "dst_port"}
+
+    def test_merge_requires_same_cell(self):
+        a = BinComposition(("A", "B"), 0, [_group()])
+        b = BinComposition(("A", "B"), 1, [_group()])
+        with pytest.raises(ValueError):
+            a.merge(b)
+        same = BinComposition(("A", "B"), 0, [_group(dport=443)])
+        merged = a.merge(same)
+        assert len(merged.groups) == 2
+
+    def test_unknown_attribute_rejected(self):
+        composition = BinComposition(("A", "B"), 0, [_group()])
+        with pytest.raises(ValueError):
+            composition.dominant_value("protocol", TrafficType.BYTES)
+
+
+class TestFlowCompositionModel:
+    def test_background_totals_match_series(self, abilene, clean_series):
+        model = FlowCompositionModel(abilene, seed=1)
+        od_pair = ("LOSA", "NYCM")
+        composition = model.composition(clean_series, od_pair, 10)
+        column = clean_series.od_index(*od_pair)
+        for traffic_type in TrafficType.all():
+            expected = clean_series.matrix(traffic_type)[10, column]
+            assert composition.total(traffic_type) == pytest.approx(expected, rel=1e-6)
+
+    def test_background_has_no_dominant_source(self, abilene, clean_series):
+        model = FlowCompositionModel(abilene, seed=1)
+        composition = model.composition(clean_series, ("CHIN", "WASH"), 50)
+        assert composition.dominant_value("src_range", TrafficType.FLOWS) is None
+
+    def test_composition_deterministic(self, abilene, clean_series):
+        model = FlowCompositionModel(abilene, seed=7)
+        a = model.composition(clean_series, ("ATLA", "DNVR"), 3)
+        b = model.composition(clean_series, ("ATLA", "DNVR"), 3)
+        assert [g.src_address for g in a.groups] == [g.src_address for g in b.groups]
+
+    def test_injected_groups_included_and_residual_preserved(self, abilene, clean_series):
+        series = clean_series.copy()
+        model = FlowCompositionModel(abilene, seed=1)
+        od_pair = ("LOSA", "NYCM")
+        column = series.od_index(*od_pair)
+        injected = _group(bytes_=series.matrix(TrafficType.BYTES)[5, column] * 2,
+                          packets=10.0, flows=1.0, label="alpha")
+        model.register_injected_groups(od_pair, 5, [injected])
+        series.matrix(TrafficType.BYTES)[5, column] *= 3  # injection tripled the cell
+        composition = model.composition(series, od_pair, 5)
+        assert "alpha" in composition.labels()
+        assert composition.total(TrafficType.BYTES) == pytest.approx(
+            series.matrix(TrafficType.BYTES)[5, column], rel=1e-6)
+
+    def test_injected_bin_index_override(self, abilene, clean_series):
+        model = FlowCompositionModel(abilene, seed=1)
+        od_pair = ("LOSA", "NYCM")
+        model.register_injected_groups(od_pair, 100, [_group(label="alpha")])
+        window = clean_series.window(95, 110)
+        with_override = model.composition(window, od_pair, 5, injected_bin_index=100)
+        without = model.composition(window, od_pair, 5)
+        assert "alpha" in with_override.labels()
+        assert "alpha" not in without.labels()
+
+    def test_injected_cells_listing(self, abilene):
+        model = FlowCompositionModel(abilene, seed=1)
+        model.register_injected_groups(("LOSA", "NYCM"), 4, [_group()])
+        assert model.injected_cells() == [(("LOSA", "NYCM"), 4)]
+        assert len(model.injected_groups(("LOSA", "NYCM"), 4)) == 1
+        assert model.injected_groups(("LOSA", "NYCM"), 5) == []

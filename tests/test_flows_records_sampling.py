@@ -1,0 +1,149 @@
+"""Unit tests for flow records and the packet-sampling simulator."""
+
+import numpy as np
+import pytest
+
+from repro.flows.records import TCP, UDP, FiveTuple, FlowRecord, PacketRecord
+from repro.flows.sampling import PacketSampler, SamplingConfig, sample_flow_records
+from repro.routing.prefixes import parse_ipv4
+
+
+def _key(src="10.0.0.1", dst="10.1.0.1", sport=1234, dport=80, proto=TCP):
+    return FiveTuple(src_address=parse_ipv4(src), dst_address=parse_ipv4(dst),
+                     src_port=sport, dst_port=dport, protocol=proto)
+
+
+class TestFiveTuple:
+    def test_reversed_swaps_endpoints(self):
+        key = _key()
+        rev = key.reversed()
+        assert rev.src_address == key.dst_address
+        assert rev.dst_port == key.src_port
+        assert rev.reversed() == key
+
+    def test_port_range_validated(self):
+        with pytest.raises(ValueError):
+            _key(sport=70000)
+
+    def test_str_contains_addresses(self):
+        assert "10.0.0.1" in str(_key())
+
+
+class TestFlowRecord:
+    def test_properties_mirror_key(self):
+        record = FlowRecord(key=_key(), start_time=0, end_time=30, bytes=100, packets=2)
+        assert record.src_port == 1234
+        assert record.dst_port == 80
+        assert record.protocol == TCP
+        assert record.duration == 30
+
+    def test_od_pair_none_until_resolved(self):
+        record = FlowRecord(key=_key(), start_time=0, end_time=1, bytes=1, packets=1)
+        assert record.od_pair is None
+        resolved = record.with_od("A", "B")
+        assert resolved.od_pair == ("A", "B")
+        # original is unchanged (records are immutable)
+        assert record.od_pair is None
+
+    def test_scaled(self):
+        record = FlowRecord(key=_key(), start_time=0, end_time=1, bytes=10, packets=2)
+        scaled = record.scaled(100.0)
+        assert scaled.bytes == 1000
+        assert scaled.packets == 200
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(ValueError):
+            FlowRecord(key=_key(), start_time=10, end_time=5, bytes=1, packets=1)
+
+
+class TestSamplingConfig:
+    def test_inverse_rate(self):
+        assert SamplingConfig(sampling_rate=0.01).inverse_rate == pytest.approx(100.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(sampling_rate=0.0)
+        with pytest.raises(ValueError):
+            SamplingConfig(sampling_rate=1.5)
+
+
+class TestPacketSampler:
+    def _packets(self, n, key=None, size=100, start=0.0):
+        key = key or _key()
+        return [PacketRecord(timestamp=start + i * 0.01, key=key, size_bytes=size,
+                             observing_router="A-rtr")
+                for i in range(n)]
+
+    def test_samples_roughly_the_configured_fraction(self):
+        sampler = PacketSampler(SamplingConfig(sampling_rate=0.1), seed=0)
+        n_sampled = sampler.observe_many(self._packets(20_000))
+        assert 0.08 * 20_000 < n_sampled < 0.12 * 20_000
+
+    def test_export_aggregates_per_five_tuple(self):
+        sampler = PacketSampler(SamplingConfig(sampling_rate=0.999999), seed=0)
+        key_a, key_b = _key(sport=1000), _key(sport=2000)
+        sampler.observe_many(self._packets(50, key=key_a))
+        sampler.observe_many(self._packets(30, key=key_b))
+        records = sampler.export()
+        assert len(records) == 2
+        by_key = {r.key: r for r in records}
+        assert by_key[key_a].packets == 50
+        assert by_key[key_b].packets == 30
+        assert by_key[key_a].bytes == 50 * 100
+
+    def test_export_clears_accumulator(self):
+        sampler = PacketSampler(SamplingConfig(sampling_rate=0.999999), seed=0)
+        sampler.observe_many(self._packets(10))
+        assert len(sampler.export()) == 1
+        assert sampler.export() == []
+
+    def test_export_splits_by_interval(self):
+        sampler = PacketSampler(SamplingConfig(sampling_rate=0.999999,
+                                               export_interval_seconds=60), seed=0)
+        sampler.observe_many(self._packets(10, start=0.0))
+        sampler.observe_many(self._packets(10, start=65.0))
+        assert len(sampler.export()) == 2
+
+    def test_rescale_option(self):
+        sampler = PacketSampler(SamplingConfig(sampling_rate=0.5, rescale=True), seed=1)
+        sampler.observe_many(self._packets(1000))
+        records = sampler.export()
+        total_packets = sum(r.packets for r in records)
+        # rescaled counts estimate the original 1000 packets
+        assert 800 < total_packets < 1200
+
+
+class TestSampleFlowRecords:
+    def _true_flow(self, packets, bytes_=None):
+        return FlowRecord(key=_key(), start_time=0, end_time=60,
+                          bytes=bytes_ if bytes_ is not None else packets * 100.0,
+                          packets=packets)
+
+    def test_preserves_volume_in_expectation(self):
+        flows = [self._true_flow(1000) for _ in range(200)]
+        sampled = sample_flow_records(flows, SamplingConfig(sampling_rate=0.01), seed=2)
+        total_packets = sum(r.packets for r in sampled)
+        expected = 200 * 1000 * 0.01
+        assert 0.8 * expected < total_packets < 1.2 * expected
+
+    def test_small_flows_thinned_out(self):
+        flows = [self._true_flow(1) for _ in range(1000)]
+        sampled = sample_flow_records(flows, SamplingConfig(sampling_rate=0.01), seed=3)
+        # With 1% sampling most single-packet flows disappear entirely.
+        assert len(sampled) < 50
+
+    def test_zero_packet_flows_dropped(self):
+        flows = [self._true_flow(0, bytes_=0.0)]
+        assert sample_flow_records(flows, seed=1) == []
+
+    def test_deterministic_given_seed(self):
+        flows = [self._true_flow(500) for _ in range(50)]
+        a = sample_flow_records(flows, seed=9)
+        b = sample_flow_records(flows, seed=9)
+        assert [r.packets for r in a] == [r.packets for r in b]
+
+    def test_mean_packet_size_preserved(self):
+        flows = [self._true_flow(1000, bytes_=1000 * 640.0)]
+        sampled = sample_flow_records(flows, SamplingConfig(sampling_rate=0.1), seed=4)
+        assert len(sampled) == 1
+        assert sampled[0].bytes / sampled[0].packets == pytest.approx(640.0)

@@ -1,0 +1,184 @@
+"""Unit tests for the TrafficMatrixSeries container and flow aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.flows.aggregation import FlowAggregator, aggregate_records
+from repro.flows.records import FiveTuple, FlowRecord, TCP
+from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
+from repro.routing.prefixes import parse_ipv4
+from repro.utils.timebins import TimeBinning
+
+
+def _series(n_bins=10, pairs=(("A", "B"), ("B", "A"))):
+    binning = TimeBinning(n_bins=n_bins, bin_seconds=300)
+    matrices = {
+        TrafficType.BYTES: np.ones((n_bins, len(pairs))) * 100.0,
+        TrafficType.PACKETS: np.ones((n_bins, len(pairs))) * 10.0,
+        TrafficType.FLOWS: np.ones((n_bins, len(pairs))),
+    }
+    return TrafficMatrixSeries(list(pairs), binning, matrices)
+
+
+class TestTrafficType:
+    def test_short_labels(self):
+        assert TrafficType.BYTES.short_label == "B"
+        assert TrafficType.PACKETS.short_label == "P"
+        assert TrafficType.FLOWS.short_label == "F"
+
+    def test_from_short_label_roundtrip(self):
+        for traffic_type in TrafficType.all():
+            assert TrafficType.from_short_label(traffic_type.short_label) is traffic_type
+
+    def test_from_short_label_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            TrafficType.from_short_label("X")
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        binning = TimeBinning(n_bins=5, bin_seconds=300)
+        with pytest.raises(ValueError):
+            TrafficMatrixSeries([("A", "B")], binning,
+                                {TrafficType.BYTES: np.ones((4, 1))})
+
+    def test_negative_values_rejected(self):
+        binning = TimeBinning(n_bins=2, bin_seconds=300)
+        with pytest.raises(ValueError):
+            TrafficMatrixSeries([("A", "B")], binning,
+                                {TrafficType.BYTES: np.array([[-1.0], [1.0]])})
+
+    def test_duplicate_od_pairs_rejected(self):
+        binning = TimeBinning(n_bins=2, bin_seconds=300)
+        with pytest.raises(ValueError):
+            TrafficMatrixSeries([("A", "B"), ("A", "B")], binning,
+                                {TrafficType.BYTES: np.ones((2, 2))})
+
+    def test_zeros_constructor(self):
+        series = TrafficMatrixSeries.zeros([("A", "B")], TimeBinning(n_bins=3))
+        assert series.n_bins == 3
+        assert series.matrix(TrafficType.FLOWS).sum() == 0
+
+
+class TestAccessors:
+    def test_od_series_and_total(self):
+        series = _series()
+        assert series.od_series(TrafficType.BYTES, "A", "B").shape == (10,)
+        assert series.total_series(TrafficType.BYTES)[0] == pytest.approx(200.0)
+
+    def test_od_index_unknown(self):
+        with pytest.raises(KeyError):
+            _series().od_index("A", "Z")
+
+    def test_missing_traffic_type(self):
+        binning = TimeBinning(n_bins=2)
+        series = TrafficMatrixSeries([("A", "B")], binning,
+                                     {TrafficType.BYTES: np.ones((2, 1))})
+        with pytest.raises(KeyError):
+            series.matrix(TrafficType.FLOWS)
+
+
+class TestMutation:
+    def test_add_clips_at_zero(self):
+        series = _series()
+        series.add(TrafficType.BYTES, 0, "A", "B", -1e9)
+        assert series.matrix(TrafficType.BYTES)[0, 0] == 0.0
+
+    def test_add_block(self):
+        series = _series()
+        series.add_block(TrafficType.FLOWS, [1, 2, 3], "A", "B", [5, 5, 5])
+        assert np.allclose(series.od_series(TrafficType.FLOWS, "A", "B")[1:4], 6.0)
+
+    def test_scale_od_returns_delta(self):
+        series = _series()
+        delta = series.scale_od(TrafficType.BYTES, "A", "B", [0, 1], 0.0)
+        assert np.allclose(delta, -100.0)
+        assert series.matrix(TrafficType.BYTES)[0, 0] == 0.0
+
+
+class TestTransformations:
+    def test_window(self):
+        series = _series(n_bins=10)
+        window = series.window(2, 6)
+        assert window.n_bins == 4
+        assert window.binning.start_seconds == series.binning.bin_start(2)
+
+    def test_window_is_a_copy(self):
+        series = _series()
+        window = series.window(0, 5)
+        window.matrix(TrafficType.BYTES)[:] = 0.0
+        assert series.matrix(TrafficType.BYTES).sum() > 0
+
+    def test_select_od_pairs(self):
+        series = _series()
+        selected = series.select_od_pairs([("B", "A")])
+        assert selected.n_od_pairs == 1
+        assert selected.od_pairs == [("B", "A")]
+
+    def test_rebin_sums_volumes(self):
+        binning = TimeBinning(n_bins=10, bin_seconds=60)
+        matrices = {TrafficType.BYTES: np.arange(10, dtype=float).reshape(10, 1)}
+        series = TrafficMatrixSeries([("A", "B")], binning, matrices)
+        coarse = series.rebin(300)
+        assert coarse.n_bins == 2
+        assert coarse.matrix(TrafficType.BYTES)[0, 0] == pytest.approx(0 + 1 + 2 + 3 + 4)
+        assert coarse.matrix(TrafficType.BYTES)[1, 0] == pytest.approx(5 + 6 + 7 + 8 + 9)
+
+    def test_rebin_requires_divisibility(self):
+        series = _series(n_bins=7)
+        with pytest.raises(ValueError):
+            series.rebin(600)
+
+    def test_copy_and_allclose(self):
+        series = _series()
+        clone = series.copy()
+        assert series.allclose(clone)
+        clone.matrix(TrafficType.BYTES)[0, 0] += 1
+        assert not series.allclose(clone)
+
+    def test_summary_keys(self):
+        summary = _series().summary()
+        assert set(summary.keys()) == {"bytes", "packets", "flows"}
+        assert summary["bytes"]["nonzero_fraction"] == 1.0
+
+
+class TestAggregation:
+    def _record(self, start_time, origin="A", destination="B", bytes_=100.0,
+                packets=5.0):
+        key = FiveTuple(src_address=parse_ipv4("10.0.0.1"),
+                        dst_address=parse_ipv4("10.1.0.1"),
+                        src_port=1000, dst_port=80, protocol=TCP)
+        return FlowRecord(key=key, start_time=start_time, end_time=start_time + 10,
+                          bytes=bytes_, packets=packets,
+                          ingress_pop=origin, egress_pop=destination)
+
+    def test_records_summed_into_cells(self):
+        binning = TimeBinning(n_bins=4, bin_seconds=300)
+        records = [self._record(10), self._record(20), self._record(700)]
+        series = aggregate_records(records, [("A", "B")], binning)
+        assert series.matrix(TrafficType.BYTES)[0, 0] == pytest.approx(200.0)
+        assert series.matrix(TrafficType.FLOWS)[0, 0] == pytest.approx(2.0)
+        assert series.matrix(TrafficType.BYTES)[2, 0] == pytest.approx(100.0)
+
+    def test_unresolved_records_dropped(self):
+        binning = TimeBinning(n_bins=2, bin_seconds=300)
+        aggregator = FlowAggregator([("A", "B")], binning)
+        key = FiveTuple(src_address=1, dst_address=2, src_port=1, dst_port=2, protocol=6)
+        unresolved = FlowRecord(key=key, start_time=0, end_time=1, bytes=1, packets=1)
+        assert not aggregator.add(unresolved)
+        assert aggregator.dropped_records == 1
+
+    def test_unknown_od_pair_dropped_or_strict(self):
+        binning = TimeBinning(n_bins=2, bin_seconds=300)
+        record = self._record(0, origin="X", destination="Y")
+        lenient = FlowAggregator([("A", "B")], binning)
+        assert not lenient.add(record)
+        strict = FlowAggregator([("A", "B")], binning, strict=True)
+        with pytest.raises(ValueError):
+            strict.add(record)
+
+    def test_out_of_range_time_dropped(self):
+        binning = TimeBinning(n_bins=2, bin_seconds=300)
+        aggregator = FlowAggregator([("A", "B")], binning)
+        assert not aggregator.add(self._record(10_000))
+        assert aggregator.dropped_records == 1

@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.pca import EigenflowDecomposition
+from repro.core.subspace import SubspaceModel
+from repro.core.events import Detection, aggregate_detections
+from repro.flows.timeseries import TrafficType
+from repro.routing.prefixes import Prefix, PrefixTable, format_ipv4, parse_ipv4
+from repro.utils.stats import q_statistic_threshold, t_squared_threshold
+from repro.utils.timebins import TimeBinning
+
+_SETTINGS = settings(max_examples=50, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+# --------------------------------------------------------------------------- #
+# IPv4 / prefix properties
+# --------------------------------------------------------------------------- #
+@_SETTINGS
+@given(address=st.integers(min_value=0, max_value=2**32 - 1))
+def test_ipv4_format_parse_roundtrip(address):
+    assert parse_ipv4(format_ipv4(address)) == address
+
+
+@_SETTINGS
+@given(address=st.integers(min_value=0, max_value=2**32 - 1),
+       length=st.integers(min_value=0, max_value=32))
+def test_prefix_contains_its_own_network_and_broadcast(address, length):
+    mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+    prefix = Prefix(network=address & mask, length=length)
+    assert prefix.contains(prefix.first_address)
+    assert prefix.contains(prefix.last_address)
+    assert prefix.last_address - prefix.first_address + 1 == prefix.n_addresses
+
+
+@_SETTINGS
+@given(address=st.integers(min_value=0, max_value=2**32 - 1),
+       lengths=st.lists(st.integers(min_value=1, max_value=32), min_size=1,
+                        max_size=6, unique=True))
+def test_prefix_table_returns_most_specific_cover(address, lengths):
+    """Longest-prefix match always returns the longest covering prefix."""
+    table = PrefixTable()
+    covering = []
+    for length in lengths:
+        mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+        prefix = Prefix(network=address & mask, length=length)
+        table.insert(prefix, length)
+        covering.append(length)
+    assert table.lookup(address) == max(covering)
+
+
+# --------------------------------------------------------------------------- #
+# PCA / subspace properties
+# --------------------------------------------------------------------------- #
+_matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(min_value=12, max_value=40),
+                    st.integers(min_value=5, max_value=12)),
+    elements=st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                       allow_infinity=False),
+)
+
+
+@_SETTINGS
+@given(matrix=_matrices)
+def test_eigenvalues_nonnegative_and_sorted(matrix):
+    decomposition = EigenflowDecomposition(matrix)
+    eigenvalues = decomposition.eigenvalues
+    assert np.all(eigenvalues >= -1e-8)
+    assert np.all(np.diff(eigenvalues) <= 1e-8)
+
+
+@_SETTINGS
+@given(matrix=_matrices)
+def test_total_variance_preserved(matrix):
+    """Sum of eigenvalues equals the total variance of the data."""
+    decomposition = EigenflowDecomposition(matrix)
+    total_variance = np.var(matrix, axis=0, ddof=1).sum()
+    assert decomposition.eigenvalues.sum() == pytest.approx(total_variance, rel=1e-6,
+                                                            abs=1e-6)
+
+
+@_SETTINGS
+@given(matrix=_matrices, k=st.integers(min_value=1, max_value=4))
+def test_subspace_split_is_exact_and_orthogonal(matrix, k):
+    """x_hat + x_tilde reconstructs the centered data; parts are orthogonal;
+    the SPE never exceeds the total centered energy."""
+    decomposition = EigenflowDecomposition(matrix)
+    if decomposition.rank <= k:
+        return
+    model = SubspaceModel(decomposition, n_normal=k)
+    modeled, residual = model.split(matrix)
+    centered = matrix - matrix.mean(axis=0)
+    assert np.allclose(modeled + residual, centered, atol=1e-6)
+    total_energy = np.sum(centered**2, axis=1)
+    spe = model.spe(matrix)
+    assert np.all(spe <= total_energy + 1e-6)
+
+
+@_SETTINGS
+@given(eigenvalues=st.lists(st.floats(min_value=1e-6, max_value=1e9,
+                                      allow_nan=False), min_size=3, max_size=30),
+       k=st.integers(min_value=1, max_value=5))
+def test_q_threshold_nonnegative_and_monotone_in_confidence(eigenvalues, k):
+    eigenvalues = np.sort(np.asarray(eigenvalues))[::-1]
+    if k >= eigenvalues.size:
+        return
+    low = q_statistic_threshold(eigenvalues, k, confidence=0.95)
+    high = q_statistic_threshold(eigenvalues, k, confidence=0.999)
+    assert low >= 0.0
+    assert high >= low - 1e-9
+
+
+@_SETTINGS
+@given(k=st.integers(min_value=1, max_value=10),
+       n=st.integers(min_value=30, max_value=5000))
+def test_t2_threshold_positive_and_grows_with_k(k, n):
+    if n <= k + 1:
+        return
+    value = t_squared_threshold(k, n)
+    assert value > 0
+    if n > k + 2:
+        assert t_squared_threshold(min(k + 1, n - 2), n) >= value * 0.5
+
+
+# --------------------------------------------------------------------------- #
+# Event aggregation properties
+# --------------------------------------------------------------------------- #
+_detections = st.lists(
+    st.builds(
+        Detection,
+        traffic_type=st.sampled_from(list(TrafficType)),
+        bin_index=st.integers(min_value=0, max_value=100),
+        od_flows=st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                          max_size=4, unique=True).map(tuple),
+        statistic=st.sampled_from(["spe", "t2"]),
+    ),
+    max_size=40,
+)
+
+
+@_SETTINGS
+@given(detections=_detections)
+def test_events_cover_every_detection_exactly_once(detections):
+    """Every detected (bin, flow) appears in exactly one aggregated event,
+    events never overlap in time, and labels are canonical."""
+    events = aggregate_detections(detections)
+
+    detected_bins = {d.bin_index for d in detections}
+    event_bins = [b for e in events for b in e.bins]
+    assert sorted(event_bins) == sorted(detected_bins)          # no bin lost/duplicated
+
+    for event in events:
+        assert event.traffic_label in ("B", "F", "P", "BF", "BP", "FP", "BFP")
+        assert event.bins == tuple(range(event.start_bin, event.end_bin + 1))
+
+    for detection in detections:
+        holders = [e for e in events if detection.bin_index in e.bins]
+        assert len(holders) == 1
+        assert set(detection.od_flows) <= holders[0].od_flows
+        assert holders[0].involves_traffic_type(detection.traffic_type)
+
+
+@_SETTINGS
+@given(detections=_detections)
+def test_aggregation_is_order_invariant(detections):
+    forward = aggregate_detections(detections)
+    backward = aggregate_detections(list(reversed(detections)))
+    assert [(e.traffic_label, e.start_bin, e.end_bin, e.od_flows) for e in forward] == \
+           [(e.traffic_label, e.start_bin, e.end_bin, e.od_flows) for e in backward]
+
+
+# --------------------------------------------------------------------------- #
+# Time binning properties
+# --------------------------------------------------------------------------- #
+@_SETTINGS
+@given(n_bins=st.integers(min_value=1, max_value=5000),
+       bin_seconds=st.sampled_from([60, 300, 600]),
+       offset=st.floats(min_value=0, max_value=1, exclude_max=True))
+def test_every_time_maps_to_exactly_one_bin(n_bins, bin_seconds, offset):
+    binning = TimeBinning(n_bins=n_bins, bin_seconds=bin_seconds)
+    time = offset * binning.duration_seconds
+    bin_index = binning.bin_of(time)
+    start, end = binning.bin_range(bin_index)
+    assert start <= time < end

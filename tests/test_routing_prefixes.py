@@ -1,0 +1,148 @@
+"""Unit tests for IPv4 prefix arithmetic and longest-prefix matching."""
+
+import pytest
+
+from repro.routing.prefixes import (
+    Prefix,
+    PrefixTable,
+    format_ipv4,
+    parse_ipv4,
+    random_address_in_prefix,
+)
+
+
+class TestAddressParsing:
+    @pytest.mark.parametrize("text,value", [
+        ("0.0.0.0", 0),
+        ("255.255.255.255", 2**32 - 1),
+        ("10.0.0.1", (10 << 24) + 1),
+        ("192.168.1.2", (192 << 24) + (168 << 16) + (1 << 8) + 2),
+    ])
+    def test_parse_known_values(self, text, value):
+        assert parse_ipv4(text) == value
+
+    def test_roundtrip(self):
+        for text in ("1.2.3.4", "10.32.0.0", "203.0.113.7"):
+            assert format_ipv4(parse_ipv4(text)) == text
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", ""])
+    def test_parse_rejects_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_ipv4(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ipv4(2**32)
+
+
+class TestPrefix:
+    def test_parse_and_str_roundtrip(self):
+        prefix = Prefix.parse("10.32.0.0/16")
+        assert str(prefix) == "10.32.0.0/16"
+        assert prefix.length == 16
+        assert prefix.n_addresses == 65536
+
+    def test_bare_address_is_slash_32(self):
+        prefix = Prefix.parse("1.2.3.4")
+        assert prefix.length == 32
+        assert prefix.n_addresses == 1
+
+    def test_contains(self):
+        prefix = Prefix.parse("10.32.0.0/16")
+        assert prefix.contains(parse_ipv4("10.32.255.255"))
+        assert not prefix.contains(parse_ipv4("10.33.0.0"))
+
+    def test_rejects_host_bits_set(self):
+        with pytest.raises(ValueError):
+            Prefix(network=parse_ipv4("10.0.0.1"), length=24)
+
+    def test_first_and_last_address(self):
+        prefix = Prefix.parse("192.168.4.0/22")
+        assert format_ipv4(prefix.first_address) == "192.168.4.0"
+        assert format_ipv4(prefix.last_address) == "192.168.7.255"
+
+    def test_subnets(self):
+        prefix = Prefix.parse("10.0.0.0/14")
+        subnets = prefix.subnets(16)
+        assert len(subnets) == 4
+        assert str(subnets[0]) == "10.0.0.0/16"
+        assert str(subnets[-1]) == "10.3.0.0/16"
+
+    def test_subnets_rejects_shorter_length(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0/16").subnets(8)
+
+    def test_zero_length_prefix_covers_everything(self):
+        default = Prefix.parse("0.0.0.0/0")
+        assert default.contains(parse_ipv4("203.0.113.1"))
+        assert default.n_addresses == 2**32
+
+
+class TestRandomAddressInPrefix:
+    def test_always_inside(self, rng):
+        prefix = Prefix.parse("172.16.8.0/21")
+        for _ in range(100):
+            assert prefix.contains(random_address_in_prefix(prefix, rng))
+
+    def test_deterministic_with_seed(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert (random_address_in_prefix(prefix, 3)
+                == random_address_in_prefix(prefix, 3))
+
+
+class TestPrefixTable:
+    def test_longest_prefix_match_wins(self):
+        table = PrefixTable()
+        table.insert_str("10.0.0.0/8", "coarse")
+        table.insert_str("10.32.0.0/16", "fine")
+        assert table.lookup(parse_ipv4("10.32.1.1")) == "fine"
+        assert table.lookup(parse_ipv4("10.33.1.1")) == "coarse"
+
+    def test_lookup_miss_returns_none(self):
+        table = PrefixTable()
+        table.insert_str("10.0.0.0/8", "a")
+        assert table.lookup(parse_ipv4("11.0.0.1")) is None
+
+    def test_default_route(self):
+        table = PrefixTable()
+        table.insert_str("0.0.0.0/0", "default")
+        table.insert_str("10.0.0.0/8", "ten")
+        assert table.lookup(parse_ipv4("200.1.2.3")) == "default"
+        assert table.lookup(parse_ipv4("10.1.2.3")) == "ten"
+
+    def test_replacement_of_existing_prefix(self):
+        table = PrefixTable()
+        table.insert_str("10.0.0.0/8", "old")
+        table.insert_str("10.0.0.0/8", "new")
+        assert table.lookup(parse_ipv4("10.1.1.1")) == "new"
+        assert len(table) == 1
+
+    def test_covers_and_prefixes(self):
+        table = PrefixTable()
+        table.insert_str("10.0.0.0/8", 1)
+        assert table.covers(parse_ipv4("10.200.0.1"))
+        assert not table.covers(parse_ipv4("11.0.0.1"))
+        assert [str(p) for p in table.prefixes()] == ["10.0.0.0/8"]
+
+    def test_lookup_prefix_returns_matching_prefix(self):
+        table = PrefixTable()
+        table.insert_str("10.0.0.0/8", "a")
+        table.insert_str("10.1.0.0/16", "b")
+        match = table.lookup_prefix(parse_ipv4("10.1.2.3"))
+        assert match is not None
+        prefix, value = match
+        assert str(prefix) == "10.1.0.0/16"
+        assert value == "b"
+
+    def test_iteration_yields_entries(self):
+        table = PrefixTable()
+        table.insert_str("10.0.0.0/8", "a")
+        table.insert_str("192.168.0.0/16", "b")
+        assert dict((str(p), v) for p, v in table) == {
+            "10.0.0.0/8": "a", "192.168.0.0/16": "b"}
+
+    def test_slash32_exact_match(self):
+        table = PrefixTable()
+        table.insert_str("10.0.0.5/32", "host")
+        assert table.lookup(parse_ipv4("10.0.0.5")) == "host"
+        assert table.lookup(parse_ipv4("10.0.0.6")) is None

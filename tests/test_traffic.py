@@ -1,0 +1,232 @@
+"""Unit tests for the traffic generation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.flows.timeseries import TrafficType
+from repro.traffic import (
+    DiurnalProfile,
+    FlowSynthesizer,
+    GeneratorConfig,
+    GravityModel,
+    NoiseModel,
+    ODTrafficGenerator,
+    SeasonalityModel,
+    WeeklyProfile,
+    ar1_noise,
+    lognormal_noise,
+)
+from repro.utils.timebins import SECONDS_PER_DAY, TimeBinning
+
+
+class TestGravityModel:
+    def test_matrix_sums_to_total_volume(self, abilene):
+        model = GravityModel(abilene, total_volume=1e9, seed=1)
+        assert model.mean_matrix().sum() == pytest.approx(1e9, rel=1e-9)
+
+    def test_matrix_nonnegative_and_shape(self, abilene):
+        matrix = GravityModel(abilene, seed=1).mean_matrix()
+        assert matrix.shape == (11, 11)
+        assert np.all(matrix >= 0)
+
+    def test_self_traffic_fraction(self, abilene):
+        model = GravityModel(abilene, total_volume=1e9, self_traffic_fraction=0.1, seed=1)
+        matrix = model.mean_matrix()
+        assert np.trace(matrix) == pytest.approx(0.1e9, rel=1e-9)
+
+    def test_zero_self_fraction(self, abilene):
+        model = GravityModel(abilene, self_traffic_fraction=0.0, seed=1)
+        assert np.trace(model.mean_matrix()) == 0.0
+
+    def test_larger_pops_send_more(self, abilene):
+        model = GravityModel(abilene, mass_jitter=0.0, seed=1)
+        matrix = model.mean_matrix()
+        names = abilene.pop_names
+        nycm_out = matrix[names.index("NYCM")].sum()
+        kscy_out = matrix[names.index("KSCY")].sum()
+        assert nycm_out > kscy_out  # NYCM has a larger region weight
+
+    def test_mean_vector_matches_od_order(self, abilene):
+        model = GravityModel(abilene, seed=1)
+        vector = model.mean_vector()
+        pairs = abilene.od_pairs()
+        index = abilene.od_index("LOSA", "NYCM")
+        assert vector[index] == pytest.approx(model.od_mean("LOSA", "NYCM"))
+        assert vector.size == len(pairs)
+
+    def test_scaled(self, abilene):
+        model = GravityModel(abilene, total_volume=1e9, seed=1)
+        doubled = model.scaled(2.0)
+        assert doubled.mean_matrix().sum() == pytest.approx(2e9, rel=1e-9)
+
+    def test_reproducible(self, abilene):
+        a = GravityModel(abilene, seed=4).mean_matrix()
+        b = GravityModel(abilene, seed=4).mean_matrix()
+        assert np.allclose(a, b)
+
+
+class TestSeasonality:
+    def test_diurnal_profile_positive_and_periodic(self):
+        profile = DiurnalProfile(amplitude=0.5, peak_hour=15.0)
+        times = np.arange(0, 2 * SECONDS_PER_DAY, 300)
+        values = profile.factor(times)
+        assert np.all(values > 0)
+        assert np.allclose(values[:288], values[288:576], rtol=1e-9)
+
+    def test_diurnal_peaks_near_peak_hour(self):
+        profile = DiurnalProfile(amplitude=0.5, peak_hour=15.0, second_harmonic=0.0)
+        times = np.arange(0, SECONDS_PER_DAY, 300)
+        values = profile.factor(times)
+        peak_bin = int(np.argmax(values))
+        assert abs(peak_bin * 300 / 3600 - 15.0) < 0.5
+
+    def test_zero_amplitude_is_flat(self):
+        profile = DiurnalProfile(amplitude=0.0, second_harmonic=0.0)
+        values = profile.factor(np.arange(0, SECONDS_PER_DAY, 300))
+        assert np.allclose(values, 1.0)
+
+    def test_weekly_profile_weekend_dip(self):
+        weekly = WeeklyProfile()
+        monday = weekly.factor(0.0)
+        saturday = weekly.factor(5 * SECONDS_PER_DAY + 100.0)
+        assert saturday < monday
+
+    def test_weekly_profile_needs_seven_days(self):
+        with pytest.raises(ValueError):
+            WeeklyProfile(day_factors=(1.0, 1.0))
+
+    def test_seasonality_model_shape_and_positivity(self):
+        binning = TimeBinning(n_bins=288)
+        model = SeasonalityModel(n_od_pairs=10, seed=1)
+        factors = model.factors(binning)
+        assert factors.shape == (288, 10)
+        assert np.all(factors > 0)
+
+    def test_seasonality_columns_share_common_trend(self):
+        binning = TimeBinning(n_bins=288)
+        model = SeasonalityModel(n_od_pairs=20, phase_jitter_hours=0.5, seed=2)
+        factors = model.factors(binning)
+        correlations = np.corrcoef(factors.T)
+        # Per-OD profiles are perturbations of one shared diurnal trend.
+        assert np.median(correlations) > 0.8
+
+
+class TestNoise:
+    def test_ar1_noise_stationary_variance(self, rng):
+        noise = ar1_noise(20_000, 3, phi=0.6, sigma=2.0, rng=rng)
+        assert np.std(noise) == pytest.approx(2.0, rel=0.05)
+
+    def test_ar1_noise_is_correlated(self, rng):
+        noise = ar1_noise(20_000, 1, phi=0.8, sigma=1.0, rng=rng).ravel()
+        lag1 = np.corrcoef(noise[:-1], noise[1:])[0, 1]
+        assert 0.7 < lag1 < 0.9
+
+    def test_ar1_zero_sigma(self, rng):
+        assert np.all(ar1_noise(10, 2, phi=0.5, sigma=0.0, rng=rng) == 0.0)
+
+    def test_lognormal_noise_unit_mean(self, rng):
+        factors = lognormal_noise(50_000, 1, sigma=0.4, rng=rng)
+        assert factors.mean() == pytest.approx(1.0, rel=0.03)
+        assert np.all(factors > 0)
+
+    def test_noise_model_apply_preserves_shape_and_positivity(self, rng):
+        clean = np.full((100, 5), 50.0)
+        model = NoiseModel(multiplicative_sigma=0.2, temporal_correlation=0.3)
+        noisy = model.apply(clean, rng)
+        assert noisy.shape == clean.shape
+        assert np.all(noisy >= 0)
+
+    def test_apply_anchored_scales_with_anchor(self, rng):
+        clean = np.full((5000, 2), 100.0)
+        anchor = np.array([10.0, 100.0])
+        model = NoiseModel(multiplicative_sigma=0.5, temporal_correlation=0.0)
+        noisy = model.apply_anchored(clean, anchor, rng)
+        std_small = np.std(noisy[:, 0] - 100.0)
+        std_large = np.std(noisy[:, 1] - 100.0)
+        assert std_large > 5 * std_small
+
+    def test_apply_anchored_validates_anchor_length(self, rng):
+        model = NoiseModel()
+        with pytest.raises(ValueError):
+            model.apply_anchored(np.ones((10, 3)), np.ones(2), rng)
+
+
+class TestODTrafficGenerator:
+    def test_output_shapes_and_types(self, abilene, one_day_binning):
+        series = ODTrafficGenerator(abilene, seed=1).generate(one_day_binning)
+        assert series.n_bins == 288
+        assert series.n_od_pairs == 121
+        assert set(series.traffic_types) == set(TrafficType.all())
+
+    def test_reproducible(self, abilene, one_day_binning):
+        a = ODTrafficGenerator(abilene, seed=3).generate(one_day_binning)
+        b = ODTrafficGenerator(abilene, seed=3).generate(one_day_binning)
+        assert a.allclose(b)
+
+    def test_different_seeds_differ(self, abilene, one_day_binning):
+        a = ODTrafficGenerator(abilene, seed=3).generate(one_day_binning)
+        b = ODTrafficGenerator(abilene, seed=4).generate(one_day_binning)
+        assert not a.allclose(b)
+
+    def test_total_volume_close_to_configured(self, abilene, one_day_binning):
+        config = GeneratorConfig(total_bytes_per_bin=1e9)
+        series = ODTrafficGenerator(abilene, config=config, seed=1).generate(one_day_binning)
+        mean_per_bin = series.total_series(TrafficType.BYTES).mean()
+        assert 0.6e9 < mean_per_bin < 1.4e9
+
+    def test_traffic_types_coupled(self, abilene, one_day_binning):
+        series = ODTrafficGenerator(abilene, seed=1).generate(one_day_binning)
+        bytes_total = series.total_series(TrafficType.BYTES)
+        packets_total = series.total_series(TrafficType.PACKETS)
+        correlation = np.corrcoef(bytes_total, packets_total)[0, 1]
+        assert correlation > 0.9
+
+    def test_diurnal_cycle_present(self, abilene):
+        binning = TimeBinning(n_bins=2 * 288)
+        series = ODTrafficGenerator(abilene, seed=1).generate(binning)
+        total = series.total_series(TrafficType.BYTES)
+        assert total.max() / total.min() > 1.5
+
+    def test_all_nonnegative(self, abilene, one_day_binning):
+        series = ODTrafficGenerator(abilene, seed=2).generate(one_day_binning)
+        for traffic_type in TrafficType.all():
+            assert np.all(series.matrix(traffic_type) >= 0)
+
+
+class TestFlowSynthesizer:
+    def test_cell_totals_approximately_preserved(self, abilene, rng):
+        synthesizer = FlowSynthesizer(abilene, unresolvable_fraction=0.0, seed=1)
+        records = synthesizer.synthesize_cell("LOSA", "NYCM", 0.0, 300,
+                                              total_bytes=1e6, total_packets=2000,
+                                              total_flows=150)
+        assert len(records) == 150
+        assert sum(r.bytes for r in records) == pytest.approx(1e6, rel=1e-6)
+        assert sum(r.packets for r in records) >= 2000 * 0.9
+
+    def test_record_cap_respected(self, abilene):
+        synthesizer = FlowSynthesizer(abilene, max_flows_per_cell=50, seed=1)
+        records = synthesizer.synthesize_cell("LOSA", "NYCM", 0.0, 300,
+                                              total_bytes=1e6, total_packets=2000,
+                                              total_flows=5000)
+        assert len(records) == 50
+
+    def test_empty_cell_yields_no_records(self, abilene):
+        synthesizer = FlowSynthesizer(abilene, seed=1)
+        assert synthesizer.synthesize_cell("LOSA", "NYCM", 0.0, 300, 0.0, 0.0, 0.0) == []
+
+    def test_unresolvable_fraction_controls_unknown_addresses(self, abilene):
+        synthesizer = FlowSynthesizer(abilene, unresolvable_fraction=0.5, seed=1)
+        records = synthesizer.synthesize_cell("LOSA", "NYCM", 0.0, 300,
+                                              total_bytes=1e6, total_packets=2000,
+                                              total_flows=400)
+        unknown = sum(1 for r in records if r.observing_router is None)
+        assert 0.35 * len(records) < unknown < 0.65 * len(records)
+
+    def test_records_fall_inside_bin(self, abilene):
+        synthesizer = FlowSynthesizer(abilene, seed=2)
+        records = synthesizer.synthesize_cell("CHIN", "ATLA", 600.0, 300,
+                                              total_bytes=1e5, total_packets=200,
+                                              total_flows=20)
+        for record in records:
+            assert 600.0 <= record.start_time < 900.0
+            assert record.end_time <= 900.0 + 1e-6

@@ -1,0 +1,93 @@
+"""Unit tests for RNG management and argument validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import (
+    ensure_2d,
+    ensure_positive,
+    ensure_probability,
+    require,
+)
+
+
+class TestSpawnRng:
+    def test_same_seed_same_stream(self):
+        a = spawn_rng(7, stream="x").normal(size=5)
+        b = spawn_rng(7, stream="x").normal(size=5)
+        assert np.allclose(a, b)
+
+    def test_different_streams_differ(self):
+        a = spawn_rng(7, stream="x").normal(size=5)
+        b = spawn_rng(7, stream="y").normal(size=5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = spawn_rng(7, stream="x").normal(size=5)
+        b = spawn_rng(8, stream="x").normal(size=5)
+        assert not np.allclose(a, b)
+
+    def test_none_uses_default_seed(self):
+        a = spawn_rng(None).normal(size=3)
+        b = spawn_rng(None).normal(size=3)
+        assert np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert spawn_rng(generator) is generator
+
+    def test_generator_with_stream_derives_child(self):
+        generator = np.random.default_rng(1)
+        child = spawn_rng(generator, stream="child")
+        assert child is not generator
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "should not raise")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestEnsure2d:
+    def test_accepts_list_of_lists(self):
+        result = ensure_2d([[1, 2], [3, 4]])
+        assert result.shape == (2, 2)
+        assert result.dtype == float
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ensure_2d([1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ensure_2d(np.empty((0, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            ensure_2d([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            ensure_2d([[1.0, np.inf]])
+
+
+class TestScalarValidators:
+    def test_ensure_positive_accepts(self):
+        assert ensure_positive(2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_ensure_positive_rejects(self, bad):
+        with pytest.raises(ValueError):
+            ensure_positive(bad)
+
+    def test_ensure_probability_accepts(self):
+        assert ensure_probability(0.2) == 0.2
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0, float("nan")])
+    def test_ensure_probability_rejects(self, bad):
+        with pytest.raises(ValueError):
+            ensure_probability(bad)

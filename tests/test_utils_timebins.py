@@ -1,0 +1,98 @@
+"""Unit tests for time binning."""
+
+import pytest
+
+from repro.utils.timebins import (
+    SECONDS_PER_MINUTE,
+    TimeBinning,
+    bins_per_day,
+    bins_per_week,
+    week_binning,
+)
+
+
+class TestBinCounts:
+    def test_default_bins_per_day(self):
+        assert bins_per_day() == 288
+
+    def test_default_bins_per_week(self):
+        assert bins_per_week() == 2016  # the paper's n for one week
+
+    def test_one_minute_bins(self):
+        assert bins_per_day(60) == 1440
+
+    def test_rejects_non_divisor(self):
+        with pytest.raises(ValueError):
+            bins_per_day(7 * 60)
+
+
+class TestTimeBinning:
+    def test_duration(self):
+        binning = TimeBinning(n_bins=12, bin_seconds=300)
+        assert binning.duration_seconds == 3600
+        assert binning.end_seconds == 3600
+
+    def test_bin_of_and_bin_start_roundtrip(self):
+        binning = TimeBinning(n_bins=100, bin_seconds=300, start_seconds=1000)
+        for index in (0, 1, 50, 99):
+            start = binning.bin_start(index)
+            assert binning.bin_of(start) == index
+            assert binning.bin_of(start + 299) == index
+
+    def test_bin_of_out_of_range(self):
+        binning = TimeBinning(n_bins=10, bin_seconds=300)
+        with pytest.raises(ValueError):
+            binning.bin_of(-1)
+        with pytest.raises(ValueError):
+            binning.bin_of(3000)
+
+    def test_bin_range(self):
+        binning = TimeBinning(n_bins=10, bin_seconds=300, start_seconds=600)
+        assert binning.bin_range(0) == (600, 900)
+        assert binning.bin_range(9) == (600 + 9 * 300, 600 + 10 * 300)
+
+    def test_bins_between(self):
+        binning = TimeBinning(n_bins=10, bin_seconds=300)
+        assert binning.bins_between(0, 300) == [0]
+        assert binning.bins_between(0, 301) == [0, 1]
+        assert binning.bins_between(450, 950) == [1, 2, 3]
+
+    def test_bins_between_clamps_to_range(self):
+        binning = TimeBinning(n_bins=4, bin_seconds=300)
+        assert binning.bins_between(-1000, 10_000) == [0, 1, 2, 3]
+
+    def test_duration_minutes(self):
+        binning = TimeBinning(n_bins=10, bin_seconds=300)
+        assert binning.duration_minutes(2) == 10.0
+
+    def test_rebin_factor(self):
+        fine = TimeBinning(n_bins=10, bin_seconds=60)
+        assert fine.rebin_factor(300) == 5
+        with pytest.raises(ValueError):
+            fine.rebin_factor(90)
+
+    def test_len_and_iter(self):
+        binning = TimeBinning(n_bins=5, bin_seconds=300)
+        assert len(binning) == 5
+        assert list(binning) == [0, 1, 2, 3, 4]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TimeBinning(n_bins=0, bin_seconds=300)
+        with pytest.raises(ValueError):
+            TimeBinning(n_bins=10, bin_seconds=0)
+
+    def test_index_bounds(self):
+        binning = TimeBinning(n_bins=3, bin_seconds=300)
+        with pytest.raises(IndexError):
+            binning.bin_start(3)
+
+
+class TestWeekBinning:
+    def test_covers_requested_weeks(self):
+        binning = week_binning(weeks=2)
+        assert binning.n_bins == 2 * 2016
+
+    def test_rejects_zero_weeks(self):
+        with pytest.raises(ValueError):
+            week_binning(weeks=0)
