@@ -23,9 +23,19 @@ pipeline over a :class:`~repro.flows.timeseries.TrafficMatrixSeries`.
 """
 
 from repro.core.pca import EigenflowDecomposition
-from repro.core.subspace import SubspaceModel, T2Scaling
-from repro.core.detector import BinDetection, DetectionResult, SubspaceDetector
-from repro.core.identification import identify_od_flows
+from repro.core.limits import ControlLimits, T2Scaling, control_limits
+from repro.core.subspace import SubspaceModel
+from repro.core.detector import (
+    BinDetection,
+    DetectionResult,
+    SubspaceDetector,
+    classify_bins,
+)
+from repro.core.identification import (
+    identify_od_flows,
+    identify_spe_flows,
+    identify_t2_flows,
+)
 from repro.core.events import AnomalyEvent, aggregate_detections, fuse_traffic_types
 from repro.core.pipeline import NetworkAnomalyReport, detect_network_anomalies
 
@@ -33,10 +43,15 @@ __all__ = [
     "EigenflowDecomposition",
     "SubspaceModel",
     "T2Scaling",
+    "ControlLimits",
+    "control_limits",
     "SubspaceDetector",
     "DetectionResult",
     "BinDetection",
+    "classify_bins",
     "identify_od_flows",
+    "identify_spe_flows",
+    "identify_t2_flows",
     "AnomalyEvent",
     "aggregate_detections",
     "fuse_traffic_types",

@@ -15,11 +15,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.limits import ControlLimits
 from repro.core.pca import EigenflowDecomposition
 from repro.core.subspace import SubspaceModel, T2Scaling
 from repro.utils.validation import ensure_2d, ensure_probability, require
 
-__all__ = ["BinDetection", "DetectionResult", "SubspaceDetector"]
+__all__ = ["BinDetection", "DetectionResult", "SubspaceDetector", "classify_bins"]
 
 
 @dataclass(frozen=True)
@@ -103,6 +104,39 @@ class DetectionResult:
             "t2_threshold": float(self.t2_threshold),
             "detection_rate": self.detection_rate,
         }
+
+
+def classify_bins(
+    spe: np.ndarray,
+    t2: np.ndarray,
+    limits: ControlLimits,
+    use_t2: bool = True,
+    bin_offset: int = 0,
+) -> List[BinDetection]:
+    """Apply both control limits to per-bin statistics and flag exceedances.
+
+    This is the per-bin decision shared by the batch detector and the
+    streaming detector.  *bin_offset* shifts the reported ``bin_index`` so a
+    chunk of a longer stream can report stream-global indices.  Only flagged
+    bins incur any per-bin Python cost; the limit comparison is vectorized.
+    """
+    spe = np.asarray(spe, dtype=float)
+    t2 = np.asarray(t2, dtype=float)
+    require(spe.shape == t2.shape, "spe and t2 must have the same length")
+    spe_hits = spe > limits.spe
+    t2_hits = (t2 > limits.t2) if use_t2 else np.zeros_like(spe_hits)
+    detections: List[BinDetection] = []
+    for bin_index in np.nonzero(spe_hits | t2_hits)[0]:
+        spe_hit = bool(spe_hits[bin_index])
+        t2_hit = bool(t2_hits[bin_index])
+        triggered = "both" if (spe_hit and t2_hit) else ("spe" if spe_hit else "t2")
+        detections.append(BinDetection(
+            bin_index=int(bin_index) + bin_offset,
+            spe_value=float(spe[bin_index]),
+            t2_value=float(t2[bin_index]),
+            triggered_by=triggered,
+        ))
+    return detections
 
 
 class SubspaceDetector:
@@ -196,29 +230,14 @@ class SubspaceDetector:
         spe = model.spe(data)
         t2 = model.t2(data)
         state = model.state_magnitude(data)
-        spe_threshold = model.spe_threshold(self._confidence)
-        t2_threshold = model.t2_threshold(self._confidence)
-
-        detections: List[BinDetection] = []
-        for bin_index in range(spe.shape[0]):
-            spe_hit = bool(spe[bin_index] > spe_threshold)
-            t2_hit = bool(self._use_t2 and t2[bin_index] > t2_threshold)
-            if not spe_hit and not t2_hit:
-                continue
-            triggered = "both" if (spe_hit and t2_hit) else ("spe" if spe_hit else "t2")
-            detections.append(BinDetection(
-                bin_index=bin_index,
-                spe_value=float(spe[bin_index]),
-                t2_value=float(t2[bin_index]),
-                triggered_by=triggered,
-            ))
-
+        limits = model.control_limits(self._confidence)
+        detections = classify_bins(spe, t2, limits, use_t2=self._use_t2)
         return DetectionResult(
             state_magnitude=state,
             spe=spe,
-            spe_threshold=float(spe_threshold),
+            spe_threshold=limits.spe,
             t2=t2,
-            t2_threshold=float(t2_threshold),
+            t2_threshold=limits.t2,
             detections=detections,
         )
 

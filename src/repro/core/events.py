@@ -28,7 +28,7 @@ from repro.flows.timeseries import TrafficType
 from repro.utils.validation import require
 
 __all__ = ["Detection", "AnomalyEvent", "aggregate_detections", "fuse_traffic_types",
-           "COMBINATION_LABELS"]
+           "combination_label", "COMBINATION_LABELS"]
 
 #: The seven traffic-type combination labels of Table 1, in the paper's order.
 COMBINATION_LABELS: Tuple[str, ...] = ("B", "F", "P", "BF", "BP", "FP", "BFP")
@@ -109,7 +109,7 @@ class AnomalyEvent:
         return any(b in span for b in bins)
 
 
-def _combination_label(traffic_types: Iterable[TrafficType]) -> str:
+def combination_label(traffic_types: Iterable[TrafficType]) -> str:
     """Canonical combination label for a set of traffic types (B, P, F order)."""
     present = {TrafficType(t).short_label for t in traffic_types}
     label = "".join(ch for ch in "BFP" if ch in present)
@@ -158,7 +158,7 @@ def aggregate_detections(detections: Sequence[Detection]) -> List[AnomalyEvent]:
         ))
 
     for bin_index in sorted_bins:
-        label = _combination_label(per_bin[bin_index]["types"])
+        label = combination_label(per_bin[bin_index]["types"])
         contiguous = bool(current_bins) and bin_index == current_bins[-1] + 1
         if contiguous and label == current_label:
             current_bins.append(bin_index)

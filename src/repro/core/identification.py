@@ -26,7 +26,14 @@ import numpy as np
 from repro.core.subspace import SubspaceModel, T2Scaling
 from repro.utils.validation import ensure_2d, require
 
-__all__ = ["identify_od_flows", "spe_contributions", "t2_after_removal"]
+__all__ = [
+    "identify_od_flows",
+    "identify_spe_flows",
+    "identify_t2_flows",
+    "spe_contributions",
+    "t2_after_removal",
+    "t2_of_centered_row",
+]
 
 
 def spe_contributions(model: SubspaceModel, data: np.ndarray, bin_index: int) -> np.ndarray:
@@ -35,30 +42,131 @@ def spe_contributions(model: SubspaceModel, data: np.ndarray, bin_index: int) ->
     return residual**2
 
 
+def t2_of_centered_row(
+    centered_row: np.ndarray,
+    normal_axes: np.ndarray,
+    eigenvalues: np.ndarray,
+    n_samples: int,
+    t2_scaling: T2Scaling = T2Scaling.HOTELLING,
+    removed: Sequence[int] = (),
+) -> float:
+    """T² of one centered state vector, optionally after zeroing *removed* flows.
+
+    Removal is interpreted as "this OD flow behaved normally", i.e. its
+    centered value is set to zero, which subtracts its contribution from
+    every normal-subspace score.  This is the model-free primitive shared by
+    the batch and streaming identification paths: it needs only the ``p x k``
+    normal axes, the top-``k`` (or longer) eigenvalue spectrum, and the
+    sample count used for ``RAW_EIGENFLOW`` rescaling.
+    """
+    k = normal_axes.shape[1]
+    if len(removed):
+        centered_row = centered_row.copy()
+        centered_row[np.asarray(removed, dtype=int)] = 0.0
+    scores = centered_row @ normal_axes
+    lam = np.asarray(eigenvalues, dtype=float)[:k]
+    safe = np.where(lam > 0, lam, np.inf)
+    value = float(np.sum(scores**2 / safe))
+    if T2Scaling(t2_scaling) is T2Scaling.RAW_EIGENFLOW:
+        value /= n_samples - 1
+    return value
+
+
 def t2_after_removal(
     model: SubspaceModel,
     data: np.ndarray,
     bin_index: int,
     removed: Sequence[int],
 ) -> float:
-    """T² of one timebin after zeroing the centered values of *removed* flows.
-
-    Removal is interpreted as "this OD flow behaved normally", i.e. its
-    centered value is set to zero, which subtracts its contribution from
-    every normal-subspace score.
-    """
+    """T² of one timebin after zeroing the centered values of *removed* flows."""
     matrix = ensure_2d(data, "data")
     centered = matrix[bin_index] - model.decomposition.column_means
-    if removed:
-        centered = centered.copy()
-        centered[np.asarray(removed, dtype=int)] = 0.0
-    scores = centered @ model.normal_axes
-    eigenvalues = model.decomposition.eigenvalues[:model.n_normal]
-    safe = np.where(eigenvalues > 0, eigenvalues, np.inf)
-    value = float(np.sum(scores**2 / safe))
-    if model.t2_scaling is T2Scaling.RAW_EIGENFLOW:
-        value /= model.n_samples - 1
-    return value
+    return t2_of_centered_row(
+        centered,
+        model.normal_axes,
+        model.decomposition.eigenvalues,
+        model.n_samples,
+        model.t2_scaling,
+        removed,
+    )
+
+
+def identify_spe_flows(
+    residual_row: np.ndarray,
+    threshold: float,
+    max_flows: Optional[int] = None,
+) -> List[int]:
+    """Greedy smallest-set identification for an SPE detection.
+
+    Works directly on the residual vector ``x̃`` of the flagged bin, so both
+    the batch and streaming detectors can call it without a fitted
+    :class:`SubspaceModel`.  Flows are removed in decreasing order of their
+    squared residual contribution until the remaining SPE drops below
+    *threshold* (greedy = optimal here because contributions are additive).
+    """
+    residual_row = np.asarray(residual_row, dtype=float).ravel()
+    contributions = residual_row**2
+    n_features = contributions.size
+    cap = n_features if max_flows is None else min(max_flows, n_features)
+    order = np.argsort(contributions)[::-1]
+    total = float(contributions.sum())
+    identified: List[int] = []
+    for flow_index in order:
+        if total <= threshold or len(identified) >= cap:
+            break
+        identified.append(int(flow_index))
+        total -= float(contributions[flow_index])
+    if not identified:
+        identified.append(int(order[0]))
+    return identified
+
+
+def identify_t2_flows(
+    centered_row: np.ndarray,
+    normal_axes: np.ndarray,
+    eigenvalues: np.ndarray,
+    n_samples: int,
+    threshold: float,
+    t2_scaling: T2Scaling = T2Scaling.HOTELLING,
+    max_flows: Optional[int] = None,
+) -> List[int]:
+    """Greedy smallest-set identification for a T² detection.
+
+    Works directly on the centered state vector of the flagged bin plus the
+    normal-subspace description (axes, eigenvalues, sample count), removing
+    the flow whose zeroing most reduces T² until it drops below *threshold*.
+    """
+    centered_row = np.asarray(centered_row, dtype=float).ravel()
+    n_features = centered_row.size
+    cap = n_features if max_flows is None else min(max_flows, n_features)
+
+    def value_after(removed: Sequence[int]) -> float:
+        return t2_of_centered_row(centered_row, normal_axes, eigenvalues,
+                                  n_samples, t2_scaling, removed)
+
+    identified: List[int] = []
+    remaining = list(range(n_features))
+    current = value_after(identified)
+    while current > threshold and len(identified) < cap and remaining:
+        best_flow = None
+        best_value = current
+        for flow_index in remaining:
+            candidate = value_after(identified + [flow_index])
+            if candidate < best_value:
+                best_value = candidate
+                best_flow = flow_index
+        if best_flow is None:
+            # No single removal reduces the statistic further; stop.
+            break
+        identified.append(best_flow)
+        remaining.remove(best_flow)
+        current = best_value
+    if not identified:
+        # Fall back to the flow with the largest absolute centered value
+        # weighted by the normal axes (largest score contribution).
+        contribution = np.sum((centered_row[:, np.newaxis] * normal_axes)**2, axis=1)
+        identified.append(int(np.argmax(contribution)))
+    return identified
 
 
 def identify_od_flows(
@@ -94,45 +202,18 @@ def identify_od_flows(
     """
     require(statistic in ("spe", "t2"), "statistic must be 'spe' or 't2'")
     matrix = ensure_2d(data, "data")
-    n_features = matrix.shape[1]
-    cap = n_features if max_flows is None else min(max_flows, n_features)
 
     if statistic == "spe":
-        contributions = spe_contributions(model, matrix, bin_index)
-        order = np.argsort(contributions)[::-1]
-        total = float(contributions.sum())
-        identified: List[int] = []
-        for flow_index in order:
-            if total <= threshold or len(identified) >= cap:
-                break
-            identified.append(int(flow_index))
-            total -= float(contributions[flow_index])
-        if not identified:
-            identified.append(int(order[0]))
-        return identified
+        residual = model.residual_vector(matrix, bin_index)
+        return identify_spe_flows(residual, threshold, max_flows)
 
-    # T² branch: greedy removal by actual reduction of the statistic.
-    identified = []
-    remaining = list(range(n_features))
-    current = t2_after_removal(model, matrix, bin_index, identified)
-    while current > threshold and len(identified) < cap and remaining:
-        best_flow = None
-        best_value = current
-        for flow_index in remaining:
-            candidate = t2_after_removal(model, matrix, bin_index, identified + [flow_index])
-            if candidate < best_value:
-                best_value = candidate
-                best_flow = flow_index
-        if best_flow is None:
-            # No single removal reduces the statistic further; stop.
-            break
-        identified.append(best_flow)
-        remaining.remove(best_flow)
-        current = best_value
-    if not identified:
-        # Fall back to the flow with the largest absolute centered value
-        # weighted by the normal axes (largest score contribution).
-        centered = matrix[bin_index] - model.decomposition.column_means
-        contribution = np.sum((centered[:, np.newaxis] * model.normal_axes)**2, axis=1)
-        identified.append(int(np.argmax(contribution)))
-    return identified
+    centered = matrix[bin_index] - model.decomposition.column_means
+    return identify_t2_flows(
+        centered,
+        model.normal_axes,
+        model.decomposition.eigenvalues,
+        model.n_samples,
+        threshold,
+        model.t2_scaling,
+        max_flows,
+    )

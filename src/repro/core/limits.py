@@ -1,0 +1,82 @@
+"""Control limits of the subspace method as reusable, model-free pieces.
+
+The batch :class:`~repro.core.subspace.SubspaceModel` and the streaming
+detector both flag timebins against the same two control limits — the
+Jackson–Mudholkar Q-statistic for the SPE and the F-based Hotelling limit
+for T².  This module computes both from nothing but the eigenvalue spectrum
+and the (effective) sample count, so any model representation — a full SVD,
+an incrementally maintained eigenbasis, a deserialized snapshot — can reuse
+them without constructing an :class:`~repro.core.pca.EigenflowDecomposition`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.stats import q_statistic_threshold, t_squared_threshold
+from repro.utils.validation import ensure_probability, require
+
+__all__ = ["T2Scaling", "ControlLimits", "control_limits"]
+
+
+class T2Scaling(str, enum.Enum):
+    """How the T² statistic scales the normal-subspace scores."""
+
+    #: Classical Hotelling T²: scores standardized by their eigenvalue,
+    #: i.e. ``Σ_{i≤k} score²_i / λ_i = (n-1) Σ_{i≤k} u²_ij``.
+    HOTELLING = "hotelling"
+    #: The paper's literal formula on unit-norm eigenflows: ``Σ_{i≤k} u²_ij``.
+    RAW_EIGENFLOW = "raw"
+
+
+@dataclass(frozen=True)
+class ControlLimits:
+    """The two control limits applied per timebin, at one confidence level."""
+
+    spe: float
+    t2: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        require(self.spe >= 0.0, "spe limit must be non-negative")
+        require(self.t2 >= 0.0, "t2 limit must be non-negative")
+        ensure_probability(self.confidence, "confidence")
+
+
+def control_limits(
+    eigenvalues: np.ndarray,
+    n_normal: int,
+    n_samples: int,
+    confidence: float = 0.999,
+    t2_scaling: T2Scaling = T2Scaling.HOTELLING,
+) -> ControlLimits:
+    """Compute both control limits from an eigenvalue spectrum.
+
+    Parameters
+    ----------
+    eigenvalues:
+        All eigenvalues of the data covariance, descending.  Residual
+        eigenvalues (index >= *n_normal*) drive the Q-statistic limit;
+        appended zeros (e.g. from an eigendecomposition of a rank-deficient
+        covariance) are harmless.
+    n_normal:
+        Dimension ``k`` of the normal subspace.
+    n_samples:
+        Number of timebins the spectrum was estimated from.  Streaming
+        models pass their (rounded) effective sample count.
+    confidence:
+        One-sided confidence level of both limits (paper: 0.999).
+    t2_scaling:
+        T² scaling convention; under ``RAW_EIGENFLOW`` the T² limit is
+        divided by ``n_samples - 1`` so both conventions flag the same bins.
+    """
+    ensure_probability(confidence, "confidence")
+    spe_limit = q_statistic_threshold(eigenvalues, n_normal, confidence)
+    t2_limit = t_squared_threshold(n_normal, n_samples, confidence)
+    if T2Scaling(t2_scaling) is T2Scaling.RAW_EIGENFLOW:
+        t2_limit /= n_samples - 1
+    return ControlLimits(spe=float(spe_limit), t2=float(t2_limit),
+                         confidence=confidence)

@@ -55,6 +55,14 @@ class EigenflowDecomposition:
         self._u = u
         self._singular_values = singular_values
         self._vt = vt
+        # Derived arrays are computed once and handed out as read-only
+        # views; the factors themselves are frozen so a leaked view can
+        # never corrupt the decomposition.
+        for array in (self._u, self._singular_values, self._vt, self._column_means):
+            array.setflags(write=False)
+        self._eigenvalues = self._singular_values**2 / (n - 1)
+        self._eigenvalues.setflags(write=False)
+        self._explained_variance_ratio: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # shapes and raw factors
@@ -81,51 +89,71 @@ class EigenflowDecomposition:
 
     @property
     def column_means(self) -> np.ndarray:
-        """Per-OD-flow temporal means subtracted before decomposition."""
-        return self._column_means.copy()
+        """Per-OD-flow temporal means subtracted before decomposition.
+
+        Returns a read-only view (no copy is made per call).
+        """
+        return self._column_means
 
     @property
     def singular_values(self) -> np.ndarray:
-        """Singular values of the (centered) data matrix, descending."""
-        return self._singular_values.copy()
+        """Singular values of the (centered) data matrix, descending.
+
+        Returns a read-only view (no copy is made per call).
+        """
+        return self._singular_values
 
     @property
     def eigenvalues(self) -> np.ndarray:
-        """Eigenvalues of the sample covariance, ``S² / (n - 1)``, descending."""
-        return self._singular_values**2 / (self._n_samples - 1)
+        """Eigenvalues of the sample covariance, ``S² / (n - 1)``, descending.
+
+        Computed once at construction; returns a read-only view.
+        """
+        return self._eigenvalues
 
     def eigenflow(self, index: int) -> np.ndarray:
-        """The *index*-th eigenflow (unit-norm temporal pattern, length ``n``)."""
+        """The *index*-th eigenflow (unit-norm temporal pattern, length ``n``).
+
+        Returns a read-only view into the stored factor (no copy).
+        """
         require(0 <= index < self.rank, "eigenflow index out of range")
-        return self._u[:, index].copy()
+        return self._u[:, index]
 
     def eigenflows(self, n_components: Optional[int] = None) -> np.ndarray:
-        """The first *n_components* eigenflows as an ``n x k`` matrix."""
+        """The first *n_components* eigenflows as an ``n x k`` read-only view."""
         k = self.rank if n_components is None else n_components
         require(0 < k <= self.rank, "n_components out of range")
-        return self._u[:, :k].copy()
+        return self._u[:, :k]
 
     def principal_axis(self, index: int) -> np.ndarray:
-        """The *index*-th principal axis (unit vector in OD-flow space)."""
+        """The *index*-th principal axis (unit vector, read-only view)."""
         require(0 <= index < self.rank, "principal axis index out of range")
-        return self._vt[index].copy()
+        return self._vt[index]
 
     def principal_axes(self, n_components: Optional[int] = None) -> np.ndarray:
-        """The first *n_components* principal axes as a ``p x k`` matrix."""
+        """The first *n_components* principal axes as a ``p x k`` read-only view."""
         k = self.rank if n_components is None else n_components
         require(0 < k <= self.rank, "n_components out of range")
-        return self._vt[:k].T.copy()
+        return self._vt[:k].T
 
     # ------------------------------------------------------------------ #
     # derived quantities
     # ------------------------------------------------------------------ #
     def explained_variance_ratio(self) -> np.ndarray:
-        """Fraction of total variance captured by each component."""
-        eigenvalues = self.eigenvalues
-        total = eigenvalues.sum()
-        if total <= 0:
-            return np.zeros_like(eigenvalues)
-        return eigenvalues / total
+        """Fraction of total variance captured by each component.
+
+        Computed once on first call and cached; returns a read-only view.
+        """
+        if self._explained_variance_ratio is None:
+            eigenvalues = self._eigenvalues
+            total = eigenvalues.sum()
+            if total <= 0:
+                ratio = np.zeros_like(eigenvalues)
+            else:
+                ratio = eigenvalues / total
+            ratio.setflags(write=False)
+            self._explained_variance_ratio = ratio
+        return self._explained_variance_ratio
 
     def cumulative_variance_ratio(self) -> np.ndarray:
         """Cumulative explained-variance fractions."""

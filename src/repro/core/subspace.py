@@ -22,26 +22,15 @@ eigenvalue-standardized scores.  :class:`T2Scaling` exposes both choices;
 
 from __future__ import annotations
 
-import enum
 from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.limits import ControlLimits, T2Scaling, control_limits
 from repro.core.pca import EigenflowDecomposition
-from repro.utils.stats import q_statistic_threshold, t_squared_threshold
-from repro.utils.validation import ensure_2d, ensure_probability, require
+from repro.utils.validation import ensure_2d, require
 
 __all__ = ["T2Scaling", "SubspaceModel"]
-
-
-class T2Scaling(str, enum.Enum):
-    """How the T² statistic scales the normal-subspace scores."""
-
-    #: Classical Hotelling T²: scores standardized by their eigenvalue,
-    #: i.e. ``Σ_{i≤k} score²_i / λ_i = (n-1) Σ_{i≤k} u²_ij``.
-    HOTELLING = "hotelling"
-    #: The paper's literal formula on unit-norm eigenflows: ``Σ_{i≤k} u²_ij``.
-    RAW_EIGENFLOW = "raw"
 
 
 class SubspaceModel:
@@ -101,8 +90,11 @@ class SubspaceModel:
 
     @property
     def normal_axes(self) -> np.ndarray:
-        """The ``p x k`` matrix of normal-subspace principal axes."""
-        return self._normal_axes.copy()
+        """The ``p x k`` matrix of normal-subspace principal axes.
+
+        Returns a read-only view (no copy is made per call).
+        """
+        return self._normal_axes
 
     # ------------------------------------------------------------------ #
     # projections
@@ -151,9 +143,12 @@ class SubspaceModel:
 
     def spe_threshold(self, confidence: float = 0.999) -> float:
         """The Q-statistic control limit for the SPE."""
-        ensure_probability(confidence, "confidence")
-        return q_statistic_threshold(self._decomposition.eigenvalues,
-                                     self._n_normal, confidence)
+        return self.control_limits(confidence).spe
+
+    def control_limits(self, confidence: float = 0.999) -> ControlLimits:
+        """Both control limits at *confidence* (see :func:`control_limits`)."""
+        return control_limits(self._decomposition.eigenvalues, self._n_normal,
+                              self.n_samples, confidence, self._t2_scaling)
 
     def t2(self, data: Optional[np.ndarray] = None) -> np.ndarray:
         """The T² statistic per timebin (see :class:`T2Scaling`)."""
@@ -173,11 +168,7 @@ class SubspaceModel:
         Under the ``RAW_EIGENFLOW`` scaling the limit is divided by
         ``n - 1`` so the two conventions flag identical timebins.
         """
-        ensure_probability(confidence, "confidence")
-        threshold = t_squared_threshold(self._n_normal, self.n_samples, confidence)
-        if self._t2_scaling is T2Scaling.RAW_EIGENFLOW:
-            return threshold / (self.n_samples - 1)
-        return threshold
+        return self.control_limits(confidence).t2
 
     # ------------------------------------------------------------------ #
     # per-OD-flow attribution helpers (used by identification)

@@ -16,10 +16,12 @@ from repro.datasets.synthetic import (
     generate_abilene_dataset,
     small_scenario,
 )
+from repro.datasets.streaming import synthetic_chunk_stream
 
 __all__ = [
     "DatasetConfig",
     "SyntheticDataset",
     "generate_abilene_dataset",
     "small_scenario",
+    "synthetic_chunk_stream",
 ]

@@ -1,0 +1,77 @@
+"""Unbounded synthetic chunk streams for the online detection pipeline.
+
+:func:`synthetic_chunk_stream` turns the block-oriented synthetic dataset
+generator into an endless feed of
+:class:`~repro.streaming.sources.TrafficChunk`s: traffic (and, optionally,
+anomalies) is generated one block at a time with a per-block derived seed
+and a continuing absolute time axis, so diurnal/weekly seasonality flows
+seamlessly across block boundaries while memory stays bounded by one block.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.datasets.synthetic import DatasetConfig, generate_abilene_dataset
+from repro.streaming.sources import TrafficChunk, chunk_series
+from repro.topology.abilene import abilene_topology
+from repro.topology.network import Network
+from repro.utils.validation import require
+
+__all__ = ["synthetic_chunk_stream"]
+
+
+def synthetic_chunk_stream(
+    chunk_size: int = 64,
+    block_config: DatasetConfig = DatasetConfig(weeks=1.0 / 7.0),
+    seed: int = 0,
+    network: Optional[Network] = None,
+    max_blocks: Optional[int] = None,
+) -> Iterator[TrafficChunk]:
+    """Yield an (optionally unbounded) stream of synthetic traffic chunks.
+
+    Parameters
+    ----------
+    chunk_size:
+        Timebins per yielded chunk.  Block lengths need not be multiples of
+        the chunk size: a block's final short remainder is simply a shorter
+        chunk (stream-global bin indices stay contiguous either way).
+    block_config:
+        Configuration of each generated block (default: one day per block,
+        with the standard anomaly schedule scaled to the block length).
+    seed:
+        Master seed; block ``i`` derives its own seed from ``(seed, i)`` so
+        the stream is reproducible and blocks are independent draws.
+    network:
+        Fixed topology for every block (default: 11-PoP Abilene).  The OD
+        columns therefore stay aligned across the whole stream.
+    max_blocks:
+        Stop after this many blocks (``None`` = truly unbounded; callers
+        should then bound consumption themselves, e.g. ``itertools.islice``).
+
+    Yields
+    ------
+    TrafficChunk
+        Chunks with contiguous stream-global ``start_bin`` values.
+    """
+    require(chunk_size >= 1, "chunk_size must be >= 1")
+    require(max_blocks is None or max_blocks >= 1,
+            "max_blocks must be >= 1 when given")
+    net = network if network is not None else abilene_topology()
+    block_bins = block_config.n_bins
+    block_index = 0
+    while max_blocks is None or block_index < max_blocks:
+        block_seed = int(np.random.SeedSequence([int(seed), block_index])
+                         .generate_state(1)[0])
+        offset_bins = block_index * block_bins
+        # Continuing the absolute time axis keeps seasonality seamless.
+        dataset = generate_abilene_dataset(
+            block_config,
+            seed=block_seed,
+            network=net,
+            start_seconds=offset_bins * block_config.bin_seconds,
+        )
+        yield from chunk_series(dataset.series, chunk_size, start_bin=offset_bins)
+        block_index += 1

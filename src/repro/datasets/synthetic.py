@@ -137,6 +137,7 @@ def generate_abilene_dataset(
     seed: RandomState = 0,
     network: Optional[Network] = None,
     injectors: Optional[Sequence[AnomalyInjector]] = None,
+    start_seconds: int = 0,
 ) -> SyntheticDataset:
     """Generate the Abilene-like synthetic dataset used by the experiments.
 
@@ -152,6 +153,11 @@ def generate_abilene_dataset(
         Explicit anomaly injectors to apply instead of a random schedule
         (useful for controlled experiments); the schedule configuration is
         ignored when this is given.
+    start_seconds:
+        Absolute start time of bin 0.  Diurnal/weekly seasonality follows
+        the absolute time axis, so block-wise streaming generation (see
+        :mod:`repro.datasets.streaming`) passes each block's offset here to
+        keep the traffic patterns seamless across blocks.
 
     Returns
     -------
@@ -159,7 +165,8 @@ def generate_abilene_dataset(
         The dataset with injected anomalies and ground truth.
     """
     net = network if network is not None else abilene_topology()
-    binning = TimeBinning(n_bins=config.n_bins, bin_seconds=config.bin_seconds)
+    binning = TimeBinning(n_bins=config.n_bins, bin_seconds=config.bin_seconds,
+                          start_seconds=start_seconds)
 
     generator = ODTrafficGenerator(net, config=config.generator,
                                    seed=spawn_rng(seed, stream="background"))

@@ -5,6 +5,8 @@
 * :mod:`repro.evaluation.metrics` — detection and classification metrics;
 * :mod:`repro.evaluation.reporting` — plain-text table and histogram
   rendering used by the benchmark harness;
+* :mod:`repro.evaluation.streaming_parity` — streaming-vs-batch event
+  parity accounting for the online subsystem;
 * :mod:`repro.evaluation.experiments` — one runner per paper artifact
   (Figure 1, Table 1, Figure 2, Table 2, Table 3) plus the ablation,
   baseline-comparison, and pipeline experiments from DESIGN.md.
@@ -17,8 +19,11 @@ from repro.evaluation.metrics import (
     DetectionMetrics,
 )
 from repro.evaluation.reporting import format_histogram, format_table
+from repro.evaluation.streaming_parity import EventParityReport, event_parity
 
 __all__ = [
+    "EventParityReport",
+    "event_parity",
     "EventMatch",
     "MatchReport",
     "match_events",

@@ -1,0 +1,60 @@
+"""Streaming subspace detection — the online counterpart of :mod:`repro.core`.
+
+The batch pipeline fits a full SVD over the entire OD-flow history and
+detects in one shot; this package turns that into an online system:
+
+1. :class:`~repro.streaming.online_pca.OnlinePCA` maintains the running
+   mean and covariance eigenbasis under exponential forgetting — ``O(p²)``
+   state and ``O(m p²)`` work per chunk instead of an ``O(n p²)`` SVD per
+   refit;
+2. :class:`~repro.streaming.detector.StreamingSubspaceDetector` consumes
+   fixed-size chunks of timebins, projects them against the current
+   subspace snapshot, applies the SPE / T² control limits, and recalibrates
+   on a configurable cadence;
+3. :mod:`repro.streaming.sources` adapts in-memory
+   :class:`~repro.flows.timeseries.TrafficMatrixSeries` (and, via
+   :mod:`repro.datasets.streaming`, unbounded synthetic generators) into
+   chunked feeds;
+4. :class:`~repro.streaming.aggregator.OnlineEventAggregator` fuses
+   per-type detections into :class:`~repro.core.events.AnomalyEvent`s
+   incrementally with bounded memory, matching the batch
+   :func:`~repro.core.events.aggregate_detections` on replay;
+5. :mod:`repro.streaming.pipeline` wires it all together, including the
+   two-pass :func:`~repro.streaming.pipeline.replay_network_anomalies`
+   harness whose events match the batch pipeline exactly.
+"""
+
+from repro.streaming.config import StreamingConfig, forgetting_from_half_life
+from repro.streaming.online_pca import OnlinePCA
+from repro.streaming.detector import (
+    ChunkDetections,
+    StreamDetection,
+    StreamingSubspaceDetector,
+    SubspaceSnapshot,
+)
+from repro.streaming.sources import ChunkedSeriesSource, TrafficChunk, chunk_series
+from repro.streaming.aggregator import OnlineEventAggregator
+from repro.streaming.pipeline import (
+    StreamingNetworkDetector,
+    StreamingReport,
+    replay_network_anomalies,
+    stream_detect,
+)
+
+__all__ = [
+    "StreamingConfig",
+    "forgetting_from_half_life",
+    "OnlinePCA",
+    "SubspaceSnapshot",
+    "StreamDetection",
+    "ChunkDetections",
+    "StreamingSubspaceDetector",
+    "TrafficChunk",
+    "ChunkedSeriesSource",
+    "chunk_series",
+    "OnlineEventAggregator",
+    "StreamingNetworkDetector",
+    "StreamingReport",
+    "stream_detect",
+    "replay_network_anomalies",
+]

@@ -1,0 +1,159 @@
+"""Incremental spatio-temporal aggregation of detections into events.
+
+:class:`OnlineEventAggregator` reproduces the three-step aggregation of
+:func:`~repro.core.events.aggregate_detections` — per-bin traffic-type
+combination labels, OD-flow union in space, merge of consecutive bins with
+the same label — but consumes detections incrementally with **bounded
+memory**: it holds only
+
+* the per-bin entries newer than the finalized *watermark* (at most one
+  chunk's worth in the chunked pipeline), and
+* the state of the single currently-open event run.
+
+The caller promises, by calling :meth:`advance`, that every detection for
+bins up to the watermark has been delivered; events whose runs provably
+cannot extend are then emitted.  Replaying a full detection set chunk by
+chunk and flushing yields exactly the batch event list, in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.events import AnomalyEvent, Detection, combination_label
+from repro.flows.timeseries import TrafficType
+from repro.utils.validation import require
+
+__all__ = ["OnlineEventAggregator"]
+
+
+class _BinEntry:
+    """Accumulated detections of one not-yet-finalized timebin."""
+
+    __slots__ = ("types", "flows", "stats")
+
+    def __init__(self) -> None:
+        self.types: Set[TrafficType] = set()
+        self.flows: Set[int] = set()
+        self.stats: Set[str] = set()
+
+
+class OnlineEventAggregator:
+    """Fuses per-type detections into :class:`AnomalyEvent`s incrementally."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, _BinEntry] = {}
+        self._watermark = -1
+        self._run_bins: List[int] = []
+        self._run_label: Optional[str] = None
+        self._run_flows: Set[int] = set()
+        self._run_stats: Set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def watermark(self) -> int:
+        """Highest bin index finalized so far (-1 initially)."""
+        return self._watermark
+
+    @property
+    def n_pending_bins(self) -> int:
+        """Number of buffered bins not yet finalized."""
+        return len(self._pending)
+
+    @property
+    def has_open_run(self) -> bool:
+        """Whether an event run is open (may still extend)."""
+        return bool(self._run_bins)
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def add(self, detection: Detection) -> None:
+        """Buffer one detection triple.
+
+        Detections may arrive in any order within the un-finalized region,
+        but a detection at or below the watermark is a contract violation
+        (its bin was already folded into emitted events).
+        """
+        require(detection.bin_index > self._watermark,
+                "detection arrived at or below the finalized watermark")
+        entry = self._pending.setdefault(detection.bin_index, _BinEntry())
+        entry.types.add(TrafficType(detection.traffic_type))
+        entry.flows.update(detection.od_flows)
+        entry.stats.add(detection.statistic)
+
+    def add_many(self, detections: Iterable[Detection]) -> None:
+        """Buffer an iterable of detection triples."""
+        for detection in detections:
+            self.add(detection)
+
+    # ------------------------------------------------------------------ #
+    # finalization
+    # ------------------------------------------------------------------ #
+    def advance(self, through_bin: int) -> List[AnomalyEvent]:
+        """Declare all bins up to *through_bin* complete; emit closed events.
+
+        Returns the events whose spans can no longer change: a run is closed
+        once a later finalized bin is known to be empty or to carry a
+        different combination label.  A run ending exactly at *through_bin*
+        stays open (the next bin might extend it).
+        """
+        if through_bin <= self._watermark:
+            return []
+        closed: List[AnomalyEvent] = []
+        for bin_index in sorted(b for b in self._pending if b <= through_bin):
+            entry = self._pending.pop(bin_index)
+            label = combination_label(entry.types)
+            contiguous = bool(self._run_bins) and bin_index == self._run_bins[-1] + 1
+            if contiguous and label == self._run_label:
+                self._run_bins.append(bin_index)
+                self._run_flows.update(entry.flows)
+                self._run_stats.update(entry.stats)
+            else:
+                event = self._close_run()
+                if event is not None:
+                    closed.append(event)
+                self._run_bins = [bin_index]
+                self._run_label = label
+                self._run_flows = set(entry.flows)
+                self._run_stats = set(entry.stats)
+        self._watermark = through_bin
+        # Every bin <= watermark is final; if the open run ends strictly
+        # below it, bin (end + 1) is known to be detection-free.
+        if self._run_bins and self._run_bins[-1] < through_bin:
+            event = self._close_run()
+            if event is not None:
+                closed.append(event)
+        return closed
+
+    def flush(self) -> List[AnomalyEvent]:
+        """Finalize everything buffered and close the open run (end of stream)."""
+        closed: List[AnomalyEvent] = []
+        if self._pending:
+            closed.extend(self.advance(max(self._pending)))
+        event = self._close_run()
+        if event is not None:
+            closed.append(event)
+        return closed
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _close_run(self) -> Optional[AnomalyEvent]:
+        if not self._run_bins:
+            return None
+        event = AnomalyEvent(
+            traffic_label=self._run_label,
+            start_bin=self._run_bins[0],
+            end_bin=self._run_bins[-1],
+            od_flows=frozenset(self._run_flows),
+            bins=tuple(self._run_bins),
+            statistics=frozenset(self._run_stats),
+        )
+        self._run_bins = []
+        self._run_label = None
+        self._run_flows = set()
+        self._run_stats = set()
+        return event

@@ -1,0 +1,76 @@
+"""Configuration of the streaming subspace-detection subsystem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.limits import T2Scaling
+from repro.utils.validation import ensure_probability, require
+
+__all__ = ["StreamingConfig", "forgetting_from_half_life"]
+
+
+def forgetting_from_half_life(half_life_bins: float) -> float:
+    """The per-bin forgetting factor ``λ`` giving the requested half-life.
+
+    A sample seen ``half_life_bins`` bins ago carries half the weight of the
+    most recent sample: ``λ = 2 ** (-1 / half_life_bins)``.
+    """
+    require(half_life_bins > 0, "half_life_bins must be positive")
+    return float(2.0 ** (-1.0 / half_life_bins))
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Knobs of the online detector.
+
+    Parameters
+    ----------
+    n_normal:
+        Dimension ``k`` of the normal subspace (paper: 4).
+    confidence:
+        Confidence level of both control limits (paper: 0.999).
+    t2_scaling:
+        T² scaling convention (see :class:`~repro.core.limits.T2Scaling`).
+    use_t2:
+        Whether the T² test is applied in addition to the SPE test.
+    forgetting:
+        Per-bin exponential forgetting factor ``λ`` of the running moments.
+        ``1.0`` (the default) keeps infinite memory and makes a full-window
+        replay numerically equivalent to the batch detector; values below 1
+        implement the sliding window (see :func:`forgetting_from_half_life`).
+    min_train_bins:
+        Number of ingested bins before detection starts.  Until the model
+        has seen this many bins (and its rank exceeds ``n_normal``), chunks
+        are only used for training and no bins are flagged.
+    recalibrate_every_bins:
+        Threshold/eigenbasis refresh cadence: the subspace snapshot is
+        recomputed from the running moments once at least this many new bins
+        arrived since the last calibration.  ``1`` refreshes on every chunk.
+    max_identified_flows:
+        Cap on the number of OD flows identified per flagged bin.
+    identify:
+        Whether to run per-bin OD-flow identification at all (disable for
+        pure detection throughput, e.g. in benchmarks).
+    """
+
+    n_normal: int = 4
+    confidence: float = 0.999
+    t2_scaling: T2Scaling = T2Scaling.HOTELLING
+    use_t2: bool = True
+    forgetting: float = 1.0
+    min_train_bins: int = 64
+    recalibrate_every_bins: int = 1
+    max_identified_flows: int = 16
+    identify: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "t2_scaling", T2Scaling(self.t2_scaling))
+        require(self.n_normal >= 1, "n_normal must be >= 1")
+        ensure_probability(self.confidence, "confidence")
+        require(0.0 < self.forgetting <= 1.0, "forgetting must be in (0, 1]")
+        require(self.min_train_bins >= 2, "min_train_bins must be >= 2")
+        require(self.recalibrate_every_bins >= 1,
+                "recalibrate_every_bins must be >= 1")
+        require(self.max_identified_flows >= 1,
+                "max_identified_flows must be >= 1")

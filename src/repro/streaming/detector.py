@@ -1,0 +1,322 @@
+"""The online subspace anomaly detector.
+
+:class:`StreamingSubspaceDetector` is the chunked counterpart of the batch
+:class:`~repro.core.detector.SubspaceDetector`.  It consumes fixed-size
+chunks of timebins for **one** traffic type, folds them into an
+:class:`~repro.streaming.online_pca.OnlinePCA` engine, recalibrates its
+subspace snapshot (normal axes + control limits) on a configurable cadence,
+and flags the chunk's bins against the current snapshot — reusing the exact
+classification (:func:`~repro.core.detector.classify_bins`), control-limit
+(:func:`~repro.core.limits.control_limits`), and identification
+(:func:`~repro.core.identification.identify_spe_flows` /
+:func:`~repro.core.identification.identify_t2_flows`) pieces of the batch
+path.
+
+Parity with the batch detector: processing one chunk holding the entire
+window (with ``forgetting = 1``) updates the moments with the full window
+and then detects that same window against the freshly calibrated snapshot —
+exactly what :meth:`SubspaceDetector.fit_detect` does, so the flagged bins
+coincide bin-for-bin (up to floating-point noise in statistics that sit
+exactly on a control limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.detector import BinDetection, classify_bins
+from repro.core.events import Detection
+from repro.core.identification import identify_spe_flows, identify_t2_flows
+from repro.core.limits import ControlLimits, T2Scaling, control_limits
+from repro.flows.timeseries import TrafficType
+from repro.streaming.config import StreamingConfig
+from repro.streaming.online_pca import OnlinePCA
+from repro.utils.validation import ensure_2d, require
+
+__all__ = ["SubspaceSnapshot", "StreamDetection", "ChunkDetections",
+           "StreamingSubspaceDetector"]
+
+
+@dataclass(frozen=True)
+class SubspaceSnapshot:
+    """A frozen subspace model: what the detector currently tests against.
+
+    Produced by :meth:`StreamingSubspaceDetector.calibrate` from the running
+    moments; immutable so detections made between recalibrations are
+    attributable to one well-defined model state.
+    """
+
+    mean: np.ndarray
+    normal_axes: np.ndarray
+    eigenvalues: np.ndarray
+    n_samples: int
+    limits: ControlLimits
+    n_bins_trained: int
+
+    @property
+    def n_normal(self) -> int:
+        """Dimension ``k`` of the normal subspace."""
+        return int(self.normal_axes.shape[1])
+
+    @property
+    def n_features(self) -> int:
+        """Number of OD flows ``p``."""
+        return int(self.normal_axes.shape[0])
+
+
+@dataclass(frozen=True)
+class StreamDetection:
+    """One flagged timebin of the stream, with identified OD flows.
+
+    ``bin_index`` is stream-global.  ``statistic`` is the primary statistic
+    ("spe" wins over "t2" when both triggered, matching the batch pipeline's
+    attribution); ``od_flows`` is empty when identification is disabled.
+    """
+
+    bin_index: int
+    spe_value: float
+    t2_value: float
+    triggered_by: str
+    statistic: str
+    od_flows: Tuple[int, ...] = ()
+
+    def to_detection(self, traffic_type: TrafficType) -> Detection:
+        """Convert to a core :class:`~repro.core.events.Detection` triple."""
+        require(len(self.od_flows) >= 1,
+                "cannot build a Detection without identified OD flows "
+                "(identification is disabled)")
+        return Detection(
+            traffic_type=TrafficType(traffic_type),
+            bin_index=self.bin_index,
+            od_flows=self.od_flows,
+            statistic=self.statistic,
+        )
+
+
+@dataclass
+class ChunkDetections:
+    """Output of one detection pass over one chunk.
+
+    During warmup (no calibrated snapshot yet) ``warmup`` is ``True``, the
+    statistic arrays are ``None``, and no bins are flagged.
+    """
+
+    start_bin: int
+    n_bins: int
+    warmup: bool
+    spe: Optional[np.ndarray] = None
+    t2: Optional[np.ndarray] = None
+    limits: Optional[ControlLimits] = None
+    detections: List[StreamDetection] = field(default_factory=list)
+
+    @property
+    def end_bin(self) -> int:
+        """Exclusive stream-global end bin of the chunk."""
+        return self.start_bin + self.n_bins
+
+    @property
+    def anomalous_bins(self) -> List[int]:
+        """Sorted stream-global indices of flagged bins."""
+        return sorted(d.bin_index for d in self.detections)
+
+
+class StreamingSubspaceDetector:
+    """Online subspace detector over a chunked stream of one traffic matrix.
+
+    Usage (single-pass, live)::
+
+        detector = StreamingSubspaceDetector(StreamingConfig())
+        for chunk in chunks:                    # each chunk is m x p
+            result = detector.process_chunk(chunk)
+            ...consume result.detections...
+
+    The lower-level :meth:`ingest` / :meth:`calibrate` / :meth:`detect_chunk`
+    methods support replay harnesses that separate the training pass from
+    the detection pass (see :mod:`repro.streaming.pipeline`).
+    """
+
+    def __init__(self, config: StreamingConfig = StreamingConfig()) -> None:
+        self._config = config
+        self._engine = OnlinePCA(forgetting=config.forgetting)
+        self._snapshot: Optional[SubspaceSnapshot] = None
+        self._bins_at_calibration = 0
+        self._next_bin = 0
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> StreamingConfig:
+        """The streaming configuration."""
+        return self._config
+
+    @property
+    def engine(self) -> OnlinePCA:
+        """The underlying running-moments engine."""
+        return self._engine
+
+    @property
+    def snapshot(self) -> Optional[SubspaceSnapshot]:
+        """The current calibrated snapshot (``None`` during warmup)."""
+        return self._snapshot
+
+    @property
+    def is_warmed_up(self) -> bool:
+        """Whether a snapshot is available and detection is active."""
+        return self._snapshot is not None
+
+    @property
+    def bins_processed(self) -> int:
+        """Stream-global index of the next expected bin."""
+        return self._next_bin
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def ingest(self, chunk: np.ndarray) -> None:
+        """Fold a chunk into the running moments without detecting."""
+        self._engine.partial_fit(chunk)
+
+    def _trainable(self) -> bool:
+        config = self._config
+        engine = self._engine
+        if engine.n_bins_seen < max(config.min_train_bins, config.n_normal + 2):
+            return False
+        if engine.rank <= config.n_normal:
+            return False
+        # The F-based T² limit needs an effective sample count above k + 1;
+        # heavy forgetting can keep it small even on a long stream.
+        return engine.n_samples > config.n_normal + 1
+
+    def calibrate(self) -> SubspaceSnapshot:
+        """Recompute the subspace snapshot from the current moments."""
+        require(self._trainable(),
+                "not enough ingested data to calibrate the subspace model")
+        config = self._config
+        engine = self._engine
+        eigenvalues, axes = engine.eigenbasis()
+        limits = control_limits(
+            eigenvalues,
+            config.n_normal,
+            engine.n_samples,
+            config.confidence,
+            config.t2_scaling,
+        )
+        self._snapshot = SubspaceSnapshot(
+            mean=engine.mean.copy(),
+            normal_axes=axes[:, :config.n_normal],
+            eigenvalues=eigenvalues,
+            n_samples=engine.n_samples,
+            limits=limits,
+            n_bins_trained=engine.n_bins_seen,
+        )
+        self._bins_at_calibration = engine.n_bins_seen
+        return self._snapshot
+
+    def _maybe_calibrate(self) -> None:
+        if not self._trainable():
+            return
+        stale = (self._engine.n_bins_seen - self._bins_at_calibration
+                 >= self._config.recalibrate_every_bins)
+        if self._snapshot is None or stale:
+            self.calibrate()
+
+    # ------------------------------------------------------------------ #
+    # detection
+    # ------------------------------------------------------------------ #
+    def detect_chunk(self, chunk: np.ndarray, start_bin: int) -> ChunkDetections:
+        """Flag the bins of *chunk* against the current snapshot.
+
+        Does not update the moments; *start_bin* gives the chunk's
+        stream-global position for reported bin indices.
+        """
+        snapshot = self._snapshot
+        require(snapshot is not None, "detector has no calibrated snapshot")
+        matrix = ensure_2d(chunk, "chunk")
+        require(matrix.shape[1] == snapshot.n_features,
+                "chunk has the wrong number of OD flows")
+        config = self._config
+
+        centered = matrix - snapshot.mean
+        scores = centered @ snapshot.normal_axes
+        residual = centered - scores @ snapshot.normal_axes.T
+        spe = np.sum(residual**2, axis=1)
+        lam = snapshot.eigenvalues[:snapshot.n_normal]
+        safe = np.where(lam > 0, lam, np.inf)
+        t2 = np.sum(scores**2 / safe[np.newaxis, :], axis=1)
+        if config.t2_scaling is T2Scaling.RAW_EIGENFLOW:
+            t2 = t2 / (snapshot.n_samples - 1)
+
+        flagged = classify_bins(spe, t2, snapshot.limits, use_t2=config.use_t2,
+                                bin_offset=start_bin)
+        detections = [
+            self._build_detection(b, b.bin_index - start_bin, centered,
+                                  residual, snapshot)
+            for b in flagged
+        ]
+        return ChunkDetections(
+            start_bin=start_bin,
+            n_bins=matrix.shape[0],
+            warmup=False,
+            spe=spe,
+            t2=t2,
+            limits=snapshot.limits,
+            detections=detections,
+        )
+
+    def _build_detection(
+        self,
+        flagged: BinDetection,
+        row: int,
+        centered: np.ndarray,
+        residual: np.ndarray,
+        snapshot: SubspaceSnapshot,
+    ) -> StreamDetection:
+        config = self._config
+        statistic = "spe" if flagged.spe_triggered else "t2"
+        od_flows: Tuple[int, ...] = ()
+        if config.identify:
+            if statistic == "spe":
+                flows = identify_spe_flows(residual[row], snapshot.limits.spe,
+                                           config.max_identified_flows)
+            else:
+                flows = identify_t2_flows(
+                    centered[row],
+                    snapshot.normal_axes,
+                    snapshot.eigenvalues,
+                    snapshot.n_samples,
+                    snapshot.limits.t2,
+                    config.t2_scaling,
+                    config.max_identified_flows,
+                )
+            od_flows = tuple(flows)
+        return StreamDetection(
+            bin_index=flagged.bin_index,
+            spe_value=flagged.spe_value,
+            t2_value=flagged.t2_value,
+            triggered_by=flagged.triggered_by,
+            statistic=statistic,
+            od_flows=od_flows,
+        )
+
+    def process_chunk(self, chunk: np.ndarray,
+                      start_bin: Optional[int] = None) -> ChunkDetections:
+        """Ingest a chunk, recalibrate if due, and detect its bins.
+
+        The update-then-detect order means a single chunk holding a full
+        window reproduces the batch ``fit_detect`` on that window.
+        """
+        matrix = ensure_2d(chunk, "chunk")
+        start = self._next_bin if start_bin is None else start_bin
+        self.ingest(matrix)
+        self._maybe_calibrate()
+        if self._snapshot is None:
+            result = ChunkDetections(start_bin=start, n_bins=matrix.shape[0],
+                                     warmup=True)
+        else:
+            result = self.detect_chunk(matrix, start)
+        self._next_bin = start + matrix.shape[0]
+        return result

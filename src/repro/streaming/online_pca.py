@@ -1,0 +1,212 @@
+"""Incrementally maintained PCA of the OD-flow ensemble.
+
+:class:`OnlinePCA` replaces the batch SVD of the full timeseries history
+with running first and second moments updated chunk by chunk:
+
+* the per-OD-flow **mean** and the ``p x p`` centered **scatter matrix** are
+  merged with each incoming chunk using the exact parallel-moments update
+  (Chan et al.), so with no forgetting the maintained covariance equals the
+  batch sample covariance of everything seen so far — bit-for-bit up to
+  floating-point accumulation order;
+* an optional per-bin **exponential forgetting factor** ``λ < 1`` decays old
+  bins geometrically, implementing the sliding window that lets the normal
+  subspace track diurnal drift without refitting;
+* the **eigenbasis** (principal axes and eigenvalues) is obtained on demand
+  from a ``p x p`` symmetric eigendecomposition of the maintained covariance
+  — ``O(p³)`` once per recalibration instead of ``O(n p²)`` per chunk for a
+  full-history SVD — and cached until new data arrives.
+
+Cost per ingested chunk of ``m`` bins is ``O(m p²)`` (one rank-``m`` scatter
+update) with ``O(p²)`` memory, independent of the stream length ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_2d, require
+
+__all__ = ["OnlinePCA"]
+
+
+class OnlinePCA:
+    """Running mean/covariance PCA with exponential forgetting.
+
+    Parameters
+    ----------
+    forgetting:
+        Per-bin decay factor ``λ`` in ``(0, 1]``.  With ``λ = 1`` the model
+        accumulates all history with uniform weight (and exactly reproduces
+        the batch sample covariance); with ``λ < 1`` a bin seen ``d`` bins
+        ago carries weight ``λ^d``.
+    """
+
+    def __init__(self, forgetting: float = 1.0) -> None:
+        require(0.0 < forgetting <= 1.0, "forgetting must be in (0, 1]")
+        self._forgetting = float(forgetting)
+        self._n_features: Optional[int] = None
+        self._mean: Optional[np.ndarray] = None
+        self._scatter: Optional[np.ndarray] = None
+        self._weight_sum = 0.0
+        self._weight_sq_sum = 0.0
+        self._n_bins_seen = 0
+        self._version = 0
+        self._basis_version = -1
+        self._cached_eigenvalues: Optional[np.ndarray] = None
+        self._cached_axes: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def forgetting(self) -> float:
+        """The per-bin forgetting factor ``λ``."""
+        return self._forgetting
+
+    @property
+    def n_features(self) -> Optional[int]:
+        """Number of OD flows ``p`` (``None`` before the first chunk)."""
+        return self._n_features
+
+    @property
+    def n_bins_seen(self) -> int:
+        """Total number of bins ingested (not decayed)."""
+        return self._n_bins_seen
+
+    @property
+    def weight_sum(self) -> float:
+        """Current total weight ``Σ λ^d`` over all ingested bins."""
+        return self._weight_sum
+
+    @property
+    def effective_samples(self) -> float:
+        """Kish effective sample size ``(Σw)² / Σw²`` of the moments.
+
+        Equals :attr:`n_bins_seen` when ``λ = 1`` and saturates near
+        ``(1 + λ) / (1 - λ)`` for long streams with forgetting.
+        """
+        if self._weight_sq_sum <= 0.0:
+            return 0.0
+        return self._weight_sum**2 / self._weight_sq_sum
+
+    @property
+    def n_samples(self) -> int:
+        """The effective sample count rounded to an integer.
+
+        This is the ``n`` handed to the F-based T² control limit; with no
+        forgetting it equals the number of ingested bins exactly.
+        """
+        return int(round(self.effective_samples))
+
+    @property
+    def mean(self) -> np.ndarray:
+        """The running per-OD-flow mean (length ``p``), as a read-only view."""
+        require(self._mean is not None, "no data ingested yet")
+        view = self._mean.view()
+        view.setflags(write=False)
+        return view
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def partial_fit(self, chunk: np.ndarray) -> "OnlinePCA":
+        """Merge a chunk of ``m`` consecutive timebins into the moments.
+
+        Rows must be in time order (the last row is the most recent bin);
+        with forgetting, row ``i`` of an ``m``-row chunk receives weight
+        ``λ^(m-1-i)`` and all previously accumulated weight decays by
+        ``λ^m``.
+        """
+        matrix = ensure_2d(chunk, "chunk")
+        m, p = matrix.shape
+        require(m >= 1, "chunk must contain at least one bin")
+        if self._n_features is None:
+            self._n_features = p
+            self._mean = np.zeros(p)
+            self._scatter = np.zeros((p, p))
+        require(p == self._n_features, "chunk has the wrong number of OD flows")
+
+        lam = self._forgetting
+        if lam == 1.0:
+            weights = None
+            chunk_weight = float(m)
+            chunk_weight_sq = float(m)
+            decay = 1.0
+            decay_sq = 1.0
+            chunk_mean = matrix.mean(axis=0)
+            centered = matrix - chunk_mean
+            chunk_scatter = centered.T @ centered
+        else:
+            # Row i of the chunk is (m - 1 - i) bins old inside the chunk.
+            weights = lam ** np.arange(m - 1, -1, -1, dtype=float)
+            chunk_weight = float(weights.sum())
+            chunk_weight_sq = float((weights**2).sum())
+            decay = lam**m
+            decay_sq = decay**2
+            chunk_mean = (weights @ matrix) / chunk_weight
+            centered = matrix - chunk_mean
+            chunk_scatter = (centered * weights[:, np.newaxis]).T @ centered
+
+        prior_weight = self._weight_sum * decay
+        total_weight = prior_weight + chunk_weight
+        delta = chunk_mean - self._mean
+        self._mean = self._mean + delta * (chunk_weight / total_weight)
+        self._scatter = (
+            self._scatter * decay
+            + chunk_scatter
+            + np.outer(delta, delta) * (prior_weight * chunk_weight / total_weight)
+        )
+        self._weight_sum = total_weight
+        self._weight_sq_sum = self._weight_sq_sum * decay_sq + chunk_weight_sq
+        self._n_bins_seen += m
+        self._version += 1
+        return self
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    def covariance(self) -> np.ndarray:
+        """The maintained sample covariance ``M / (Σw - 1)``.
+
+        With ``λ = 1`` this equals ``np.cov(history, rowvar=False)`` (ddof 1)
+        of everything ingested so far.
+        """
+        require(self._scatter is not None, "no data ingested yet")
+        require(self._weight_sum > 1.0,
+                "need total weight > 1 for a sample covariance")
+        return self._scatter / (self._weight_sum - 1.0)
+
+    def eigenbasis(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Eigenvalues (descending, length ``p``) and axes (``p x p``).
+
+        Column ``j`` of the axes matrix is the ``j``-th principal axis in
+        OD-flow space — the streaming analogue of
+        :meth:`~repro.core.pca.EigenflowDecomposition.principal_axes`.  The
+        decomposition is cached until :meth:`partial_fit` is called again.
+        """
+        if self._basis_version != self._version:
+            covariance = self.covariance()
+            covariance = (covariance + covariance.T) * 0.5
+            eigenvalues, axes = np.linalg.eigh(covariance)
+            order = np.argsort(eigenvalues)[::-1]
+            eigenvalues = np.clip(eigenvalues[order], 0.0, None)
+            axes = axes[:, order]
+            eigenvalues.setflags(write=False)
+            axes.setflags(write=False)
+            self._cached_eigenvalues = eigenvalues
+            self._cached_axes = axes
+            self._basis_version = self._version
+        return self._cached_eigenvalues, self._cached_axes
+
+    @property
+    def rank(self) -> int:
+        """Upper bound on the covariance rank, ``min(bins seen, p)``.
+
+        Mirrors the batch decomposition's ``rank`` (which counts available
+        SVD components, not the numerical rank).
+        """
+        if self._n_features is None:
+            return 0
+        return min(self._n_bins_seen, self._n_features)

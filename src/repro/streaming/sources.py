@@ -1,0 +1,118 @@
+"""Chunked stream sources feeding the online detection pipeline.
+
+A stream is any iterable of :class:`TrafficChunk` — a block of consecutive
+timebins carrying aligned matrices for one or more traffic types.  Two
+adapters are provided here:
+
+* :func:`chunk_series` / :class:`ChunkedSeriesSource` replay an in-memory
+  :class:`~repro.flows.timeseries.TrafficMatrixSeries` as zero-copy chunks
+  (the bridge from every existing dataset to the streaming pipeline);
+* :func:`repro.datasets.streaming.synthetic_chunk_stream` (in the datasets
+  package) generates an **unbounded** synthetic feed block by block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Mapping
+
+import numpy as np
+
+from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
+from repro.utils.validation import ensure_2d, require
+
+__all__ = ["TrafficChunk", "ChunkedSeriesSource", "chunk_series"]
+
+
+@dataclass(frozen=True)
+class TrafficChunk:
+    """A block of consecutive timebins for one or more traffic types.
+
+    All matrices share the same ``m x p`` shape; ``start_bin`` is the
+    stream-global index of the first row.
+    """
+
+    start_bin: int
+    matrices: Mapping[TrafficType, np.ndarray]
+
+    def __post_init__(self) -> None:
+        require(self.start_bin >= 0, "start_bin must be non-negative")
+        require(len(self.matrices) >= 1, "a chunk needs at least one traffic type")
+        shape = None
+        coerced = {}
+        for traffic_type, matrix in self.matrices.items():
+            array = ensure_2d(matrix, f"matrices[{TrafficType(traffic_type).value}]")
+            if shape is None:
+                shape = array.shape
+            require(array.shape == shape,
+                    "all traffic types of a chunk must share one shape")
+            coerced[TrafficType(traffic_type)] = array
+        object.__setattr__(self, "matrices", coerced)
+
+    @property
+    def n_bins(self) -> int:
+        """Number of timebins ``m`` in the chunk."""
+        return int(next(iter(self.matrices.values())).shape[0])
+
+    @property
+    def n_od_pairs(self) -> int:
+        """Number of OD flows ``p``."""
+        return int(next(iter(self.matrices.values())).shape[1])
+
+    @property
+    def end_bin(self) -> int:
+        """Exclusive stream-global end bin."""
+        return self.start_bin + self.n_bins
+
+    @property
+    def traffic_types(self) -> List[TrafficType]:
+        """Traffic types present in the chunk."""
+        return [TrafficType(t) for t in self.matrices.keys()]
+
+    def matrix(self, traffic_type: TrafficType) -> np.ndarray:
+        """The ``m x p`` matrix for *traffic_type*."""
+        try:
+            return self.matrices[TrafficType(traffic_type)]
+        except KeyError:
+            raise KeyError(f"traffic type {traffic_type!r} not in chunk") from None
+
+
+def chunk_series(series: TrafficMatrixSeries, chunk_size: int,
+                 start_bin: int = 0) -> Iterator[TrafficChunk]:
+    """Replay *series* as consecutive zero-copy :class:`TrafficChunk`s.
+
+    *start_bin* offsets the reported stream-global indices (useful when a
+    series is one block of a longer stream).
+    """
+    for local_start, matrices in series.iter_chunks(chunk_size):
+        yield TrafficChunk(start_bin=start_bin + local_start, matrices=matrices)
+
+
+class ChunkedSeriesSource:
+    """Re-iterable chunked view of a :class:`TrafficMatrixSeries`.
+
+    Unlike the one-shot generator :func:`chunk_series`, the source can be
+    iterated multiple times — which is what the two-pass replay harness in
+    :mod:`repro.streaming.pipeline` needs.
+    """
+
+    def __init__(self, series: TrafficMatrixSeries, chunk_size: int) -> None:
+        require(chunk_size >= 1, "chunk_size must be >= 1")
+        self._series = series
+        self._chunk_size = int(chunk_size)
+
+    @property
+    def series(self) -> TrafficMatrixSeries:
+        """The underlying series."""
+        return self._series
+
+    @property
+    def chunk_size(self) -> int:
+        """Rows per chunk (the final chunk may be shorter)."""
+        return self._chunk_size
+
+    def __len__(self) -> int:
+        return -(-self._series.n_bins // self._chunk_size)
+
+    def __iter__(self) -> Iterator[TrafficChunk]:
+        return chunk_series(self._series, self._chunk_size)

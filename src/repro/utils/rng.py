@@ -38,8 +38,11 @@ def spawn_rng(seed: RandomState = None, *, stream: Optional[str] = None) -> np.r
         if stream is None:
             return seed
         # Derive a child stream from the generator's own bit stream in a
-        # deterministic, label-dependent way.
-        label_entropy = abs(hash(stream)) % (2**32)
+        # deterministic, label-dependent way.  The label must be hashed with
+        # the interpreter-stable FNV hash: builtin hash() is randomized per
+        # process (PYTHONHASHSEED), which would make every derived stream —
+        # and thus every generated dataset — differ from run to run.
+        label_entropy = _stable_label_hash(stream)
         child_seed = int(seed.integers(0, 2**32)) ^ label_entropy
         return np.random.default_rng(child_seed)
 
