@@ -47,6 +47,25 @@ class Detection:
         require(self.bin_index >= 0, "bin_index must be non-negative")
         require(len(self.od_flows) >= 1, "a detection needs at least one OD flow")
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used by streaming checkpoints)."""
+        return {
+            "traffic_type": TrafficType(self.traffic_type).value,
+            "bin_index": self.bin_index,
+            "od_flows": list(self.od_flows),
+            "statistic": self.statistic,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Detection":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            traffic_type=TrafficType(data["traffic_type"]),
+            bin_index=int(data["bin_index"]),
+            od_flows=tuple(int(f) for f in data["od_flows"]),
+            statistic=str(data["statistic"]),
+        )
+
 
 @dataclass
 class AnomalyEvent:
@@ -107,6 +126,29 @@ class AnomalyEvent:
         """Whether the event's span intersects *bins*."""
         span = set(self.bins)
         return any(b in span for b in bins)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used by streaming checkpoints)."""
+        return {
+            "traffic_label": self.traffic_label,
+            "start_bin": self.start_bin,
+            "end_bin": self.end_bin,
+            "od_flows": sorted(self.od_flows),
+            "bins": list(self.bins),
+            "statistics": sorted(self.statistics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "AnomalyEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            traffic_label=str(data["traffic_label"]),
+            start_bin=int(data["start_bin"]),
+            end_bin=int(data["end_bin"]),
+            od_flows=frozenset(int(f) for f in data["od_flows"]),
+            bins=tuple(int(b) for b in data["bins"]),
+            statistics=frozenset(str(s) for s in data["statistics"]),
+        )
 
 
 def combination_label(traffic_types: Iterable[TrafficType]) -> str:

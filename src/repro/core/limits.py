@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Dict, Mapping
 
 import numpy as np
 
@@ -44,6 +45,16 @@ class ControlLimits:
         require(self.spe >= 0.0, "spe limit must be non-negative")
         require(self.t2 >= 0.0, "t2 limit must be non-negative")
         ensure_probability(self.confidence, "confidence")
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-serializable form (used by streaming checkpoints)."""
+        return {"spe": self.spe, "t2": self.t2, "confidence": self.confidence}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "ControlLimits":
+        """Inverse of :meth:`to_dict`."""
+        return cls(spe=float(data["spe"]), t2=float(data["t2"]),
+                   confidence=float(data["confidence"]))
 
 
 def control_limits(

@@ -29,6 +29,7 @@ def synthetic_chunk_stream(
     seed: int = 0,
     network: Optional[Network] = None,
     max_blocks: Optional[int] = None,
+    start_block: int = 0,
 ) -> Iterator[TrafficChunk]:
     """Yield an (optionally unbounded) stream of synthetic traffic chunks.
 
@@ -50,18 +51,26 @@ def synthetic_chunk_stream(
     max_blocks:
         Stop after this many blocks (``None`` = truly unbounded; callers
         should then bound consumption themselves, e.g. ``itertools.islice``).
+    start_block:
+        Resume the stream at this block index: block seeds and the absolute
+        time axis depend only on the block index, so the yielded chunks are
+        the exact suffix of the stream a fresh run would produce from that
+        block on — the resume path of a checkpoint-restored detector.
+        ``max_blocks`` still counts *total* blocks of the underlying stream.
 
     Yields
     ------
     TrafficChunk
-        Chunks with contiguous stream-global ``start_bin`` values.
+        Chunks with contiguous stream-global ``start_bin`` values (starting
+        at ``start_block * block_bins``).
     """
     require(chunk_size >= 1, "chunk_size must be >= 1")
     require(max_blocks is None or max_blocks >= 1,
             "max_blocks must be >= 1 when given")
+    require(start_block >= 0, "start_block must be non-negative")
     net = network if network is not None else abilene_topology()
     block_bins = block_config.n_bins
-    block_index = 0
+    block_index = start_block
     while max_blocks is None or block_index < max_blocks:
         block_seed = int(np.random.SeedSequence([int(seed), block_index])
                          .generate_state(1)[0])

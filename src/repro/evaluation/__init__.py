@@ -19,11 +19,16 @@ from repro.evaluation.metrics import (
     DetectionMetrics,
 )
 from repro.evaluation.reporting import format_histogram, format_table
-from repro.evaluation.streaming_parity import EventParityReport, event_parity
+from repro.evaluation.streaming_parity import (
+    EventParityReport,
+    event_parity,
+    report_parity,
+)
 
 __all__ = [
     "EventParityReport",
     "event_parity",
+    "report_parity",
     "EventMatch",
     "MatchReport",
     "match_events",

@@ -10,11 +10,11 @@ one shared report format.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.events import AnomalyEvent
 
-__all__ = ["EventParityReport", "event_parity"]
+__all__ = ["EventParityReport", "event_parity", "report_parity"]
 
 
 def _event_key(event: AnomalyEvent) -> Tuple:
@@ -50,6 +50,24 @@ class EventParityReport:
         """Fraction of batch events whose span+label the stream recovered."""
         return self.n_span_matched / self.n_batch if self.n_batch else 1.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary (benchmark artifacts, CI reports).
+
+        Mismatching events are included in full so a failed parity gate is
+        diagnosable from the artifact alone.
+        """
+        return {
+            "n_batch": self.n_batch,
+            "n_streaming": self.n_streaming,
+            "n_matched": self.n_matched,
+            "n_span_matched": self.n_span_matched,
+            "exact": self.exact,
+            "recall": self.recall,
+            "span_recall": self.span_recall,
+            "missing": [event.to_dict() for event in self.missing],
+            "extra": [event.to_dict() for event in self.extra],
+        }
+
 
 def event_parity(
     batch_events: Sequence[AnomalyEvent],
@@ -76,3 +94,33 @@ def event_parity(
         missing=missing,
         extra=extra,
     )
+
+
+def report_parity(reference, candidate) -> Dict[str, object]:
+    """Full-report parity between two streaming runs (restart/shard vs base).
+
+    Compares any two objects with the
+    :class:`~repro.streaming.pipeline.StreamingReport` shape: the fused
+    event lists (via :func:`event_parity`), the raw per-type detection
+    lists, and the bin/chunk counters.  A sharded, parallel, or
+    checkpoint-restored run passes iff every entry under ``"equal"`` is
+    true.
+    """
+    events = event_parity(reference.events, candidate.events)
+    detections_equal = {
+        traffic_type.value:
+            candidate.detections.get(traffic_type) == per_type
+        for traffic_type, per_type in reference.detections.items()
+    }
+    return {
+        "events": events.to_dict(),
+        "equal": {
+            "events": events.exact,
+            "detections": (set(reference.detections) == set(candidate.detections)
+                           and all(detections_equal.values())),
+            "n_bins_processed": (reference.n_bins_processed
+                                 == candidate.n_bins_processed),
+            "n_warmup_bins": reference.n_warmup_bins == candidate.n_warmup_bins,
+        },
+        "detections_equal_by_type": detections_equal,
+    }

@@ -21,16 +21,31 @@ detects in one shot; this package turns that into an online system:
    :func:`~repro.core.events.aggregate_detections` on replay;
 5. :mod:`repro.streaming.pipeline` wires it all together, including the
    two-pass :func:`~repro.streaming.pipeline.replay_network_anomalies`
-   harness whose events match the batch pipeline exactly.
+   harness whose events match the batch pipeline exactly;
+6. :mod:`repro.streaming.sharding` partitions the OD-flow columns of the
+   moment engine across shards and provides the exact Chan parallel-moments
+   merge, so per-shard state combines into the identical covariance;
+7. :mod:`repro.streaming.checkpoint` persists the full detector state
+   (npz + JSON manifest) so a restarted detector resumes mid-stream with
+   the identical remaining event list;
+8. :mod:`repro.streaming.parallel` drives the per-type detectors in worker
+   processes behind bounded (backpressure-aware) queues, scaling the
+   three-type pipeline past one core with an unchanged event list.
 """
 
 from repro.streaming.config import StreamingConfig, forgetting_from_half_life
-from repro.streaming.online_pca import OnlinePCA
+from repro.streaming.online_pca import OnlinePCA, eigh_descending
+from repro.streaming.sharding import (
+    ShardedOnlinePCA,
+    merge_online_pca,
+    partition_columns,
+)
 from repro.streaming.detector import (
     ChunkDetections,
     StreamDetection,
     StreamingSubspaceDetector,
     SubspaceSnapshot,
+    make_engine,
 )
 from repro.streaming.sources import ChunkedSeriesSource, TrafficChunk, chunk_series
 from repro.streaming.aggregator import OnlineEventAggregator
@@ -40,15 +55,26 @@ from repro.streaming.pipeline import (
     replay_network_anomalies,
     stream_detect,
 )
+from repro.streaming.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.streaming.parallel import parallel_stream_detect
 
 __all__ = [
     "StreamingConfig",
     "forgetting_from_half_life",
     "OnlinePCA",
+    "eigh_descending",
+    "ShardedOnlinePCA",
+    "merge_online_pca",
+    "partition_columns",
     "SubspaceSnapshot",
     "StreamDetection",
     "ChunkDetections",
     "StreamingSubspaceDetector",
+    "make_engine",
     "TrafficChunk",
     "ChunkedSeriesSource",
     "chunk_series",
@@ -57,4 +83,8 @@ __all__ = [
     "StreamingReport",
     "stream_detect",
     "replay_network_anomalies",
+    "CHECKPOINT_FORMAT_VERSION",
+    "save_checkpoint",
+    "load_checkpoint",
+    "parallel_stream_detect",
 ]

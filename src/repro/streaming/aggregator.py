@@ -18,7 +18,7 @@ chunk and flushing yields exactly the batch event list, in the same order.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Set
 
 from repro.core.events import AnomalyEvent, Detection, combination_label
 from repro.flows.timeseries import TrafficType
@@ -137,6 +137,50 @@ class OnlineEventAggregator:
         if event is not None:
             closed.append(event)
         return closed
+
+    # ------------------------------------------------------------------ #
+    # serialization (checkpoint/restore)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable aggregator state: watermark, open run, pending.
+
+        Restoring it with :meth:`from_state` and continuing the detection
+        stream emits exactly the events an uninterrupted aggregator would —
+        including events whose runs span the checkpoint boundary.
+        """
+        return {
+            "watermark": self._watermark,
+            "run_bins": list(self._run_bins),
+            "run_label": self._run_label,
+            "run_flows": sorted(self._run_flows),
+            "run_stats": sorted(self._run_stats),
+            "pending": {
+                str(bin_index): {
+                    "types": sorted(t.value for t in entry.types),
+                    "flows": sorted(entry.flows),
+                    "stats": sorted(entry.stats),
+                }
+                for bin_index, entry in self._pending.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "OnlineEventAggregator":
+        """Rebuild an aggregator from :meth:`state_dict` output."""
+        aggregator = cls()
+        aggregator._watermark = int(state["watermark"])
+        aggregator._run_bins = [int(b) for b in state["run_bins"]]
+        label = state["run_label"]
+        aggregator._run_label = None if label is None else str(label)
+        aggregator._run_flows = {int(f) for f in state["run_flows"]}
+        aggregator._run_stats = {str(s) for s in state["run_stats"]}
+        for bin_index, entry_state in dict(state["pending"]).items():
+            entry = _BinEntry()
+            entry.types = {TrafficType(t) for t in entry_state["types"]}
+            entry.flows = {int(f) for f in entry_state["flows"]}
+            entry.stats = {str(s) for s in entry_state["stats"]}
+            aggregator._pending[int(bin_index)] = entry
+        return aggregator
 
     # ------------------------------------------------------------------ #
     # internals

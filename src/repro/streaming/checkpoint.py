@@ -1,0 +1,149 @@
+"""Durable checkpoints of the streaming network detector.
+
+A checkpoint is a directory holding two files:
+
+* ``state-<sha256 prefix>.npz`` — every numerical array of the detector
+  state (per-type moment engines, calibrated snapshots) in float64, which
+  round-trips bit-for-bit; the name carries a digest of the file contents;
+* ``manifest.json`` — a human-readable manifest with the format version,
+  the :class:`~repro.streaming.config.StreamingConfig`, all scalar state
+  (stream positions, weights, aggregator watermark and open event run, the
+  report accumulated so far), the expected npz array names, and the name +
+  full SHA-256 of the arrays file it was written against.
+
+Because the whole numerical trajectory is restored exactly, a detector
+restored mid-stream and fed the remaining chunks emits the **identical**
+remaining event list an uninterrupted run would have produced — the
+restart-parity guarantee enforced by ``tests/test_streaming_checkpoint.py``.
+
+Usage::
+
+    detector.save("ckpt/")                      # between two chunks
+    detector = StreamingNetworkDetector.restore("ckpt/")
+    for chunk in remaining_chunks:              # e.g. a ChunkedSeriesSource
+        detector.process_chunk(chunk)           #     with start_bin=...
+    report = detector.finish()
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.streaming.pipeline import StreamingNetworkDetector
+from repro.utils.validation import require
+
+__all__ = ["CHECKPOINT_FORMAT_VERSION", "MANIFEST_FILENAME",
+           "ARRAYS_FILENAME_PREFIX", "save_checkpoint", "load_checkpoint"]
+
+#: Bumped whenever the on-disk layout changes incompatibly.
+CHECKPOINT_FORMAT_VERSION = 1
+MANIFEST_FILENAME = "manifest.json"
+ARRAYS_FILENAME_PREFIX = "state-"
+
+
+def _sha256_of_file(path: Path) -> str:
+    """SHA-256 of a file in fixed-size chunks (O(1) extra memory)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def save_checkpoint(detector: StreamingNetworkDetector,
+                    directory: Union[str, Path]) -> Path:
+    """Write *detector*'s complete state into *directory*.
+
+    The directory is created if needed.  Overwriting an existing checkpoint
+    is crash-consistent: the arrays land under a content-addressed name
+    (``state-<digest>.npz``) that never clobbers the previous save, the
+    manifest referencing them is moved into place last with
+    :func:`os.replace`, and only then are unreferenced array files garbage
+    collected.  A crash at any point therefore leaves the previous
+    checkpoint loadable (or the new one, once its manifest landed), and a
+    manifest paired with the wrong arrays file is rejected at load time by
+    the recorded SHA-256 instead of silently resuming from corrupt state.
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    state = detector.state_dict()
+    arrays = state["arrays"]
+
+    arrays_tmp = path / (ARRAYS_FILENAME_PREFIX + "incoming.npz.tmp")
+    with open(arrays_tmp, "wb") as handle:
+        np.savez(handle, **arrays)
+        handle.flush()
+        os.fsync(handle.fileno())
+    digest = _sha256_of_file(arrays_tmp)
+    arrays_name = f"{ARRAYS_FILENAME_PREFIX}{digest[:16]}.npz"
+    os.replace(arrays_tmp, path / arrays_name)
+    # Make the arrays rename durable before the manifest can reference it:
+    # POSIX does not order the two rename metadata updates otherwise.
+    _fsync_directory(path)
+
+    manifest = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "meta": state["meta"],
+        "array_names": sorted(arrays.keys()),
+        "arrays_file": arrays_name,
+        "arrays_sha256": digest,
+    }
+    manifest_tmp = path / (MANIFEST_FILENAME + ".tmp")
+    with open(manifest_tmp, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(manifest_tmp, path / MANIFEST_FILENAME)
+    _fsync_directory(path)
+
+    # Only after the new pair is durable may the previous arrays file go —
+    # a power loss before this point leaves the old checkpoint loadable.
+    for stale in path.glob(ARRAYS_FILENAME_PREFIX + "*.npz"):
+        if stale.name != arrays_name:
+            stale.unlink(missing_ok=True)
+    return path
+
+
+def _fsync_directory(path: Path) -> None:
+    """Flush directory metadata (the renames) where the platform allows it."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory semantics
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def load_checkpoint(directory: Union[str, Path]) -> StreamingNetworkDetector:
+    """Rebuild a :class:`StreamingNetworkDetector` from a checkpoint directory."""
+    path = Path(directory)
+    manifest_path = path / MANIFEST_FILENAME
+    require(manifest_path.is_file(),
+            f"no checkpoint manifest at {manifest_path}")
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    require(manifest.get("format_version") == CHECKPOINT_FORMAT_VERSION,
+            f"unsupported checkpoint format version "
+            f"{manifest.get('format_version')!r} "
+            f"(expected {CHECKPOINT_FORMAT_VERSION})")
+    arrays_path = path / str(manifest.get("arrays_file"))
+    require(arrays_path.is_file(), f"no checkpoint arrays at {arrays_path}")
+    digest = _sha256_of_file(arrays_path)
+    require(digest == manifest.get("arrays_sha256"),
+            "checkpoint arrays do not match the manifest checksum "
+            "(arrays npz and manifest.json are from different saves)")
+    with np.load(arrays_path, allow_pickle=False) as stored:
+        arrays = {name: stored[name] for name in stored.files}
+    require(sorted(arrays.keys()) == list(manifest["array_names"]),
+            "checkpoint arrays do not match the manifest "
+            "(truncated or mismatched state.npz)")
+    return StreamingNetworkDetector.from_state(manifest["meta"], arrays)

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Dict, Mapping
 
 from repro.core.limits import T2Scaling
 from repro.utils.validation import ensure_probability, require
@@ -52,6 +53,12 @@ class StreamingConfig:
     identify:
         Whether to run per-bin OD-flow identification at all (disable for
         pure detection throughput, e.g. in benchmarks).
+    n_shards:
+        Number of column shards of the moment engine.  ``1`` (the default)
+        uses the single :class:`~repro.streaming.online_pca.OnlinePCA`;
+        larger values partition the ``p`` OD-flow columns across a
+        :class:`~repro.streaming.sharding.ShardedOnlinePCA` whose merged
+        covariance matches the single engine up to float accumulation order.
     """
 
     n_normal: int = 4
@@ -63,6 +70,7 @@ class StreamingConfig:
     recalibrate_every_bins: int = 1
     max_identified_flows: int = 16
     identify: bool = True
+    n_shards: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "t2_scaling", T2Scaling(self.t2_scaling))
@@ -74,3 +82,15 @@ class StreamingConfig:
                 "recalibrate_every_bins must be >= 1")
         require(self.max_identified_flows >= 1,
                 "max_identified_flows must be >= 1")
+        require(self.n_shards >= 1, "n_shards must be >= 1")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used by streaming checkpoints)."""
+        data = asdict(self)
+        data["t2_scaling"] = T2Scaling(self.t2_scaling).value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "StreamingConfig":
+        """Inverse of :meth:`to_dict` (enum round-trips via its value)."""
+        return cls(**dict(data))

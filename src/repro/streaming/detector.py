@@ -23,7 +23,7 @@ exactly on a control limit).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -37,7 +37,16 @@ from repro.streaming.online_pca import OnlinePCA
 from repro.utils.validation import ensure_2d, require
 
 __all__ = ["SubspaceSnapshot", "StreamDetection", "ChunkDetections",
-           "StreamingSubspaceDetector"]
+           "StreamingSubspaceDetector", "make_engine"]
+
+
+def make_engine(config: StreamingConfig):
+    """The moment engine a config asks for: single or column-sharded."""
+    if config.n_shards > 1:
+        from repro.streaming.sharding import ShardedOnlinePCA
+        return ShardedOnlinePCA(n_shards=config.n_shards,
+                                forgetting=config.forgetting)
+    return OnlinePCA(forgetting=config.forgetting)
 
 
 @dataclass(frozen=True)
@@ -65,6 +74,34 @@ class SubspaceSnapshot:
     def n_features(self) -> int:
         """Number of OD flows ``p``."""
         return int(self.normal_axes.shape[0])
+
+    def state_dict(self) -> Dict[str, Dict]:
+        """Serializable form as ``{"meta": scalars, "arrays": ndarrays}``."""
+        return {
+            "meta": {
+                "n_samples": self.n_samples,
+                "n_bins_trained": self.n_bins_trained,
+                "limits": self.limits.to_dict(),
+            },
+            "arrays": {
+                "mean": np.array(self.mean, dtype=float),
+                "normal_axes": np.array(self.normal_axes, dtype=float),
+                "eigenvalues": np.array(self.eigenvalues, dtype=float),
+            },
+        }
+
+    @classmethod
+    def from_state(cls, meta: Mapping,
+                   arrays: Mapping[str, np.ndarray]) -> "SubspaceSnapshot":
+        """Rebuild a snapshot from :meth:`state_dict` output."""
+        return cls(
+            mean=np.array(arrays["mean"], dtype=float),
+            normal_axes=np.array(arrays["normal_axes"], dtype=float),
+            eigenvalues=np.array(arrays["eigenvalues"], dtype=float),
+            n_samples=int(meta["n_samples"]),
+            limits=ControlLimits.from_dict(meta["limits"]),
+            n_bins_trained=int(meta["n_bins_trained"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -138,9 +175,10 @@ class StreamingSubspaceDetector:
     the detection pass (see :mod:`repro.streaming.pipeline`).
     """
 
-    def __init__(self, config: StreamingConfig = StreamingConfig()) -> None:
+    def __init__(self, config: StreamingConfig = StreamingConfig(),
+                 engine=None) -> None:
         self._config = config
-        self._engine = OnlinePCA(forgetting=config.forgetting)
+        self._engine = engine if engine is not None else make_engine(config)
         self._snapshot: Optional[SubspaceSnapshot] = None
         self._bins_at_calibration = 0
         self._next_bin = 0
@@ -154,8 +192,14 @@ class StreamingSubspaceDetector:
         return self._config
 
     @property
-    def engine(self) -> OnlinePCA:
-        """The underlying running-moments engine."""
+    def engine(self):
+        """The underlying running-moments engine.
+
+        An :class:`OnlinePCA` by default, or a
+        :class:`~repro.streaming.sharding.ShardedOnlinePCA` when the config
+        (or an explicit ``engine=`` argument) asks for column sharding —
+        both expose the same accessor/serialization surface.
+        """
         return self._engine
 
     @property
@@ -320,3 +364,56 @@ class StreamingSubspaceDetector:
             result = self.detect_chunk(matrix, start)
         self._next_bin = start + matrix.shape[0]
         return result
+
+    # ------------------------------------------------------------------ #
+    # serialization (checkpoint/restore)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, Dict]:
+        """Complete detector state as ``{"meta": scalars, "arrays": ndarrays}``.
+
+        Covers the moment engine, the calibrated snapshot (if any), and the
+        stream-position bookkeeping; the config is **not** included (the
+        checkpoint manifest stores it once for all traffic types).
+        """
+        engine_state = self._engine.state_dict()
+        meta = {
+            "engine": engine_state["meta"],
+            "bins_at_calibration": self._bins_at_calibration,
+            "next_bin": self._next_bin,
+            "snapshot": None,
+        }
+        arrays = {f"engine__{k}": v for k, v in engine_state["arrays"].items()}
+        if self._snapshot is not None:
+            snapshot_state = self._snapshot.state_dict()
+            meta["snapshot"] = snapshot_state["meta"]
+            arrays.update(
+                {f"snapshot__{k}": v
+                 for k, v in snapshot_state["arrays"].items()})
+        return {"meta": meta, "arrays": arrays}
+
+    @classmethod
+    def from_state(cls, config: StreamingConfig, meta: Mapping,
+                   arrays: Mapping[str, np.ndarray]) -> "StreamingSubspaceDetector":
+        """Rebuild a detector that resumes the stream mid-flight."""
+        from repro.streaming.sharding import ShardedOnlinePCA
+        engine_kinds = {OnlinePCA.STATE_KIND: OnlinePCA,
+                        ShardedOnlinePCA.STATE_KIND: ShardedOnlinePCA}
+        engine_meta = meta["engine"]
+        try:
+            engine_cls = engine_kinds[engine_meta["kind"]]
+        except KeyError:
+            raise ValueError(
+                f"unknown engine kind {engine_meta['kind']!r}") from None
+        engine = engine_cls.from_state(
+            engine_meta,
+            {k[len("engine__"):]: v for k, v in arrays.items()
+             if k.startswith("engine__")})
+        detector = cls(config, engine=engine)
+        if meta["snapshot"] is not None:
+            detector._snapshot = SubspaceSnapshot.from_state(
+                meta["snapshot"],
+                {k[len("snapshot__"):]: v for k, v in arrays.items()
+                 if k.startswith("snapshot__")})
+        detector._bins_at_calibration = int(meta["bins_at_calibration"])
+        detector._next_bin = int(meta["next_bin"])
+        return detector

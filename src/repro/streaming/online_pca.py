@@ -18,29 +18,71 @@ with running first and second moments updated chunk by chunk:
 
 Cost per ingested chunk of ``m`` bins is ``O(m p²)`` (one rank-``m`` scatter
 update) with ``O(p²)`` memory, independent of the stream length ``n``.
+
+The weighting/decay bookkeeping lives once in the :class:`_MomentTracker`
+base shared with the column-sharded engine
+(:class:`~repro.streaming.sharding.ShardedOnlinePCA`); only the scatter
+update itself differs between the two, which is what keeps their
+arithmetic — and therefore their emitted events — identical.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.utils.validation import ensure_2d, require
 
-__all__ = ["OnlinePCA"]
+__all__ = ["OnlinePCA", "eigh_descending"]
 
 
-class OnlinePCA:
-    """Running mean/covariance PCA with exponential forgetting.
+def eigh_descending(covariance: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Descending, clipped eigendecomposition of a (near-)symmetric matrix.
 
-    Parameters
-    ----------
-    forgetting:
-        Per-bin decay factor ``λ`` in ``(0, 1]``.  With ``λ = 1`` the model
-        accumulates all history with uniform weight (and exactly reproduces
-        the batch sample covariance); with ``λ < 1`` a bin seen ``d`` bins
-        ago carries weight ``λ^d``.
+    Symmetrizes first so tiny floating-point asymmetries (e.g. from an
+    assembled sharded scatter) cannot perturb the solver, clips negative
+    round-off eigenvalues to zero, and returns read-only arrays — the shared
+    eigenbasis step of :class:`OnlinePCA` and
+    :class:`~repro.streaming.sharding.ShardedOnlinePCA`.
+    """
+    symmetric = (covariance + covariance.T) * 0.5
+    eigenvalues, axes = np.linalg.eigh(symmetric)
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = np.clip(eigenvalues[order], 0.0, None)
+    axes = axes[:, order]
+    eigenvalues.setflags(write=False)
+    axes.setflags(write=False)
+    return eigenvalues, axes
+
+
+def _chunk_moments(matrix: np.ndarray, lam: float):
+    """Per-chunk weighting preamble shared by every moment engine.
+
+    Returns ``(weights, chunk_weight, chunk_weight_sq, decay, decay_sq,
+    chunk_mean)`` for an ``m``-row chunk under forgetting ``λ``: row ``i``
+    is ``m - 1 - i`` bins old inside the chunk and carries weight
+    ``λ^(m-1-i)`` (``weights`` is ``None`` for the unweighted ``λ = 1``
+    path), and all previously accumulated weight decays by ``λ^m``.
+    """
+    m = matrix.shape[0]
+    if lam == 1.0:
+        return None, float(m), float(m), 1.0, 1.0, matrix.mean(axis=0)
+    weights = lam ** np.arange(m - 1, -1, -1, dtype=float)
+    chunk_weight = float(weights.sum())
+    chunk_weight_sq = float((weights**2).sum())
+    decay = lam**m
+    chunk_mean = (weights @ matrix) / chunk_weight
+    return weights, chunk_weight, chunk_weight_sq, decay, decay**2, chunk_mean
+
+
+class _MomentTracker:
+    """Scalar moment bookkeeping shared by the single and sharded engines.
+
+    Owns the forgetting factor, the running mean, the weight sums, and the
+    eigenbasis cache; subclasses implement only how the centered scatter is
+    stored (:meth:`_initialize_scatter` / :meth:`_apply_scatter_update`)
+    and how it is read back (:meth:`covariance`).
     """
 
     def __init__(self, forgetting: float = 1.0) -> None:
@@ -48,7 +90,6 @@ class OnlinePCA:
         self._forgetting = float(forgetting)
         self._n_features: Optional[int] = None
         self._mean: Optional[np.ndarray] = None
-        self._scatter: Optional[np.ndarray] = None
         self._weight_sum = 0.0
         self._weight_sq_sum = 0.0
         self._n_bins_seen = 0
@@ -108,10 +149,21 @@ class OnlinePCA:
         view.setflags(write=False)
         return view
 
+    @property
+    def rank(self) -> int:
+        """Upper bound on the covariance rank, ``min(bins seen, p)``.
+
+        Mirrors the batch decomposition's ``rank`` (which counts available
+        SVD components, not the numerical rank).
+        """
+        if self._n_features is None:
+            return 0
+        return min(self._n_bins_seen, self._n_features)
+
     # ------------------------------------------------------------------ #
     # updates
     # ------------------------------------------------------------------ #
-    def partial_fit(self, chunk: np.ndarray) -> "OnlinePCA":
+    def partial_fit(self, chunk: np.ndarray):
         """Merge a chunk of ``m`` consecutive timebins into the moments.
 
         Rows must be in time order (the last row is the most recent bin);
@@ -125,44 +177,134 @@ class OnlinePCA:
         if self._n_features is None:
             self._n_features = p
             self._mean = np.zeros(p)
-            self._scatter = np.zeros((p, p))
+            self._initialize_scatter(p)
         require(p == self._n_features, "chunk has the wrong number of OD flows")
 
-        lam = self._forgetting
-        if lam == 1.0:
-            weights = None
-            chunk_weight = float(m)
-            chunk_weight_sq = float(m)
-            decay = 1.0
-            decay_sq = 1.0
-            chunk_mean = matrix.mean(axis=0)
-            centered = matrix - chunk_mean
-            chunk_scatter = centered.T @ centered
-        else:
-            # Row i of the chunk is (m - 1 - i) bins old inside the chunk.
-            weights = lam ** np.arange(m - 1, -1, -1, dtype=float)
-            chunk_weight = float(weights.sum())
-            chunk_weight_sq = float((weights**2).sum())
-            decay = lam**m
-            decay_sq = decay**2
-            chunk_mean = (weights @ matrix) / chunk_weight
-            centered = matrix - chunk_mean
-            chunk_scatter = (centered * weights[:, np.newaxis]).T @ centered
+        (weights, chunk_weight, chunk_weight_sq, decay, decay_sq,
+         chunk_mean) = _chunk_moments(matrix, self._forgetting)
+        centered = matrix - chunk_mean
+        self._merge_weighted_chunk(
+            chunk_weight, chunk_weight_sq, chunk_mean, decay, decay_sq, m,
+            lambda delta, coefficient: self._apply_scatter_update(
+                centered, weights, delta, decay, coefficient))
+        return self
 
+    def _merge_weighted_chunk(self, chunk_weight: float,
+                              chunk_weight_sq: float, chunk_mean: np.ndarray,
+                              decay: float, decay_sq: float, n_bins: int,
+                              scatter_update) -> None:
+        """The pairwise Chan parallel-moments combine, applied in place.
+
+        The single home of the combine arithmetic: :meth:`partial_fit`
+        passes a raw chunk's weighted moments here, and
+        :func:`~repro.streaming.sharding.merge_online_pca` passes a whole
+        engine's moment tuple — both therefore stay exactly in step.
+        *scatter_update* receives ``(delta, outer_coefficient)`` and must
+        fold the chunk scatter plus ``outer(delta, delta) * coefficient``
+        into the stored (decayed) scatter.
+        """
         prior_weight = self._weight_sum * decay
         total_weight = prior_weight + chunk_weight
         delta = chunk_mean - self._mean
+        scatter_update(delta, prior_weight * chunk_weight / total_weight)
         self._mean = self._mean + delta * (chunk_weight / total_weight)
+        self._weight_sum = total_weight
+        self._weight_sq_sum = self._weight_sq_sum * decay_sq + chunk_weight_sq
+        self._n_bins_seen += n_bins
+        self._version += 1
+
+    def _initialize_scatter(self, n_features: int) -> None:
+        raise NotImplementedError
+
+    def _apply_scatter_update(self, centered: np.ndarray,
+                              weights: Optional[np.ndarray],
+                              delta: np.ndarray, decay: float,
+                              outer_coefficient: float) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    def covariance(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def eigenbasis(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Eigenvalues (descending, length ``p``) and axes (``p x p``).
+
+        Column ``j`` of the axes matrix is the ``j``-th principal axis in
+        OD-flow space — the streaming analogue of
+        :meth:`~repro.core.pca.EigenflowDecomposition.principal_axes`.  The
+        decomposition is cached until :meth:`partial_fit` is called again.
+        """
+        if self._basis_version != self._version:
+            eigenvalues, axes = eigh_descending(self.covariance())
+            self._cached_eigenvalues = eigenvalues
+            self._cached_axes = axes
+            self._basis_version = self._version
+        return self._cached_eigenvalues, self._cached_axes
+
+    # ------------------------------------------------------------------ #
+    # serialization (checkpoint/restore)
+    # ------------------------------------------------------------------ #
+    def _scalar_state(self, kind: str) -> Dict:
+        return {
+            "kind": kind,
+            "forgetting": self._forgetting,
+            "weight_sum": self._weight_sum,
+            "weight_sq_sum": self._weight_sq_sum,
+            "n_bins_seen": self._n_bins_seen,
+            "has_data": self._n_features is not None,
+        }
+
+    def _restore_scalars(self, meta: Mapping) -> None:
+        self._weight_sum = float(meta["weight_sum"])
+        self._weight_sq_sum = float(meta["weight_sq_sum"])
+        self._n_bins_seen = int(meta["n_bins_seen"])
+
+
+class OnlinePCA(_MomentTracker):
+    """Running mean/covariance PCA with exponential forgetting.
+
+    Parameters
+    ----------
+    forgetting:
+        Per-bin decay factor ``λ`` in ``(0, 1]``.  With ``λ = 1`` the model
+        accumulates all history with uniform weight (and exactly reproduces
+        the batch sample covariance); with ``λ < 1`` a bin seen ``d`` bins
+        ago carries weight ``λ^d``.
+    """
+
+    #: Engine-kind tag written into checkpoint manifests.
+    STATE_KIND = "online_pca"
+
+    def __init__(self, forgetting: float = 1.0) -> None:
+        super().__init__(forgetting)
+        self._scatter: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # scatter storage
+    # ------------------------------------------------------------------ #
+    def _initialize_scatter(self, n_features: int) -> None:
+        self._scatter = np.zeros((n_features, n_features))
+
+    def _apply_scatter_update(self, centered: np.ndarray,
+                              weights: Optional[np.ndarray],
+                              delta: np.ndarray, decay: float,
+                              outer_coefficient: float) -> None:
+        if weights is None:
+            chunk_scatter = centered.T @ centered
+        else:
+            chunk_scatter = (centered * weights[:, np.newaxis]).T @ centered
+        self._merge_scatter(chunk_scatter, delta, decay, outer_coefficient)
+
+    def _merge_scatter(self, chunk_scatter: np.ndarray, delta: np.ndarray,
+                       decay: float, outer_coefficient: float) -> None:
+        """Fold an already-computed chunk/segment scatter into the state."""
         self._scatter = (
             self._scatter * decay
             + chunk_scatter
-            + np.outer(delta, delta) * (prior_weight * chunk_weight / total_weight)
+            + np.outer(delta, delta) * outer_coefficient
         )
-        self._weight_sum = total_weight
-        self._weight_sq_sum = self._weight_sq_sum * decay_sq + chunk_weight_sq
-        self._n_bins_seen += m
-        self._version += 1
-        return self
 
     # ------------------------------------------------------------------ #
     # derived quantities
@@ -178,35 +320,36 @@ class OnlinePCA:
                 "need total weight > 1 for a sample covariance")
         return self._scatter / (self._weight_sum - 1.0)
 
-    def eigenbasis(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Eigenvalues (descending, length ``p``) and axes (``p x p``).
+    # ------------------------------------------------------------------ #
+    # serialization (checkpoint/restore)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, Dict]:
+        """The complete moment state as ``{"meta": scalars, "arrays": ndarrays}``.
 
-        Column ``j`` of the axes matrix is the ``j``-th principal axis in
-        OD-flow space — the streaming analogue of
-        :meth:`~repro.core.pca.EigenflowDecomposition.principal_axes`.  The
-        decomposition is cached until :meth:`partial_fit` is called again.
+        The returned arrays are copies; restoring them via :meth:`from_state`
+        reproduces the engine bit-for-bit (float64 survives an npz round
+        trip exactly), so a restored detector continues the stream on the
+        identical numerical trajectory.
         """
-        if self._basis_version != self._version:
-            covariance = self.covariance()
-            covariance = (covariance + covariance.T) * 0.5
-            eigenvalues, axes = np.linalg.eigh(covariance)
-            order = np.argsort(eigenvalues)[::-1]
-            eigenvalues = np.clip(eigenvalues[order], 0.0, None)
-            axes = axes[:, order]
-            eigenvalues.setflags(write=False)
-            axes.setflags(write=False)
-            self._cached_eigenvalues = eigenvalues
-            self._cached_axes = axes
-            self._basis_version = self._version
-        return self._cached_eigenvalues, self._cached_axes
+        arrays: Dict[str, np.ndarray] = {}
+        if self._n_features is not None:
+            arrays["mean"] = np.array(self._mean, dtype=float)
+            arrays["scatter"] = np.array(self._scatter, dtype=float)
+        return {"meta": self._scalar_state(self.STATE_KIND), "arrays": arrays}
 
-    @property
-    def rank(self) -> int:
-        """Upper bound on the covariance rank, ``min(bins seen, p)``.
-
-        Mirrors the batch decomposition's ``rank`` (which counts available
-        SVD components, not the numerical rank).
-        """
-        if self._n_features is None:
-            return 0
-        return min(self._n_bins_seen, self._n_features)
+    @classmethod
+    def from_state(cls, meta: Mapping, arrays: Mapping[str, np.ndarray]) -> "OnlinePCA":
+        """Rebuild an engine from :meth:`state_dict` output."""
+        require(meta.get("kind") == cls.STATE_KIND,
+                f"state is not an {cls.STATE_KIND} state")
+        engine = cls(forgetting=float(meta["forgetting"]))
+        if meta["has_data"]:
+            mean = np.array(arrays["mean"], dtype=float)
+            scatter = np.array(arrays["scatter"], dtype=float)
+            require(scatter.shape == (mean.size, mean.size),
+                    "scatter shape does not match the mean length")
+            engine._n_features = mean.size
+            engine._mean = mean
+            engine._scatter = scatter
+        engine._restore_scalars(meta)
+        return engine

@@ -1,0 +1,270 @@
+"""Bounded-queue multi-process driver for the 3-type streaming pipeline.
+
+:func:`parallel_stream_detect` scales
+:func:`~repro.streaming.pipeline.stream_detect` past one core by running
+the per-traffic-type :class:`StreamingSubspaceDetector`s in worker
+processes while the main process keeps the one inherently sequential piece
+— in-order event fusion through the
+:class:`~repro.streaming.aggregator.OnlineEventAggregator`:
+
+* each worker owns one or more traffic types (a detector per type stays in
+  one process for its whole life, so its moment state never crosses a
+  process boundary mid-stream);
+* every worker input queue is **bounded** (``queue_depth`` chunks), so a
+  slow worker exerts backpressure on the feeding loop instead of letting
+  chunks pile up unboundedly — memory stays ``O(queue_depth)`` chunks;
+* the main process fuses per-type results strictly in chunk order, so the
+  emitted event list is **identical** to the single-process
+  ``stream_detect`` run (enforced by ``tests/test_streaming_parallel.py``).
+
+Per-type detection is deterministic and workers do not interact, so the
+only parallelism-visible effect is wall-clock time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue as queue_module
+import traceback
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.flows.timeseries import TrafficType
+from repro.streaming.aggregator import OnlineEventAggregator
+from repro.streaming.config import StreamingConfig
+from repro.streaming.detector import ChunkDetections, StreamingSubspaceDetector
+from repro.streaming.pipeline import (
+    StreamingReport,
+    _dedup_types,
+    _fuse_chunk_results,
+)
+from repro.streaming.sources import TrafficChunk
+from repro.utils.validation import require
+
+__all__ = ["parallel_stream_detect"]
+
+#: Sentinel telling a worker its input stream ended.
+_STOP = None
+#: First element of a result tuple carrying a worker traceback.
+_ERROR = "__error__"
+#: Seconds the result loop waits before re-checking worker liveness.
+_POLL_SECONDS = 1.0
+
+
+class _ChunkSpan:
+    """The fusion-relevant footprint of one chunk (start/extent only)."""
+
+    __slots__ = ("start_bin", "n_bins")
+
+    def __init__(self, start_bin: int, n_bins: int) -> None:
+        self.start_bin = start_bin
+        self.n_bins = n_bins
+
+    @property
+    def end_bin(self) -> int:
+        return self.start_bin + self.n_bins
+
+
+def _type_worker(config: StreamingConfig, in_queue, out_queue) -> None:
+    """Process chunks for the traffic types routed to this worker."""
+    detectors: Dict[str, StreamingSubspaceDetector] = {}
+    try:
+        while True:
+            item = in_queue.get()
+            if item is _STOP:
+                return
+            chunk_index, type_value, start_bin, matrix = item
+            detector = detectors.get(type_value)
+            if detector is None:
+                detector = StreamingSubspaceDetector(config)
+                detectors[type_value] = detector
+            result = detector.process_chunk(matrix, start_bin)
+            out_queue.put((chunk_index, type_value, result))
+    except BaseException:  # noqa: BLE001 - forwarded verbatim to the driver
+        out_queue.put((_ERROR, traceback.format_exc()))
+        # Keep draining so the feeder's bounded put never blocks forever on
+        # a full queue; the driver raises once it sees the _ERROR message.
+        while in_queue.get() is not _STOP:
+            pass
+
+
+class _WorkerPool:
+    """The worker processes plus their bounded input queues."""
+
+    def __init__(self, types: Sequence[TrafficType], config: StreamingConfig,
+                 n_workers: int, queue_depth: int, context) -> None:
+        self.n_workers = max(1, min(n_workers, len(types)))
+        self.out_queue = context.Queue()
+        self.in_queues = [context.Queue(maxsize=queue_depth)
+                          for _ in range(self.n_workers)]
+        # Round-robin type -> worker; a type never migrates between workers.
+        self.queue_of = {t: self.in_queues[i % self.n_workers]
+                         for i, t in enumerate(types)}
+        self.processes = [
+            context.Process(target=_type_worker,
+                            args=(config, in_queue, self.out_queue),
+                            daemon=True)
+            for in_queue in self.in_queues
+        ]
+        for process in self.processes:
+            process.start()
+
+    def send(self, traffic_type: TrafficType, item) -> None:
+        self._put(self.queue_of[traffic_type], item)
+
+    def send_stop(self) -> None:
+        for in_queue in self.in_queues:
+            self._put(in_queue, _STOP)
+
+    def _put(self, in_queue, item) -> None:
+        # Bounded put with a liveness check so a hard-killed worker (whose
+        # queue stays full and is never drained) fails the driver instead
+        # of deadlocking it; workers that die with an exception keep
+        # draining their queue, so this loop terminates for them too.
+        while True:
+            try:
+                in_queue.put(item, timeout=_POLL_SECONDS)
+                return
+            except queue_module.Full:
+                self.check_alive()
+
+    def check_alive(self) -> None:
+        for process in self.processes:
+            if not process.is_alive() and process.exitcode not in (0, None):
+                raise RuntimeError(
+                    f"streaming worker died with exit code {process.exitcode}")
+
+    def shutdown(self, force: bool = False) -> None:
+        for process in self.processes:
+            if force and process.is_alive():
+                process.terminate()
+            process.join(timeout=30)
+
+
+def parallel_stream_detect(
+    chunks: Iterable[TrafficChunk],
+    config: StreamingConfig = StreamingConfig(),
+    traffic_types: Optional[Sequence[TrafficType]] = None,
+    n_workers: Optional[int] = None,
+    queue_depth: int = 4,
+    mp_context: Optional[str] = None,
+) -> StreamingReport:
+    """Multi-process live diagnosis over an iterable of chunks.
+
+    Parameters
+    ----------
+    chunks:
+        The chunk stream (consumed once, in order).
+    config:
+        Streaming configuration applied by every per-type detector —
+        including ``n_shards``, so workers can run column-sharded engines.
+    traffic_types:
+        Types to analyze; defaults to the types of the first chunk.
+    n_workers:
+        Worker process count (capped at the number of traffic types, since
+        a type's detector must live in exactly one process).  Defaults to
+        one worker per traffic type.
+    queue_depth:
+        Bound of every worker input queue, in chunks: the backpressure
+        window between the feeding loop and the slowest worker.
+    mp_context:
+        Optional :mod:`multiprocessing` start-method name (e.g. ``"spawn"``);
+        the platform default is used when ``None``.
+
+    Returns
+    -------
+    StreamingReport
+        Identical (events, detections, counters) to the single-process
+        :func:`~repro.streaming.pipeline.stream_detect` on the same stream.
+    """
+    require(queue_depth >= 1, "queue_depth must be >= 1")
+    require(n_workers is None or n_workers >= 1,
+            "n_workers must be >= 1 when given")
+    require(config.identify, "event fusion needs identified OD flows")
+
+    iterator = iter(chunks)
+    if traffic_types is not None:
+        types = _dedup_types(traffic_types)
+    else:
+        try:
+            first = next(iterator)
+        except StopIteration:
+            return StreamingReport()
+        types = first.traffic_types
+        iterator = itertools.chain([first], iterator)
+    require(len(types) >= 1, "at least one traffic type must be analyzed")
+
+    context = multiprocessing.get_context(mp_context)
+    pool = _WorkerPool(types, config,
+                       n_workers if n_workers is not None else len(types),
+                       queue_depth, context)
+
+    aggregator = OnlineEventAggregator()
+    report = StreamingReport()
+    spans: Dict[int, _ChunkSpan] = {}
+    buffered: Dict[int, Dict[TrafficType, ChunkDetections]] = {}
+    next_to_fuse = 0
+    n_chunks = 0
+    try:
+        for chunk_index, chunk in enumerate(iterator):
+            spans[chunk_index] = _ChunkSpan(chunk.start_bin, chunk.n_bins)
+            n_chunks += 1
+            for traffic_type in types:
+                matrix = np.ascontiguousarray(chunk.matrix(traffic_type))
+                pool.send(traffic_type,
+                          (chunk_index, traffic_type.value, chunk.start_bin,
+                           matrix))
+            next_to_fuse = _drain(pool, buffered, spans, types, aggregator,
+                                  report, next_to_fuse, block=False)
+        pool.send_stop()
+        while next_to_fuse < n_chunks:
+            next_to_fuse = _drain(pool, buffered, spans, types, aggregator,
+                                  report, next_to_fuse, block=True)
+        pool.shutdown()
+    except BaseException:
+        pool.shutdown(force=True)
+        raise
+    report.events.extend(aggregator.flush())
+    return report
+
+
+def _drain(
+    pool: _WorkerPool,
+    buffered: Dict[int, Dict[TrafficType, ChunkDetections]],
+    spans: Dict[int, _ChunkSpan],
+    types: List[TrafficType],
+    aggregator: OnlineEventAggregator,
+    report: StreamingReport,
+    next_to_fuse: int,
+    block: bool,
+) -> int:
+    """Collect available worker results; fuse every completed chunk in order."""
+    while True:
+        try:
+            if block:
+                message = pool.out_queue.get(timeout=_POLL_SECONDS)
+            else:
+                message = pool.out_queue.get_nowait()
+        except queue_module.Empty:
+            if not block:
+                return next_to_fuse
+            pool.check_alive()
+            continue
+        if message[0] == _ERROR:
+            raise RuntimeError(f"streaming worker failed:\n{message[1]}")
+        chunk_index, type_value, result = message
+        buffered.setdefault(chunk_index, {})[TrafficType(type_value)] = result
+        # Fuse strictly in order, each chunk only once all types reported.
+        while next_to_fuse in buffered and \
+                len(buffered[next_to_fuse]) == len(types):
+            results = buffered.pop(next_to_fuse)
+            span = spans.pop(next_to_fuse)
+            _fuse_chunk_results(results, span, aggregator, report)
+            if any(result.warmup for result in results.values()):
+                report.n_warmup_bins += span.n_bins
+            next_to_fuse += 1
+        if block:
+            # Progress was made; let the caller re-check its exit condition.
+            return next_to_fuse

@@ -25,7 +25,9 @@ Two driving modes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.core.events import AnomalyEvent, Detection, count_by_label
 from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
@@ -37,6 +39,16 @@ from repro.utils.validation import require
 
 __all__ = ["StreamingReport", "StreamingNetworkDetector", "stream_detect",
            "replay_network_anomalies"]
+
+
+def _dedup_types(traffic_types: Iterable[TrafficType]) -> List[TrafficType]:
+    """Normalize and dedup traffic types, keeping first-seen order.
+
+    Shared by every driver (single-process, replay, multi-process): a
+    duplicate type would fold chunks twice into one detector's moments —
+    and stall the parallel driver's fusion completeness count.
+    """
+    return list(dict.fromkeys(TrafficType(t) for t in traffic_types))
 
 
 @dataclass
@@ -63,6 +75,33 @@ class StreamingReport:
     def label_counts(self) -> Dict[str, int]:
         """Event counts per combination label (the rows of Table 1)."""
         return count_by_label(self.events)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used by streaming checkpoints)."""
+        return {
+            "events": [event.to_dict() for event in self.events],
+            "detections": {
+                TrafficType(t).value: [d.to_dict() for d in per_type]
+                for t, per_type in self.detections.items()
+            },
+            "n_bins_processed": self.n_bins_processed,
+            "n_chunks_processed": self.n_chunks_processed,
+            "n_warmup_bins": self.n_warmup_bins,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "StreamingReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            events=[AnomalyEvent.from_dict(e) for e in data["events"]],
+            detections={
+                TrafficType(t): [Detection.from_dict(d) for d in per_type]
+                for t, per_type in dict(data["detections"]).items()
+            },
+            n_bins_processed=int(data["n_bins_processed"]),
+            n_chunks_processed=int(data["n_chunks_processed"]),
+            n_warmup_bins=int(data["n_warmup_bins"]),
+        )
 
 
 def _fuse_chunk_results(
@@ -108,8 +147,7 @@ class StreamingNetworkDetector:
                 "identify=True (or drive StreamingSubspaceDetector directly)")
         self._config = config
         self._types: Optional[List[TrafficType]] = (
-            [TrafficType(t) for t in traffic_types]
-            if traffic_types is not None else None
+            _dedup_types(traffic_types) if traffic_types is not None else None
         )
         self._detectors: Dict[TrafficType, StreamingSubspaceDetector] = {}
         self._aggregator = OnlineEventAggregator()
@@ -170,6 +208,71 @@ class StreamingNetworkDetector:
             self._finished = True
         return self._report
 
+    # ------------------------------------------------------------------ #
+    # checkpoint/restore
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, Dict]:
+        """Complete processing state as ``{"meta": scalars, "arrays": ...}``.
+
+        Covers the config, every per-type detector (moments + snapshot +
+        stream position), the aggregator watermark/open-run, and the report
+        accumulated so far.  Call between chunks — the state is then
+        consistent and :meth:`restore` resumes the stream with the identical
+        remaining event list.
+        """
+        meta = {
+            "config": self._config.to_dict(),
+            "types": (None if self._types is None
+                      else [t.value for t in self._types]),
+            "finished": self._finished,
+            "detectors": {},
+            "aggregator": self._aggregator.state_dict(),
+            "report": self._report.to_dict(),
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        for traffic_type, detector in self._detectors.items():
+            state = detector.state_dict()
+            meta["detectors"][traffic_type.value] = state["meta"]
+            arrays.update({f"{traffic_type.value}__{k}": v
+                           for k, v in state["arrays"].items()})
+        return {"meta": meta, "arrays": arrays}
+
+    @classmethod
+    def from_state(cls, meta: Mapping,
+                   arrays: Mapping[str, np.ndarray]) -> "StreamingNetworkDetector":
+        """Rebuild a network detector from :meth:`state_dict` output."""
+        config = StreamingConfig.from_dict(meta["config"])
+        types = meta["types"]
+        detector = cls(config, traffic_types=types)
+        for type_value, detector_meta in dict(meta["detectors"]).items():
+            prefix = f"{type_value}__"
+            detector._detectors[TrafficType(type_value)] = \
+                StreamingSubspaceDetector.from_state(
+                    config, detector_meta,
+                    {k[len(prefix):]: v for k, v in arrays.items()
+                     if k.startswith(prefix)})
+        detector._aggregator = OnlineEventAggregator.from_state(
+            meta["aggregator"])
+        detector._report = StreamingReport.from_dict(meta["report"])
+        detector._finished = bool(meta["finished"])
+        return detector
+
+    def save(self, directory) -> "StreamingNetworkDetector":
+        """Write an npz + JSON-manifest checkpoint of this detector.
+
+        See :func:`repro.streaming.checkpoint.save_checkpoint`; returns
+        ``self`` so a save can be chained mid-stream.
+        """
+        from repro.streaming.checkpoint import save_checkpoint
+        save_checkpoint(self, directory)
+        return self
+
+    @classmethod
+    def restore(cls, directory) -> "StreamingNetworkDetector":
+        """Load a checkpoint written by :meth:`save` and resume mid-stream."""
+        from repro.streaming.checkpoint import load_checkpoint
+        return load_checkpoint(directory)
+
 
 def stream_detect(
     chunks: Iterable[TrafficChunk],
@@ -201,7 +304,7 @@ def replay_network_anomalies(
     require(config.forgetting == 1.0,
             "exact replay parity requires forgetting == 1.0")
     require(config.identify, "event fusion needs identified OD flows")
-    types = ([TrafficType(t) for t in traffic_types]
+    types = (_dedup_types(traffic_types)
              if traffic_types is not None else series.traffic_types)
     require(len(types) >= 1, "at least one traffic type must be analyzed")
     source = ChunkedSeriesSource(series, chunk_size)

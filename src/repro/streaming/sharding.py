@@ -1,0 +1,259 @@
+"""Column-sharded running moments and the exact parallel-moments merge.
+
+Two ways to split the ``O(m p²)`` moment maintenance of
+:class:`~repro.streaming.online_pca.OnlinePCA` across workers, both exact:
+
+* **Column sharding** (:class:`ShardedOnlinePCA`): the ``p`` OD-flow columns
+  are partitioned into ``K`` shards; shard ``k`` maintains the rows of the
+  centered scatter matrix belonging to its columns (an
+  ``|cols_k| x p`` block, ``O(m p²/K)`` work per chunk).  Because the full
+  scatter is just the stack of those row blocks, assembling them yields a
+  covariance that matches the single-engine one bit-compatibly (up to float
+  accumulation order inside the BLAS), for **any** ``K`` and any partition
+  — the merge is associative and commutative in the partition.  All
+  weighting/decay bookkeeping is inherited from the same
+  ``_MomentTracker`` base the single engine uses, so the two cannot drift.
+
+* **Temporal sharding** (:func:`merge_online_pca`): engines that ingested
+  *disjoint consecutive segments* of the stream are combined with the exact
+  pairwise Chan et al. parallel-moments update — the same formula
+  ``partial_fit`` applies per chunk, lifted to whole moment tuples.  With
+  ``forgetting = 1`` the combine is associative *and* commutative, so
+  per-worker moments can be reduced in any order.
+
+Both guarantees are enforced by ``tests/test_streaming_properties.py`` and
+``tests/test_streaming_sharding.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.streaming.online_pca import OnlinePCA, _MomentTracker
+from repro.utils.validation import require
+
+__all__ = ["ShardedOnlinePCA", "merge_online_pca", "partition_columns"]
+
+
+def partition_columns(n_features: int, n_shards: int) -> List[np.ndarray]:
+    """Contiguous balanced partition of ``range(n_features)`` into shards.
+
+    Shards never exceed the column count: asking for more shards than
+    columns yields one shard per column.
+    """
+    require(n_features >= 1, "n_features must be >= 1")
+    require(n_shards >= 1, "n_shards must be >= 1")
+    return list(np.array_split(np.arange(n_features), min(n_shards, n_features)))
+
+
+def _validated_partition(partition: Sequence[Sequence[int]],
+                         n_features: int) -> List[np.ndarray]:
+    columns = [np.asarray(cols, dtype=int) for cols in partition]
+    require(all(cols.size >= 1 for cols in columns),
+            "every shard must own at least one column")
+    flat = np.concatenate(columns)
+    require(flat.size == n_features and
+            np.array_equal(np.sort(flat), np.arange(n_features)),
+            "shard columns must partition range(n_features) exactly")
+    return columns
+
+
+class _ColumnShard:
+    """One shard's rows of the centered scatter matrix."""
+
+    __slots__ = ("columns", "block")
+
+    def __init__(self, columns: np.ndarray, n_features: int) -> None:
+        self.columns = columns
+        self.block = np.zeros((columns.size, n_features))
+
+    def update(self, centered: np.ndarray, weights: Optional[np.ndarray],
+               delta: np.ndarray, decay: float, outer_coefficient: float) -> None:
+        """Apply one chunk's scatter update restricted to this shard's rows."""
+        own = centered[:, self.columns]
+        if weights is None:
+            chunk_block = own.T @ centered
+        else:
+            chunk_block = (own * weights[:, np.newaxis]).T @ centered
+        self.block = (
+            self.block * decay
+            + chunk_block
+            + np.outer(delta[self.columns], delta) * outer_coefficient
+        )
+
+
+class ShardedOnlinePCA(_MomentTracker):
+    """Column-sharded drop-in replacement for :class:`OnlinePCA`.
+
+    The per-chunk ``O(m p)`` bookkeeping (weights, chunk mean, centering,
+    running mean) comes from the shared ``_MomentTracker`` base — computed
+    once, with the identical arithmetic the single engine uses — while the
+    ``O(m p²)`` scatter update (the throughput cap) is split across the
+    shards' independent row blocks.  The class mirrors the full
+    ``OnlinePCA`` accessor/serialization API, so
+    :class:`StreamingSubspaceDetector` runs on either engine unchanged
+    (select via ``StreamingConfig(n_shards=K)``).
+
+    Parameters
+    ----------
+    n_shards:
+        Number of column shards ``K`` (used when *partition* is ``None``;
+        the partition is materialized contiguously on the first chunk).
+    forgetting:
+        Per-bin decay factor ``λ``, exactly as in :class:`OnlinePCA`.
+    partition:
+        Explicit column partition: a sequence of index collections that
+        together cover ``range(p)`` exactly once.  Overrides *n_shards*.
+    """
+
+    #: Engine-kind tag written into checkpoint manifests.
+    STATE_KIND = "sharded_online_pca"
+
+    def __init__(self, n_shards: int = 2, forgetting: float = 1.0,
+                 partition: Optional[Sequence[Sequence[int]]] = None) -> None:
+        require(n_shards >= 1, "n_shards must be >= 1")
+        super().__init__(forgetting)
+        self._requested_shards = int(n_shards)
+        self._partition_spec = partition
+        self._shards: Optional[List[_ColumnShard]] = None
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_shards(self) -> int:
+        """Number of column shards (the requested count until data arrives)."""
+        if self._shards is None:
+            if self._partition_spec is not None:
+                return len(self._partition_spec)
+            return self._requested_shards
+        return len(self._shards)
+
+    @property
+    def shard_columns(self) -> List[np.ndarray]:
+        """The materialized column partition (empty before the first chunk)."""
+        if self._shards is None:
+            return []
+        return [shard.columns.copy() for shard in self._shards]
+
+    # ------------------------------------------------------------------ #
+    # scatter storage (the only piece that differs from OnlinePCA)
+    # ------------------------------------------------------------------ #
+    def _initialize_scatter(self, n_features: int) -> None:
+        if self._partition_spec is not None:
+            columns = _validated_partition(self._partition_spec, n_features)
+        else:
+            columns = partition_columns(n_features, self._requested_shards)
+        self._shards = [_ColumnShard(cols, n_features) for cols in columns]
+
+    def _apply_scatter_update(self, centered: np.ndarray,
+                              weights: Optional[np.ndarray],
+                              delta: np.ndarray, decay: float,
+                              outer_coefficient: float) -> None:
+        for shard in self._shards:
+            shard.update(centered, weights, delta, decay, outer_coefficient)
+
+    # ------------------------------------------------------------------ #
+    # merge + derived quantities
+    # ------------------------------------------------------------------ #
+    def merged_scatter(self) -> np.ndarray:
+        """Assemble the full ``p x p`` scatter from the shard row blocks."""
+        require(self._shards is not None, "no data ingested yet")
+        scatter = np.empty((self._n_features, self._n_features))
+        for shard in self._shards:
+            scatter[shard.columns, :] = shard.block
+        return scatter
+
+    def merged(self) -> OnlinePCA:
+        """The assembled moments as an equivalent single :class:`OnlinePCA`."""
+        require(self._shards is not None, "no data ingested yet")
+        state = self._scalar_state(OnlinePCA.STATE_KIND)
+        arrays = {"mean": self._mean.copy(), "scatter": self.merged_scatter()}
+        return OnlinePCA.from_state(state, arrays)
+
+    def covariance(self) -> np.ndarray:
+        """The merged sample covariance ``M / (Σw - 1)``."""
+        require(self._weight_sum > 1.0,
+                "need total weight > 1 for a sample covariance")
+        return self.merged_scatter() / (self._weight_sum - 1.0)
+
+    # ------------------------------------------------------------------ #
+    # serialization (checkpoint/restore)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, Dict]:
+        """Per-shard state as ``{"meta": scalars, "arrays": ndarrays}``."""
+        meta = self._scalar_state(self.STATE_KIND)
+        meta["n_shards"] = self.n_shards
+        arrays: Dict[str, np.ndarray] = {}
+        if self._shards is not None:
+            arrays["mean"] = self._mean.copy()
+            for i, shard in enumerate(self._shards):
+                arrays[f"shard{i}_columns"] = shard.columns.copy()
+                arrays[f"shard{i}_block"] = shard.block.copy()
+        return {"meta": meta, "arrays": arrays}
+
+    @classmethod
+    def from_state(cls, meta: Mapping,
+                   arrays: Mapping[str, np.ndarray]) -> "ShardedOnlinePCA":
+        """Rebuild a sharded engine from :meth:`state_dict` output."""
+        require(meta.get("kind") == cls.STATE_KIND,
+                f"state is not a {cls.STATE_KIND} state")
+        n_shards = int(meta["n_shards"])
+        engine = cls(n_shards=n_shards, forgetting=float(meta["forgetting"]))
+        if meta["has_data"]:
+            mean = np.array(arrays["mean"], dtype=float)
+            engine._n_features = mean.size
+            engine._mean = mean
+            shards = []
+            for i in range(n_shards):
+                columns = np.array(arrays[f"shard{i}_columns"], dtype=int)
+                shard = _ColumnShard(columns, mean.size)
+                block = np.array(arrays[f"shard{i}_block"], dtype=float)
+                require(block.shape == shard.block.shape,
+                        "shard block shape does not match its column count")
+                shard.block = block
+                shards.append(shard)
+            _validated_partition([s.columns for s in shards], mean.size)
+            engine._shards = shards
+        engine._restore_scalars(meta)
+        return engine
+
+
+def merge_online_pca(earlier: OnlinePCA, later: OnlinePCA) -> OnlinePCA:
+    """Combine engines over disjoint consecutive stream segments, exactly.
+
+    This is the pairwise Chan et al. parallel-moments update applied to two
+    whole moment tuples: *earlier* holds the moments of the first segment,
+    *later* those of the segment that follows it.  With ``forgetting = 1``
+    the operation is associative and commutative (segment order is
+    irrelevant); with ``λ < 1`` it stays associative but weights *earlier*
+    down by ``λ^m`` for the ``m`` bins *later* ingested, so order matters —
+    exactly as if the segments had been streamed through one engine.
+    """
+    require(earlier.forgetting == later.forgetting,
+            "engines must share the same forgetting factor")
+    if later.n_features is None:
+        return OnlinePCA.from_state(**earlier.state_dict())
+    if earlier.n_features is None:
+        return OnlinePCA.from_state(**later.state_dict())
+    require(earlier.n_features == later.n_features,
+            "engines must share the same number of OD flows")
+
+    merged = OnlinePCA.from_state(**earlier.state_dict())
+    second = later.state_dict()
+    decay = earlier.forgetting ** later.n_bins_seen
+    # The shared Chan combine of _MomentTracker, fed a whole moment tuple
+    # (the later segment) instead of a raw chunk.
+    merged._merge_weighted_chunk(
+        chunk_weight=second["meta"]["weight_sum"],
+        chunk_weight_sq=second["meta"]["weight_sq_sum"],
+        chunk_mean=second["arrays"]["mean"],
+        decay=decay,
+        decay_sq=decay**2,
+        n_bins=later.n_bins_seen,
+        scatter_update=lambda delta, coefficient: merged._merge_scatter(
+            second["arrays"]["scatter"], delta, decay, coefficient),
+    )
+    return merged

@@ -94,12 +94,20 @@ class ChunkedSeriesSource:
     Unlike the one-shot generator :func:`chunk_series`, the source can be
     iterated multiple times — which is what the two-pass replay harness in
     :mod:`repro.streaming.pipeline` needs.
+
+    *start_bin* offsets every chunk's stream-global index (passed through
+    to :func:`chunk_series`), so a series can be replayed as a **suffix** of
+    a longer stream — the resume path of a checkpoint-restored detector,
+    which expects the next chunk to start at its saved watermark.
     """
 
-    def __init__(self, series: TrafficMatrixSeries, chunk_size: int) -> None:
+    def __init__(self, series: TrafficMatrixSeries, chunk_size: int,
+                 start_bin: int = 0) -> None:
         require(chunk_size >= 1, "chunk_size must be >= 1")
+        require(start_bin >= 0, "start_bin must be non-negative")
         self._series = series
         self._chunk_size = int(chunk_size)
+        self._start_bin = int(start_bin)
 
     @property
     def series(self) -> TrafficMatrixSeries:
@@ -111,8 +119,13 @@ class ChunkedSeriesSource:
         """Rows per chunk (the final chunk may be shorter)."""
         return self._chunk_size
 
+    @property
+    def start_bin(self) -> int:
+        """Stream-global index of the series' first bin."""
+        return self._start_bin
+
     def __len__(self) -> int:
         return -(-self._series.n_bins // self._chunk_size)
 
     def __iter__(self) -> Iterator[TrafficChunk]:
-        return chunk_series(self._series, self._chunk_size)
+        return chunk_series(self._series, self._chunk_size, self._start_bin)

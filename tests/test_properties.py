@@ -99,7 +99,10 @@ def test_subspace_split_is_exact_and_orthogonal(matrix, k):
     assert np.allclose(modeled + residual, centered, atol=1e-6)
     total_energy = np.sum(centered**2, axis=1)
     spe = model.spe(matrix)
-    assert np.all(spe <= total_energy + 1e-6)
+    # Relative slack: the property holds exactly in real arithmetic, but at
+    # energies of ~1e10 a few float64 ulps (~1e-5) can push the SPE above
+    # the total, which a purely absolute 1e-6 tolerance rejected.
+    assert np.all(spe <= total_energy * (1 + 1e-9) + 1e-6)
 
 
 @_SETTINGS

@@ -302,6 +302,120 @@ class TestSources:
                                              seed=1, max_blocks=2))
         assert sum(c.n_bins for c in chunks) == 2 * block.n_bins
 
+    def test_chunked_source_start_bin_offset(self, small_dataset):
+        # Regression: the source must pass the start_bin offset through to
+        # chunk_series, so a restored detector can replay a series as the
+        # suffix of a longer stream.
+        series = small_dataset.series
+        source = ChunkedSeriesSource(series, 96, start_bin=288)
+        chunks = list(source)
+        assert chunks[0].start_bin == 288
+        assert chunks[-1].end_bin == 288 + series.n_bins
+        assert source.start_bin == 288
+        # Re-iterable with the same offset, and identical to the generator.
+        again = list(source)
+        assert [c.start_bin for c in again] == [c.start_bin for c in chunks]
+        direct = list(chunk_series(series, 96, start_bin=288))
+        assert [c.start_bin for c in direct] == [c.start_bin for c in chunks]
+        with pytest.raises(ValueError):
+            ChunkedSeriesSource(series, 96, start_bin=-1)
+
+    def test_synthetic_stream_resumes_at_start_block(self):
+        block = DatasetConfig(weeks=0.25 / 7.0)
+        full = list(synthetic_chunk_stream(chunk_size=24, block_config=block,
+                                           seed=9, max_blocks=3))
+        resumed = list(synthetic_chunk_stream(chunk_size=24,
+                                              block_config=block, seed=9,
+                                              max_blocks=3, start_block=1))
+        suffix = [c for c in full if c.start_bin >= block.n_bins]
+        assert [c.start_bin for c in resumed] == [c.start_bin for c in suffix]
+        for a, b in zip(resumed, suffix):
+            for t in a.traffic_types:
+                np.testing.assert_array_equal(a.matrix(t), b.matrix(t))
+
+
+class TestStreamingEdgeCases:
+    def test_single_bin_chunks_match_batch_moments(self, correlated_matrix):
+        engine = OnlinePCA()
+        for row in correlated_matrix:
+            engine.partial_fit(row[np.newaxis, :])
+        assert engine.n_bins_seen == correlated_matrix.shape[0]
+        np.testing.assert_allclose(engine.covariance(),
+                                   np.cov(correlated_matrix, rowvar=False),
+                                   rtol=1e-8, atol=1e-8)
+
+    def test_single_bin_chunks_through_detector(self, quickstart_dataset):
+        # Driving the detector one bin at a time must flag the same bins as
+        # a whole-window replay with the same frozen training schedule.
+        series = quickstart_dataset.series
+        matrix = series.matrix(TrafficType.BYTES)
+        config = StreamingConfig(min_train_bins=matrix.shape[0],
+                                 identify=False)
+        whole = StreamingSubspaceDetector(config)
+        whole.process_chunk(matrix)
+        one_by_one = StreamingSubspaceDetector(config)
+        for start in range(0, matrix.shape[0]):
+            result = one_by_one.process_chunk(matrix[start:start + 1])
+        assert result.end_bin == matrix.shape[0]
+        one_by_one.calibrate()
+        flagged = one_by_one.detect_chunk(matrix, 0)
+        assert flagged.anomalous_bins == \
+            whole.detect_chunk(matrix, 0).anomalous_bins
+
+    def test_chunk_size_larger_than_stream(self, small_dataset):
+        series = small_dataset.series
+        source = ChunkedSeriesSource(series, series.n_bins * 3)
+        assert len(source) == 1
+        (only,) = list(source)
+        assert only.n_bins == series.n_bins
+        replay = replay_network_anomalies(series, chunk_size=series.n_bins * 3)
+        batch = detect_network_anomalies(series)
+        assert replay.events == batch.events
+
+    def test_heavy_forgetting_saturates_effective_samples(self):
+        lam = 0.5
+        rng = np.random.default_rng(8)
+        engine = OnlinePCA(forgetting=lam)
+        for _ in range(40):
+            engine.partial_fit(rng.normal(size=(25, 4)) + 10.0)
+        # Kish effective size saturates at (1 + λ) / (1 - λ) = 3 despite
+        # having ingested 1000 bins.
+        assert engine.n_bins_seen == 1000
+        assert engine.effective_samples == pytest.approx(
+            (1 + lam) / (1 - lam), abs=1e-6)
+        assert engine.n_samples == 3
+
+    def test_heavy_forgetting_keeps_detector_in_warmup(self):
+        # n_samples saturated at 3 can never exceed n_normal + 1 = 5, so
+        # the detector must refuse to calibrate rather than hand a bogus
+        # sample count to the F-based T² limit.
+        rng = np.random.default_rng(21)
+        config = StreamingConfig(forgetting=0.5, min_train_bins=2)
+        detector = StreamingSubspaceDetector(config)
+        for _ in range(30):
+            result = detector.process_chunk(rng.normal(size=(20, 8)) + 5.0)
+        assert result.warmup
+        assert not detector.is_warmed_up
+        with pytest.raises(ValueError):
+            detector.calibrate()
+
+    def test_covariance_needs_total_weight_above_one(self):
+        engine = OnlinePCA()
+        engine.partial_fit(np.array([[1.0, 2.0, 3.0]]))
+        # One bin -> total weight exactly 1 -> no ddof-1 sample covariance.
+        assert engine.weight_sum == 1.0
+        with pytest.raises(ValueError):
+            engine.covariance()
+        engine.partial_fit(np.array([[2.0, 1.0, 5.0]]))
+        assert engine.covariance().shape == (3, 3)
+
+    def test_sharded_covariance_weight_guard(self):
+        from repro.streaming import ShardedOnlinePCA
+        engine = ShardedOnlinePCA(n_shards=2)
+        engine.partial_fit(np.array([[1.0, 2.0, 3.0, 4.0]]))
+        with pytest.raises(ValueError):
+            engine.covariance()
+
 
 class TestLiveStreaming:
     def test_stream_detect_end_to_end(self, quickstart_dataset):

@@ -1,0 +1,242 @@
+"""Restart-parity tests for streaming checkpoints.
+
+A detector checkpointed mid-stream and restored must emit the **identical**
+remaining event list an uninterrupted run would have produced — including
+events whose runs span the checkpoint boundary — and its numerical state
+must survive the npz round trip bit-for-bit.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.events import Detection
+from repro.evaluation import event_parity, report_parity
+from repro.flows.timeseries import TrafficType
+from repro.streaming import (
+    CHECKPOINT_FORMAT_VERSION,
+    ChunkedSeriesSource,
+    OnlineEventAggregator,
+    StreamingConfig,
+    StreamingNetworkDetector,
+    chunk_series,
+    load_checkpoint,
+    save_checkpoint,
+    stream_detect,
+)
+from repro.streaming.checkpoint import ARRAYS_FILENAME_PREFIX, MANIFEST_FILENAME
+
+CHUNK = 48
+
+
+@pytest.fixture(scope="module")
+def live_config():
+    return StreamingConfig(min_train_bins=128, recalibrate_every_bins=32)
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(small_dataset, live_config):
+    """The reference: one run over all chunks without a restart."""
+    return stream_detect(chunk_series(small_dataset.series, CHUNK),
+                         live_config)
+
+
+def _chunks(dataset):
+    return list(chunk_series(dataset.series, CHUNK))
+
+
+class TestCheckpointRoundtrip:
+    def test_manifest_and_arrays_on_disk(self, small_dataset, live_config,
+                                         tmp_path):
+        detector = StreamingNetworkDetector(live_config)
+        for chunk in _chunks(small_dataset)[:4]:
+            detector.process_chunk(chunk)
+        path = save_checkpoint(detector, tmp_path / "ckpt")
+        assert (path / MANIFEST_FILENAME).is_file()
+        manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+        assert manifest["format_version"] == CHECKPOINT_FORMAT_VERSION
+        assert manifest["arrays_file"].startswith(ARRAYS_FILENAME_PREFIX)
+        assert (path / manifest["arrays_file"]).is_file()
+        assert manifest["meta"]["config"]["n_normal"] == live_config.n_normal
+        # One engine per traffic type, plus snapshots once warmed up.
+        assert set(manifest["meta"]["detectors"]) == \
+            {t.value for t in small_dataset.series.traffic_types}
+        with np.load(path / manifest["arrays_file"]) as arrays:
+            assert sorted(arrays.files) == manifest["array_names"]
+
+    def test_state_restores_bitwise(self, small_dataset, live_config,
+                                    tmp_path):
+        detector = StreamingNetworkDetector(live_config)
+        for chunk in _chunks(small_dataset)[:5]:
+            detector.process_chunk(chunk)
+        detector.save(tmp_path / "ckpt")
+        restored = StreamingNetworkDetector.restore(tmp_path / "ckpt")
+        for traffic_type in small_dataset.series.traffic_types:
+            original = detector.detector(traffic_type)
+            twin = restored.detector(traffic_type)
+            np.testing.assert_array_equal(twin.engine.covariance(),
+                                          original.engine.covariance())
+            assert twin.engine.weight_sum == original.engine.weight_sum
+            assert twin.engine.n_bins_seen == original.engine.n_bins_seen
+            assert twin.bins_processed == original.bins_processed
+            np.testing.assert_array_equal(twin.snapshot.normal_axes,
+                                          original.snapshot.normal_axes)
+            assert twin.snapshot.limits == original.snapshot.limits
+        assert restored.aggregator.watermark == detector.aggregator.watermark
+        assert restored.report.to_dict() == detector.report.to_dict()
+
+    @pytest.mark.parametrize("split", [2, 5, 9])
+    def test_restart_emits_identical_remaining_events(
+            self, small_dataset, live_config, uninterrupted, tmp_path, split):
+        chunks = _chunks(small_dataset)
+        detector = StreamingNetworkDetector(live_config)
+        for chunk in chunks[:split]:
+            detector.process_chunk(chunk)
+        detector.save(tmp_path / f"ckpt{split}")
+
+        restored = StreamingNetworkDetector.restore(tmp_path / f"ckpt{split}")
+        for chunk in chunks[split:]:
+            restored.process_chunk(chunk)
+        report = restored.finish()
+
+        parity = event_parity(uninterrupted.events, report.events)
+        assert parity.exact, parity.to_dict()
+        full = report_parity(uninterrupted, report)
+        assert all(full["equal"].values()), full["equal"]
+
+    def test_restart_resumes_from_suffix_source(
+            self, small_dataset, live_config, uninterrupted, tmp_path):
+        """Restore + replay the remaining bins as a ChunkedSeriesSource suffix."""
+        chunks = _chunks(small_dataset)
+        split = 6
+        detector = StreamingNetworkDetector(live_config)
+        for chunk in chunks[:split]:
+            detector.process_chunk(chunk)
+        detector.save(tmp_path / "ckpt")
+
+        restored = StreamingNetworkDetector.restore(tmp_path / "ckpt")
+        resume_bin = restored.detector(TrafficType.BYTES).bins_processed
+        assert resume_bin == split * CHUNK
+        suffix = small_dataset.series.window(resume_bin,
+                                             small_dataset.series.n_bins)
+        source = ChunkedSeriesSource(suffix, CHUNK, start_bin=resume_bin)
+        for chunk in source:
+            restored.process_chunk(chunk)
+        report = restored.finish()
+        assert event_parity(uninterrupted.events, report.events).exact
+
+    def test_sharded_checkpoint_roundtrip(self, small_dataset, tmp_path):
+        config = StreamingConfig(min_train_bins=128,
+                                 recalibrate_every_bins=32, n_shards=4)
+        chunks = _chunks(small_dataset)
+        full = stream_detect(iter(chunks), config)
+
+        detector = StreamingNetworkDetector(config)
+        for chunk in chunks[:4]:
+            detector.process_chunk(chunk)
+        detector.save(tmp_path / "ckpt")
+        restored = StreamingNetworkDetector.restore(tmp_path / "ckpt")
+        engine = restored.detector(TrafficType.BYTES).engine
+        assert engine.n_shards == 4
+        for chunk in chunks[4:]:
+            restored.process_chunk(chunk)
+        assert event_parity(full.events, restored.finish().events).exact
+
+
+class TestAggregatorStateAcrossBoundary:
+    def _detection(self, bin_index, traffic_type=TrafficType.BYTES):
+        return Detection(traffic_type=traffic_type, bin_index=bin_index,
+                         od_flows=(3, 5))
+
+    def test_open_run_survives_roundtrip(self):
+        aggregator = OnlineEventAggregator()
+        for b in (10, 11, 12):
+            aggregator.add(self._detection(b))
+        aggregator.advance(12)  # run 10-12 still open at the watermark
+
+        restored = OnlineEventAggregator.from_state(aggregator.state_dict())
+        assert restored.watermark == 12
+        assert restored.has_open_run
+        restored.add(self._detection(13))
+        events = restored.advance(14)  # bin 14 empty -> run closes
+        events.extend(restored.flush())
+        assert [e.bins for e in events] == [(10, 11, 12, 13)]
+
+    def test_pending_bins_survive_roundtrip(self):
+        aggregator = OnlineEventAggregator()
+        aggregator.add(self._detection(7))
+        aggregator.add(self._detection(7, TrafficType.FLOWS))
+        aggregator.add(self._detection(9))
+        state = aggregator.state_dict()
+        assert set(state["pending"]) == {"7", "9"}
+
+        restored = OnlineEventAggregator.from_state(state)
+        assert restored.n_pending_bins == 2
+        events = restored.advance(10)
+        assert [e.traffic_label for e in events] == ["BF", "B"]
+        assert events[0].od_flows == frozenset({3, 5})
+
+    def test_roundtrip_equals_uninterrupted_aggregation(self):
+        detections = [self._detection(b) for b in (3, 4, 8, 9, 10, 15)]
+        straight = OnlineEventAggregator()
+        straight.add_many(detections)
+        expected = straight.flush()
+
+        closed = []
+        first = OnlineEventAggregator()
+        first.add_many([d for d in detections if d.bin_index <= 8])
+        closed.extend(first.advance(8))  # run (8,) is open at the boundary
+        second = OnlineEventAggregator.from_state(first.state_dict())
+        second.add_many([d for d in detections if d.bin_index > 8])
+        closed.extend(second.flush())
+        assert closed == expected
+
+
+class TestCheckpointErrors:
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_checkpoint(tmp_path / "nowhere")
+
+    def test_version_mismatch(self, small_dataset, live_config, tmp_path):
+        detector = StreamingNetworkDetector(live_config)
+        detector.process_chunk(_chunks(small_dataset)[0])
+        path = save_checkpoint(detector, tmp_path / "ckpt")
+        manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+        manifest["format_version"] = 999
+        (path / MANIFEST_FILENAME).write_text(json.dumps(manifest))
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+    def test_truncated_arrays_detected(self, small_dataset, live_config,
+                                       tmp_path):
+        detector = StreamingNetworkDetector(live_config)
+        detector.process_chunk(_chunks(small_dataset)[0])
+        path = save_checkpoint(detector, tmp_path / "ckpt")
+        manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+        state = detector.state_dict()
+        dropped = dict(state["arrays"])
+        dropped.pop(sorted(dropped)[0])
+        np.savez(path / manifest["arrays_file"], **dropped)
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+    def test_interrupted_overwrite_keeps_previous_checkpoint(
+            self, small_dataset, live_config, tmp_path):
+        """A crash before the manifest replace must not lose the old save."""
+        chunks = _chunks(small_dataset)
+        detector = StreamingNetworkDetector(live_config)
+        for chunk in chunks[:3]:
+            detector.process_chunk(chunk)
+        path = save_checkpoint(detector, tmp_path / "ckpt")
+        bins_at_save = detector.report.n_bins_processed
+
+        # Simulate a second save dying between the arrays landing and the
+        # manifest replace: a new content-addressed npz exists, but the
+        # manifest still references (and checksums) the old one.
+        detector.process_chunk(chunks[3])
+        orphan = detector.state_dict()["arrays"]
+        np.savez(path / (ARRAYS_FILENAME_PREFIX + "deadbeef.npz"), **orphan)
+
+        restored = load_checkpoint(path)
+        assert restored.report.n_bins_processed == bins_at_save

@@ -1,0 +1,108 @@
+"""Parity and robustness tests for the multi-process chunk driver.
+
+The driver may only change wall-clock time: its report (events, raw
+detections, counters) must be identical to the single-process
+``stream_detect`` run, for any worker count and queue depth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import event_parity, report_parity
+from repro.flows.timeseries import TrafficType
+from repro.streaming import (
+    StreamingConfig,
+    StreamingReport,
+    TrafficChunk,
+    chunk_series,
+    parallel_stream_detect,
+    stream_detect,
+)
+
+CHUNK = 48
+
+
+@pytest.fixture(scope="module")
+def live_config():
+    return StreamingConfig(min_train_bins=128, recalibrate_every_bins=32)
+
+
+@pytest.fixture(scope="module")
+def baseline_report(small_dataset, live_config):
+    return stream_detect(chunk_series(small_dataset.series, CHUNK),
+                         live_config)
+
+
+class TestParallelParity:
+    @pytest.mark.parametrize("n_workers", [1, 2, 3])
+    def test_worker_counts_reproduce_event_list(
+            self, small_dataset, live_config, baseline_report, n_workers):
+        report = parallel_stream_detect(
+            chunk_series(small_dataset.series, CHUNK), live_config,
+            n_workers=n_workers)
+        parity = event_parity(baseline_report.events, report.events)
+        assert parity.exact, parity.to_dict()
+        full = report_parity(baseline_report, report)
+        assert all(full["equal"].values()), full["equal"]
+
+    def test_minimal_queue_depth_backpressure(self, small_dataset,
+                                              live_config, baseline_report):
+        report = parallel_stream_detect(
+            chunk_series(small_dataset.series, CHUNK), live_config,
+            n_workers=3, queue_depth=1)
+        assert event_parity(baseline_report.events, report.events).exact
+
+    def test_sharded_engines_inside_workers(self, small_dataset,
+                                            baseline_report):
+        config = StreamingConfig(min_train_bins=128,
+                                 recalibrate_every_bins=32, n_shards=4)
+        report = parallel_stream_detect(
+            chunk_series(small_dataset.series, CHUNK), config, n_workers=3)
+        assert event_parity(baseline_report.events, report.events).exact
+
+    def test_single_traffic_type_subset(self, small_dataset, live_config):
+        single = stream_detect(chunk_series(small_dataset.series, CHUNK),
+                               live_config,
+                               traffic_types=[TrafficType.BYTES])
+        report = parallel_stream_detect(
+            chunk_series(small_dataset.series, CHUNK), live_config,
+            traffic_types=[TrafficType.BYTES], n_workers=2)
+        assert event_parity(single.events, report.events).exact
+        assert set(report.detections) <= {TrafficType.BYTES}
+
+    def test_duplicate_traffic_types_are_deduped(self, small_dataset,
+                                                 live_config):
+        # Regression: a duplicated type must neither hang the fusion loop
+        # nor fold chunks twice into one detector's moments.
+        single = stream_detect(chunk_series(small_dataset.series, CHUNK),
+                               live_config,
+                               traffic_types=[TrafficType.BYTES])
+        report = parallel_stream_detect(
+            chunk_series(small_dataset.series, CHUNK), live_config,
+            traffic_types=[TrafficType.BYTES, TrafficType.BYTES], n_workers=2)
+        assert event_parity(single.events, report.events).exact
+
+
+class TestParallelEdgeCases:
+    def test_empty_stream(self, live_config):
+        report = parallel_stream_detect(iter(()), live_config)
+        assert isinstance(report, StreamingReport)
+        assert report.n_chunks_processed == 0
+        assert report.events == []
+
+    def test_validation(self, live_config):
+        with pytest.raises(ValueError):
+            parallel_stream_detect(iter(()), live_config, queue_depth=0)
+        with pytest.raises(ValueError):
+            parallel_stream_detect(iter(()), live_config, n_workers=0)
+        with pytest.raises(ValueError):
+            parallel_stream_detect(iter(()), StreamingConfig(identify=False))
+
+    def test_worker_failure_propagates(self, live_config):
+        rng = np.random.default_rng(0)
+        good = TrafficChunk(start_bin=0, matrices={
+            TrafficType.BYTES: rng.random((16, 9)) + 1.0})
+        bad = TrafficChunk(start_bin=16, matrices={
+            TrafficType.BYTES: rng.random((16, 5)) + 1.0})  # wrong p
+        with pytest.raises(RuntimeError, match="streaming worker failed"):
+            parallel_stream_detect([good, bad], live_config)

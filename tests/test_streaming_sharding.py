@@ -1,0 +1,148 @@
+"""Merge-parity tests for the column-sharded moment engine.
+
+The repo's core guarantee — exact parity with the single-process reference
+— extended to sharded runs: a :class:`ShardedOnlinePCA` behind the
+streaming detector must reproduce the single-engine ``stream_detect``
+event list exactly, for any shard count, and its serialized state must
+survive a checkpoint round trip bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import event_parity, report_parity
+from repro.flows.timeseries import TrafficType
+from repro.streaming import (
+    OnlinePCA,
+    ShardedOnlinePCA,
+    StreamingConfig,
+    StreamingSubspaceDetector,
+    chunk_series,
+    make_engine,
+    replay_network_anomalies,
+    stream_detect,
+)
+
+
+@pytest.fixture(scope="module")
+def live_config():
+    return StreamingConfig(min_train_bins=128, recalibrate_every_bins=32)
+
+
+@pytest.fixture(scope="module")
+def baseline_report(small_dataset, live_config):
+    """Single-process, single-engine live run — the parity reference."""
+    return stream_detect(chunk_series(small_dataset.series, 48), live_config)
+
+
+class TestShardedEngineApi:
+    def test_make_engine_selects_by_config(self):
+        assert isinstance(make_engine(StreamingConfig()), OnlinePCA)
+        engine = make_engine(StreamingConfig(n_shards=4, forgetting=0.99))
+        assert isinstance(engine, ShardedOnlinePCA)
+        assert engine.n_shards == 4
+        assert engine.forgetting == 0.99
+
+    def test_accessors_mirror_online_pca(self, rng):
+        matrix = rng.normal(size=(60, 9)) + 10.0
+        single = OnlinePCA().partial_fit(matrix)
+        sharded = ShardedOnlinePCA(n_shards=3).partial_fit(matrix)
+        assert sharded.n_features == single.n_features == 9
+        assert sharded.n_bins_seen == single.n_bins_seen == 60
+        assert sharded.rank == single.rank
+        assert sharded.n_samples == single.n_samples
+        assert len(sharded.shard_columns) == 3
+        np.testing.assert_array_equal(np.sort(np.concatenate(
+            sharded.shard_columns)), np.arange(9))
+        with pytest.raises(ValueError):
+            sharded.mean[0] = 1.0  # read-only view, like OnlinePCA.mean
+
+    def test_eigenbasis_matches_and_is_cached(self, rng):
+        matrix = rng.normal(size=(80, 7)) @ rng.normal(size=(7, 7)) + 5.0
+        single = OnlinePCA().partial_fit(matrix)
+        sharded = ShardedOnlinePCA(n_shards=2).partial_fit(matrix)
+        np.testing.assert_allclose(sharded.eigenbasis()[0],
+                                   single.eigenbasis()[0],
+                                   rtol=1e-9, atol=1e-9)
+        first = sharded.eigenbasis()[0]
+        assert sharded.eigenbasis()[0] is first
+        sharded.partial_fit(matrix[:5])
+        assert sharded.eigenbasis()[0] is not first
+
+    def test_merged_returns_equivalent_single_engine(self, rng):
+        matrix = rng.normal(size=(50, 8)) + 3.0
+        sharded = ShardedOnlinePCA(n_shards=4).partial_fit(matrix)
+        merged = sharded.merged()
+        assert isinstance(merged, OnlinePCA)
+        np.testing.assert_array_equal(merged.covariance(),
+                                      sharded.covariance())
+        np.testing.assert_array_equal(merged.mean, sharded.mean)
+        assert merged.n_bins_seen == sharded.n_bins_seen
+        assert merged.weight_sum == sharded.weight_sum
+
+    def test_errors_before_data(self):
+        engine = ShardedOnlinePCA(n_shards=2)
+        assert engine.n_features is None
+        assert engine.rank == 0
+        assert engine.shard_columns == []
+        with pytest.raises(ValueError):
+            engine.covariance()
+        with pytest.raises(ValueError):
+            engine.merged()
+        with pytest.raises(ValueError):
+            _ = engine.mean
+
+    def test_state_roundtrip_is_bitwise(self, rng):
+        matrix = rng.normal(size=(70, 11)) + 8.0
+        sharded = ShardedOnlinePCA(n_shards=3, forgetting=0.995)
+        for start in range(0, 70, 20):
+            sharded.partial_fit(matrix[start:start + 20])
+        state = sharded.state_dict()
+        restored = ShardedOnlinePCA.from_state(state["meta"], state["arrays"])
+        np.testing.assert_array_equal(restored.merged_scatter(),
+                                      sharded.merged_scatter())
+        np.testing.assert_array_equal(restored.mean, sharded.mean)
+        assert restored.weight_sum == sharded.weight_sum
+        assert restored.n_shards == sharded.n_shards
+        # Continuing both engines keeps them on the identical trajectory.
+        sharded.partial_fit(matrix[60:])
+        restored.partial_fit(matrix[60:])
+        np.testing.assert_array_equal(restored.merged_scatter(),
+                                      sharded.merged_scatter())
+
+
+class TestShardedRunParity:
+    @pytest.mark.parametrize("n_shards", [2, 4, 7])
+    def test_sharded_live_run_reproduces_event_list(
+            self, small_dataset, live_config, baseline_report, n_shards):
+        config = StreamingConfig(min_train_bins=live_config.min_train_bins,
+                                 recalibrate_every_bins=32, n_shards=n_shards)
+        sharded = stream_detect(chunk_series(small_dataset.series, 48), config)
+        parity = event_parity(baseline_report.events, sharded.events)
+        assert parity.exact, parity.to_dict()
+        full = report_parity(baseline_report, sharded)
+        assert all(full["equal"].values()), full["equal"]
+
+    def test_sharded_two_pass_replay_matches_batch(self, small_dataset):
+        from repro.core import detect_network_anomalies
+        batch = detect_network_anomalies(small_dataset.series)
+        replay = replay_network_anomalies(
+            small_dataset.series, chunk_size=96,
+            config=StreamingConfig(n_shards=4))
+        assert replay.events == batch.events
+        assert replay.detections == batch.detections
+
+    def test_sharded_detector_snapshot_matches_single(self, small_dataset):
+        matrix = small_dataset.series.matrix(TrafficType.BYTES)
+        single = StreamingSubspaceDetector(StreamingConfig())
+        sharded = StreamingSubspaceDetector(StreamingConfig(n_shards=4))
+        single.process_chunk(matrix)
+        sharded.process_chunk(matrix)
+        np.testing.assert_allclose(sharded.snapshot.eigenvalues,
+                                   single.snapshot.eigenvalues,
+                                   rtol=1e-9, atol=1e-9)
+        assert sharded.snapshot.limits.spe == \
+            pytest.approx(single.snapshot.limits.spe, rel=1e-9)
+        assert sharded.snapshot.limits.t2 == \
+            pytest.approx(single.snapshot.limits.t2, rel=1e-12)
+        assert sharded.snapshot.n_samples == single.snapshot.n_samples
