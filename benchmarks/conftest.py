@@ -10,12 +10,45 @@ claim (the four-week run is a matter of looping the same harness).
 
 from __future__ import annotations
 
+import os
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.datasets import DatasetConfig, generate_abilene_dataset
 
 #: Seed used by every benchmark so the reported numbers are reproducible.
 BENCHMARK_SEED = 2004
+
+
+def artifact_path(filename: str) -> Path:
+    """Where a benchmark writes its JSON artifact.
+
+    ``benchmarks/artifacts/<filename>`` by default, overridable with
+    ``$BENCH_ARTIFACT_DIR``; ``tools/bench_trajectory.py`` consolidates
+    everything in that directory into the repo-root trajectory.
+    """
+    directory = Path(os.environ.get("BENCH_ARTIFACT_DIR",
+                                    Path(__file__).parent / "artifacts"))
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory / filename
+
+
+def timed(function, *args):
+    """``(elapsed_seconds, result)`` of one call."""
+    start = time.perf_counter()
+    result = function(*args)
+    return time.perf_counter() - start, result
+
+
+def best_of(n, function, *args):
+    """``(min elapsed over n calls, last result)`` — scheduler-noise guard."""
+    times, result = [], None
+    for _ in range(n):
+        elapsed, result = timed(function, *args)
+        times.append(elapsed)
+    return min(times), result
 
 
 @pytest.fixture(scope="session")

@@ -24,12 +24,10 @@ so the perf trajectory is tracked per PR.
 
 import json
 import os
-import time
-from pathlib import Path
 
 import numpy as np
 
-from conftest import run_once
+from conftest import artifact_path, best_of, run_once
 
 from repro.evaluation import event_parity, report_parity
 from repro.flows.timeseries import TrafficType
@@ -57,27 +55,6 @@ MIN_PARALLEL_SPEEDUP = 1.5
 MIN_CORES_FOR_GATE = 4
 
 
-def _artifact_path() -> Path:
-    directory = Path(os.environ.get("BENCH_ARTIFACT_DIR",
-                                    Path(__file__).parent / "artifacts"))
-    directory.mkdir(parents=True, exist_ok=True)
-    return directory / "bench_sharded.json"
-
-
-def _timed(function, *args):
-    start = time.perf_counter()
-    result = function(*args)
-    return time.perf_counter() - start, result
-
-
-def _best_of(n, function, *args):
-    times, result = [], None
-    for _ in range(n):
-        elapsed, result = _timed(function, *args)
-        times.append(elapsed)
-    return min(times), result
-
-
 def _engine_pass(engine_factory, matrix):
     engine = engine_factory()
     for start in range(0, matrix.shape[0], CHUNK_BINS):
@@ -89,8 +66,8 @@ def test_sharded_engine_matches_single_engine(benchmark, week_dataset):
     """K=4 column shards maintain the identical covariance on the week trace."""
     matrix = week_dataset.series.matrix(TrafficType.BYTES)
 
-    single_time, single = _best_of(3, _engine_pass, OnlinePCA, matrix)
-    sharded_time, sharded = _best_of(
+    single_time, single = best_of(3, _engine_pass, OnlinePCA, matrix)
+    sharded_time, sharded = best_of(
         3, _engine_pass, lambda: ShardedOnlinePCA(n_shards=N_SHARDS), matrix)
     run_once(benchmark, _engine_pass,
              lambda: ShardedOnlinePCA(n_shards=N_SHARDS), matrix)
@@ -134,9 +111,9 @@ def test_parallel_pipeline_speedup_and_parity(benchmark, week_dataset):
         return parallel_stream_detect(chunk_series(series, CHUNK_BINS),
                                       sharded_config, n_workers=N_SHARDS)
 
-    single_time, baseline = _best_of(2, run_single)
-    sharded_time, sharded = _best_of(2, run_sharded_single_proc)
-    parallel_time, parallel = _best_of(3, run_parallel)
+    single_time, baseline = best_of(2, run_single)
+    sharded_time, sharded = best_of(2, run_sharded_single_proc)
+    parallel_time, parallel = best_of(3, run_parallel)
     run_once(benchmark, run_parallel)
 
     sharded_parity = event_parity(baseline.events, sharded.events)
@@ -180,7 +157,7 @@ def test_parallel_pipeline_speedup_and_parity(benchmark, week_dataset):
     }
     # Written BEFORE any assert: when a gate fails, the artifact holding the
     # evidence must still exist (CI uploads it with if: always()).
-    artifact = _artifact_path()
+    artifact = artifact_path("bench_sharded.json")
     artifact.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
     benchmark.extra_info.update(

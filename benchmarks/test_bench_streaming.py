@@ -15,9 +15,7 @@ model maintenance + detection (the naive path would otherwise spend most of
 its time in the identical greedy identification code).
 """
 
-import time
-
-from conftest import run_once
+from conftest import best_of, run_once
 
 from repro.core import SubspaceDetector
 from repro.flows.timeseries import TrafficType
@@ -97,10 +95,8 @@ def test_streaming_speedup_over_full_refit(benchmark, week_dataset):
     # Warm the BLAS/LAPACK paths once, then take the best of 3 for both
     # sides so the asserted ratio is not at the mercy of scheduler noise.
     _streaming_pass(matrix)
-    naive_time = min(
-        _timed(_naive_refit_pass, matrix) for _ in range(3))
-    streaming_time = min(
-        _timed(_streaming_pass, matrix) for _ in range(3))
+    naive_time, _ = best_of(3, _naive_refit_pass, matrix)
+    streaming_time, _ = best_of(3, _streaming_pass, matrix)
 
     def run():
         return _streaming_pass(matrix)
@@ -122,9 +118,3 @@ def test_streaming_speedup_over_full_refit(benchmark, week_dataset):
     assert streaming_detections > 0
     assert abs(streaming_detections - naive_detections) <= \
         0.25 * max(streaming_detections, naive_detections)
-
-
-def _timed(function, *args):
-    start = time.perf_counter()
-    function(*args)
-    return time.perf_counter() - start

@@ -30,11 +30,22 @@ detects in one shot; this package turns that into an online system:
    the identical remaining event list;
 8. :mod:`repro.streaming.parallel` drives the per-type detectors in worker
    processes behind bounded (backpressure-aware) queues, scaling the
-   three-type pipeline past one core with an unchanged event list.
+   three-type pipeline past one core with an unchanged event list;
+9. :mod:`repro.streaming.low_rank` maintains only the top-``r`` eigenpairs
+   via Brand-style rank-``m`` secular updates (``StreamingConfig(engine=
+   "lowrank")``), killing the ``O(p³)`` eigh on the recalibration hot path
+   — ``O(m·p·r + r³)`` per chunk with ``O(p·r)`` state — with an exact
+   residual-energy trace for the SPE limit and a drift-monitored
+   re-orthogonalization.
 """
 
 from repro.streaming.config import StreamingConfig, forgetting_from_half_life
 from repro.streaming.online_pca import OnlinePCA, eigh_descending
+from repro.streaming.low_rank import (
+    LowRankEigenTracker,
+    compress_engine,
+    merge_low_rank,
+)
 from repro.streaming.sharding import (
     ShardedOnlinePCA,
     merge_online_pca,
@@ -67,6 +78,9 @@ __all__ = [
     "forgetting_from_half_life",
     "OnlinePCA",
     "eigh_descending",
+    "LowRankEigenTracker",
+    "compress_engine",
+    "merge_low_rank",
     "ShardedOnlinePCA",
     "merge_online_pca",
     "partition_columns",

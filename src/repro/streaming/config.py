@@ -59,6 +59,23 @@ class StreamingConfig:
         larger values partition the ``p`` OD-flow columns across a
         :class:`~repro.streaming.sharding.ShardedOnlinePCA` whose merged
         covariance matches the single engine up to float accumulation order.
+    engine:
+        Moment-engine family.  ``"exact"`` (the default) maintains the full
+        ``p x p`` scatter and recalibrates through an ``O(p³)``
+        ``eigh_descending``; ``"lowrank"`` maintains only the top
+        ``n_normal + rank_slack`` eigenpairs via a
+        :class:`~repro.streaming.low_rank.LowRankEigenTracker`, dropping
+        the recalibration path to ``O(m·p·r + r³)`` per chunk.
+    rank_slack:
+        Extra eigenpairs tracked beyond ``n_normal`` by the low-rank
+        engine (``r = n_normal + rank_slack``).  At least ``1`` — the
+        detector requires strictly more components than the normal
+        dimension, exactly as the batch fit does — and a handful of extra
+        pairs is recommended: slack keeps the tracked top-``k`` subspace
+        accurate under truncation and the SPE tail well approximated.
+    drift_tolerance:
+        Basis orthonormality-drift threshold ``max|UᵀU − I|`` above which
+        the low-rank engine re-orthonormalizes (QR + small-core eigh).
     """
 
     n_normal: int = 4
@@ -71,6 +88,9 @@ class StreamingConfig:
     max_identified_flows: int = 16
     identify: bool = True
     n_shards: int = 1
+    engine: str = "exact"
+    rank_slack: int = 8
+    drift_tolerance: float = 1e-10
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "t2_scaling", T2Scaling(self.t2_scaling))
@@ -83,6 +103,17 @@ class StreamingConfig:
         require(self.max_identified_flows >= 1,
                 "max_identified_flows must be >= 1")
         require(self.n_shards >= 1, "n_shards must be >= 1")
+        require(self.engine in ("exact", "lowrank"),
+                "engine must be 'exact' or 'lowrank'")
+        require(self.rank_slack >= 1, "rank_slack must be >= 1 "
+                "(the tracked rank r = n_normal + rank_slack must exceed "
+                "the normal subspace dimension, as in the batch fit)")
+        require(self.drift_tolerance >= 0.0, "drift_tolerance must be >= 0")
+        require(not (self.engine == "lowrank" and self.n_shards > 1),
+                "column sharding shards the exact scatter matrix and cannot "
+                "be combined with the low-rank engine; ingest sharded and "
+                "compress via repro.streaming.low_rank.compress_engine "
+                "instead")
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (used by streaming checkpoints)."""

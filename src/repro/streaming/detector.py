@@ -16,8 +16,10 @@ Parity with the batch detector: processing one chunk holding the entire
 window (with ``forgetting = 1``) updates the moments with the full window
 and then detects that same window against the freshly calibrated snapshot —
 exactly what :meth:`SubspaceDetector.fit_detect` does, so the flagged bins
-coincide bin-for-bin (up to floating-point noise in statistics that sit
-exactly on a control limit).
+coincide bin-for-bin (up to floating-point round-off: the streaming SPE
+uses the orthonormal-projection identity ``||x̃||² = ||x||² − ||Pᵀx||²``
+instead of the batch path's explicit residual matrix, so a statistic lying
+within ~``eps·||x||²`` of its control limit could classify differently).
 """
 
 from __future__ import annotations
@@ -41,7 +43,12 @@ __all__ = ["SubspaceSnapshot", "StreamDetection", "ChunkDetections",
 
 
 def make_engine(config: StreamingConfig):
-    """The moment engine a config asks for: single or column-sharded."""
+    """The moment engine a config asks for: exact, sharded, or low-rank."""
+    if config.engine == "lowrank":
+        from repro.streaming.low_rank import LowRankEigenTracker
+        return LowRankEigenTracker(rank=config.n_normal + config.rank_slack,
+                                   forgetting=config.forgetting,
+                                   drift_tolerance=config.drift_tolerance)
     if config.n_shards > 1:
         from repro.streaming.sharding import ShardedOnlinePCA
         return ShardedOnlinePCA(n_shards=config.n_shards,
@@ -179,6 +186,13 @@ class StreamingSubspaceDetector:
                  engine=None) -> None:
         self._config = config
         self._engine = engine if engine is not None else make_engine(config)
+        # A rank-limited engine that can never exceed n_normal components
+        # would stay in warmup forever; reject it loudly up front.
+        rank_limit = getattr(self._engine, "rank_limit", None)
+        require(rank_limit is None or rank_limit > config.n_normal,
+                f"engine tracks only {rank_limit} eigenpairs but the "
+                f"detector needs more than n_normal={config.n_normal}; "
+                f"increase the tracked rank")
         self._snapshot: Optional[SubspaceSnapshot] = None
         self._bins_at_calibration = 0
         self._next_bin = 0
@@ -241,7 +255,14 @@ class StreamingSubspaceDetector:
                 "not enough ingested data to calibrate the subspace model")
         config = self._config
         engine = self._engine
+        # For the exact engines this is the (cached) O(p³) eigh of the
+        # maintained covariance; a LowRankEigenTracker hands back its
+        # incrementally maintained basis directly — nothing is decomposed.
         eigenvalues, axes = engine.eigenbasis()
+        require(axes.shape[1] >= config.n_normal,
+                f"engine tracks only {axes.shape[1]} axes but the normal "
+                f"subspace needs {config.n_normal}; increase the tracked "
+                f"rank (rank_slack) or wait for more data")
         limits = control_limits(
             eigenvalues,
             config.n_normal,
@@ -286,8 +307,14 @@ class StreamingSubspaceDetector:
 
         centered = matrix - snapshot.mean
         scores = centered @ snapshot.normal_axes
-        residual = centered - scores @ snapshot.normal_axes.T
-        spe = np.sum(residual**2, axis=1)
+        # The normal axes are orthonormal, so the SPE needs no residual
+        # matrix: ``||x − PPᵀx||² = ||x||² − ||Pᵀx||``².  This replaces the
+        # second GEMM (scores @ axes.T) plus an m x p temporary with two
+        # O(m p) einsum reductions; per-row residuals are computed lazily
+        # for the (rare) flagged bins that need identification.
+        spe = (np.einsum("ij,ij->i", centered, centered)
+               - np.einsum("ij,ij->i", scores, scores))
+        np.clip(spe, 0.0, None, out=spe)
         lam = snapshot.eigenvalues[:snapshot.n_normal]
         safe = np.where(lam > 0, lam, np.inf)
         t2 = np.sum(scores**2 / safe[np.newaxis, :], axis=1)
@@ -298,7 +325,7 @@ class StreamingSubspaceDetector:
                                 bin_offset=start_bin)
         detections = [
             self._build_detection(b, b.bin_index - start_bin, centered,
-                                  residual, snapshot)
+                                  scores, snapshot)
             for b in flagged
         ]
         return ChunkDetections(
@@ -316,7 +343,7 @@ class StreamingSubspaceDetector:
         flagged: BinDetection,
         row: int,
         centered: np.ndarray,
-        residual: np.ndarray,
+        scores: np.ndarray,
         snapshot: SubspaceSnapshot,
     ) -> StreamDetection:
         config = self._config
@@ -324,7 +351,10 @@ class StreamingSubspaceDetector:
         od_flows: Tuple[int, ...] = ()
         if config.identify:
             if statistic == "spe":
-                flows = identify_spe_flows(residual[row], snapshot.limits.spe,
+                # Only flagged bins materialize their residual row.
+                residual_row = (centered[row]
+                                - scores[row] @ snapshot.normal_axes.T)
+                flows = identify_spe_flows(residual_row, snapshot.limits.spe,
                                            config.max_identified_flows)
             else:
                 flows = identify_t2_flows(
@@ -395,9 +425,11 @@ class StreamingSubspaceDetector:
     def from_state(cls, config: StreamingConfig, meta: Mapping,
                    arrays: Mapping[str, np.ndarray]) -> "StreamingSubspaceDetector":
         """Rebuild a detector that resumes the stream mid-flight."""
+        from repro.streaming.low_rank import LowRankEigenTracker
         from repro.streaming.sharding import ShardedOnlinePCA
         engine_kinds = {OnlinePCA.STATE_KIND: OnlinePCA,
-                        ShardedOnlinePCA.STATE_KIND: ShardedOnlinePCA}
+                        ShardedOnlinePCA.STATE_KIND: ShardedOnlinePCA,
+                        LowRankEigenTracker.STATE_KIND: LowRankEigenTracker}
         engine_meta = meta["engine"]
         try:
             engine_cls = engine_kinds[engine_meta["kind"]]

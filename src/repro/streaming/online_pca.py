@@ -56,6 +56,29 @@ def eigh_descending(covariance: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     return eigenvalues, axes
 
 
+#: Memoized λ-power weight vectors and their sums, keyed on ``(m, λ)``.
+#: Streams feed constant-size chunks, so without the cache the same vector
+#: (and its Σw / Σw² reductions) is rebuilt for every chunk; bounded so a
+#: pathological mix of chunk sizes cannot grow it without limit.
+_WEIGHT_CACHE: Dict[Tuple[int, float], Tuple[np.ndarray, float, float, float]] = {}
+_WEIGHT_CACHE_MAX = 64
+
+
+def _forgetting_weights(m: int, lam: float) -> Tuple[np.ndarray, float, float, float]:
+    """Memoized ``(weights, Σw, Σw², λ^m)`` for an ``m``-row chunk under ``λ``."""
+    key = (m, lam)
+    entry = _WEIGHT_CACHE.get(key)
+    if entry is None:
+        if len(_WEIGHT_CACHE) >= _WEIGHT_CACHE_MAX:
+            _WEIGHT_CACHE.clear()
+        weights = lam ** np.arange(m - 1, -1, -1, dtype=float)
+        weights.setflags(write=False)
+        entry = (weights, float(weights.sum()), float((weights**2).sum()),
+                 lam**m)
+        _WEIGHT_CACHE[key] = entry
+    return entry
+
+
 def _chunk_moments(matrix: np.ndarray, lam: float):
     """Per-chunk weighting preamble shared by every moment engine.
 
@@ -63,15 +86,14 @@ def _chunk_moments(matrix: np.ndarray, lam: float):
     chunk_mean)`` for an ``m``-row chunk under forgetting ``λ``: row ``i``
     is ``m - 1 - i`` bins old inside the chunk and carries weight
     ``λ^(m-1-i)`` (``weights`` is ``None`` for the unweighted ``λ = 1``
-    path), and all previously accumulated weight decays by ``λ^m``.
+    path), and all previously accumulated weight decays by ``λ^m``.  The
+    weight vector and its reductions are memoized on ``(m, λ)``; only the
+    chunk mean is computed per call.
     """
     m = matrix.shape[0]
     if lam == 1.0:
         return None, float(m), float(m), 1.0, 1.0, matrix.mean(axis=0)
-    weights = lam ** np.arange(m - 1, -1, -1, dtype=float)
-    chunk_weight = float(weights.sum())
-    chunk_weight_sq = float((weights**2).sum())
-    decay = lam**m
+    weights, chunk_weight, chunk_weight_sq, decay = _forgetting_weights(m, lam)
     chunk_mean = (weights @ matrix) / chunk_weight
     return weights, chunk_weight, chunk_weight_sq, decay, decay**2, chunk_mean
 
@@ -97,6 +119,9 @@ class _MomentTracker:
         self._basis_version = -1
         self._cached_eigenvalues: Optional[np.ndarray] = None
         self._cached_axes: Optional[np.ndarray] = None
+        # Scratch buffer for the centered chunk, reused across partial_fit
+        # calls of the same chunk shape (never serialized).
+        self._centered_scratch: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -120,6 +145,11 @@ class _MomentTracker:
     def weight_sum(self) -> float:
         """Current total weight ``Σ λ^d`` over all ingested bins."""
         return self._weight_sum
+
+    @property
+    def weight_sq_sum(self) -> float:
+        """Current total squared weight ``Σ λ^{2d}`` over all ingested bins."""
+        return self._weight_sq_sum
 
     @property
     def effective_samples(self) -> float:
@@ -182,7 +212,11 @@ class _MomentTracker:
 
         (weights, chunk_weight, chunk_weight_sq, decay, decay_sq,
          chunk_mean) = _chunk_moments(matrix, self._forgetting)
-        centered = matrix - chunk_mean
+        centered = self._centered_scratch
+        if centered is None or centered.shape != matrix.shape:
+            centered = np.empty_like(matrix)
+            self._centered_scratch = centered
+        np.subtract(matrix, chunk_mean, out=centered)
         self._merge_weighted_chunk(
             chunk_weight, chunk_weight_sq, chunk_mean, decay, decay_sq, m,
             lambda delta, coefficient: self._apply_scatter_update(

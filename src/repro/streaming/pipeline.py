@@ -299,7 +299,11 @@ def replay_network_anomalies(
     aggregation.  With the default ``forgetting = 1`` the frozen model
     equals the batch model fitted on the whole window, so the returned
     events coincide with :func:`detect_network_anomalies` on *series* —
-    while only ever holding one chunk of per-bin statistics.
+    while only ever holding one chunk of per-bin statistics.  (The SPE is
+    computed through the orthonormal-projection identity rather than the
+    batch path's residual matrix, so the coincidence is up to float
+    round-off at the control limits, not bit-for-bit; see
+    :meth:`StreamingSubspaceDetector.detect_chunk`.)
     """
     require(config.forgetting == 1.0,
             "exact replay parity requires forgetting == 1.0")

@@ -231,7 +231,22 @@ def merge_online_pca(earlier: OnlinePCA, later: OnlinePCA) -> OnlinePCA:
     irrelevant); with ``λ < 1`` it stays associative but weights *earlier*
     down by ``λ^m`` for the ``m`` bins *later* ingested, so order matters —
     exactly as if the segments had been streamed through one engine.
+
+    A pair of :class:`~repro.streaming.low_rank.LowRankEigenTracker`
+    engines is dispatched to :func:`~repro.streaming.low_rank.merge_low_rank`
+    (the same Chan combine through a small factored core instead of the
+    full scatter); mixing a low-rank tracker with an exact engine is
+    rejected — compress the exact one first via
+    :func:`~repro.streaming.low_rank.compress_engine`.
     """
+    from repro.streaming.low_rank import LowRankEigenTracker, merge_low_rank
+    low_rank_flags = (isinstance(earlier, LowRankEigenTracker),
+                      isinstance(later, LowRankEigenTracker))
+    if all(low_rank_flags):
+        return merge_low_rank(earlier, later)
+    require(not any(low_rank_flags),
+            "cannot merge a low-rank tracker with an exact engine; compress "
+            "the exact engine via compress_engine first")
     require(earlier.forgetting == later.forgetting,
             "engines must share the same forgetting factor")
     if later.n_features is None:

@@ -1,0 +1,195 @@
+"""The benchmark-trajectory tool: consolidation and regression gating.
+
+``tools/bench_trajectory.py`` is repo tooling (not part of the ``repro``
+package), so it is loaded here by file path.  The tests cover the three
+behaviors CI relies on: artifacts (flat and sectioned) consolidate into one
+trajectory keyed by benchmark name, speedup-ratio and parity-recall
+regressions beyond tolerance fail, and partial runs (benchmarks absent
+from the artifact dir) are skipped rather than failed.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_TOOL_PATH = Path(__file__).resolve().parent.parent / "tools" / "bench_trajectory.py"
+_spec = importlib.util.spec_from_file_location("bench_trajectory", _TOOL_PATH)
+bench_trajectory = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_trajectory)
+
+
+def _write(path: Path, payload) -> Path:
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.fixture()
+def artifact_dir(tmp_path):
+    directory = tmp_path / "artifacts"
+    directory.mkdir()
+    _write(directory / "bench_flat.json", {
+        "benchmark": "bench_flat",
+        "baseline_bins_per_sec": 4000.0,
+        "parallel_speedup_vs_baseline": 2.0,
+        "parity": {"recall": 1.0, "span_recall": 0.95, "exact": True,
+                   "missing": [], "extra": []},
+        "gate": {"min_speedup": 1.5},
+    })
+    _write(directory / "bench_sectioned.json", {
+        "recalibration": {
+            "benchmark": "bench_recal",
+            "lowrank_speedup": 50.0,
+            "gate": {"min_speedup": 5.0},
+        },
+        "parity_section": {
+            "benchmark": "bench_parity",
+            "parity": {"sharded": {"recall": 1.0, "span_recall": 1.0},
+                       "parallel": {"recall": 0.9}},
+        },
+    })
+    return directory
+
+
+class TestConsolidate:
+    def test_merges_flat_and_sectioned_artifacts(self, artifact_dir, tmp_path):
+        output = tmp_path / "BENCH.json"
+        payload = bench_trajectory.consolidate(artifact_dir, output)
+        assert set(payload["benchmarks"]) == {"bench_flat", "bench_recal",
+                                              "bench_parity"}
+        on_disk = json.loads(output.read_text())
+        assert on_disk["schema"] == bench_trajectory.SCHEMA_VERSION
+        assert on_disk["benchmarks"]["bench_recal"]["lowrank_speedup"] == 50.0
+
+    def test_reconsolidating_a_partial_run_keeps_absent_records(
+            self, artifact_dir, tmp_path):
+        """A local run of one benchmark must not drop the others' baselines
+        (and thereby their gating) from the trajectory."""
+        output = tmp_path / "BENCH.json"
+        bench_trajectory.consolidate(artifact_dir, output)
+        (artifact_dir / "bench_sectioned.json").unlink()
+        record = json.loads((artifact_dir / "bench_flat.json").read_text())
+        record["parallel_speedup_vs_baseline"] = 2.5
+        _write(artifact_dir / "bench_flat.json", record)
+        payload = bench_trajectory.consolidate(artifact_dir, output)
+        assert set(payload["benchmarks"]) == {"bench_flat", "bench_recal",
+                                              "bench_parity"}
+        assert (payload["benchmarks"]["bench_flat"]
+                ["parallel_speedup_vs_baseline"]) == 2.5
+
+    def test_cli_consolidate(self, artifact_dir, tmp_path, capsys):
+        output = tmp_path / "BENCH.json"
+        code = bench_trajectory.main(["consolidate",
+                                      "--artifacts", str(artifact_dir),
+                                      "--baseline", str(output)])
+        assert code == 0
+        assert "3 benchmark record(s)" in capsys.readouterr().out
+
+
+class TestCheck:
+    def _baseline(self, artifact_dir, tmp_path):
+        baseline = tmp_path / "BENCH.json"
+        bench_trajectory.consolidate(artifact_dir, baseline)
+        return baseline
+
+    def test_identical_run_passes(self, artifact_dir, tmp_path):
+        baseline = self._baseline(artifact_dir, tmp_path)
+        assert bench_trajectory.check(baseline, artifact_dir, 0.1) == []
+
+    def test_speedup_regression_beyond_tolerance_fails(self, artifact_dir,
+                                                       tmp_path):
+        baseline = self._baseline(artifact_dir, tmp_path)
+        record = json.loads((artifact_dir / "bench_flat.json").read_text())
+        record["parallel_speedup_vs_baseline"] = 0.9   # 2.0 -> 0.9: -55%
+        _write(artifact_dir / "bench_flat.json", record)
+        failures = bench_trajectory.check(baseline, artifact_dir, 0.5)
+        assert len(failures) == 1
+        assert "parallel_speedup_vs_baseline" in failures[0]
+        # A generous-enough tolerance accepts the same drop.
+        assert bench_trajectory.check(baseline, artifact_dir, 0.6) == []
+
+    def test_disabled_gate_skips_speedup_but_not_recalls(self, artifact_dir,
+                                                         tmp_path, capsys):
+        """A record whose own bench declared gate.enforced=false (an
+        un-baselined machine) is exempt from speedup gating — but parity
+        recalls are machine-independent and stay gated."""
+        baseline = self._baseline(artifact_dir, tmp_path)
+        record = json.loads((artifact_dir / "bench_flat.json").read_text())
+        record["parallel_speedup_vs_baseline"] = 0.01
+        record["parity"]["span_recall"] = 0.2
+        record["gate"] = {"min_speedup": 1.5, "enforced": False}
+        _write(artifact_dir / "bench_flat.json", record)
+        failures = bench_trajectory.check(baseline, artifact_dir, 0.5)
+        assert len(failures) == 1
+        assert "span_recall" in failures[0]
+        assert "not checked" in capsys.readouterr().out
+
+    def test_machine_bound_throughput_is_not_gated(self, artifact_dir,
+                                                   tmp_path):
+        baseline = self._baseline(artifact_dir, tmp_path)
+        record = json.loads((artifact_dir / "bench_flat.json").read_text())
+        record["baseline_bins_per_sec"] = 1.0          # collapses; not gated
+        _write(artifact_dir / "bench_flat.json", record)
+        assert bench_trajectory.check(baseline, artifact_dir, 0.1) == []
+
+    def test_bench_documented_recall_floor_wins_when_looser(self, artifact_dir,
+                                                            tmp_path):
+        """A recall above the bench's own documented floor passes even when
+        it sits below baseline - recall_tolerance (the bench owns its
+        tolerance; the trajectory is only a drift tripwire)."""
+        baseline = self._baseline(artifact_dir, tmp_path)
+        record = json.loads((artifact_dir / "bench_flat.json").read_text())
+        record["parity"]["span_recall"] = 0.86        # baseline 0.95
+        record["gate"]["span_recall_floor"] = 0.85
+        _write(artifact_dir / "bench_flat.json", record)
+        assert bench_trajectory.check(baseline, artifact_dir, 0.5,
+                                      recall_tolerance=0.05) == []
+        record["parity"]["span_recall"] = 0.80        # below even the floor
+        _write(artifact_dir / "bench_flat.json", record)
+        failures = bench_trajectory.check(baseline, artifact_dir, 0.5,
+                                          recall_tolerance=0.05)
+        assert len(failures) == 1 and "span_recall" in failures[0]
+
+    def test_parity_recall_regression_fails(self, artifact_dir, tmp_path):
+        baseline = self._baseline(artifact_dir, tmp_path)
+        record = json.loads((artifact_dir / "bench_sectioned.json").read_text())
+        record["parity_section"]["parity"]["sharded"]["span_recall"] = 0.2
+        _write(artifact_dir / "bench_sectioned.json", record)
+        failures = bench_trajectory.check(baseline, artifact_dir, 0.1)
+        assert len(failures) == 1
+        assert "span_recall" in failures[0]
+
+    def test_missing_benchmark_is_skipped(self, artifact_dir, tmp_path,
+                                          capsys):
+        baseline = self._baseline(artifact_dir, tmp_path)
+        (artifact_dir / "bench_sectioned.json").unlink()
+        assert bench_trajectory.check(baseline, artifact_dir, 0.1) == []
+        assert "skipped" in capsys.readouterr().out
+
+    def test_disappearing_tracked_metric_fails(self, artifact_dir, tmp_path):
+        baseline = self._baseline(artifact_dir, tmp_path)
+        record = json.loads((artifact_dir / "bench_flat.json").read_text())
+        del record["parallel_speedup_vs_baseline"]
+        _write(artifact_dir / "bench_flat.json", record)
+        failures = bench_trajectory.check(baseline, artifact_dir, 0.5)
+        assert any("disappeared" in message for message in failures)
+
+    def test_cli_check_exit_codes(self, artifact_dir, tmp_path, capsys):
+        baseline = self._baseline(artifact_dir, tmp_path)
+        assert bench_trajectory.main(["check",
+                                      "--artifacts", str(artifact_dir),
+                                      "--baseline", str(baseline),
+                                      "--tolerance", "0.1"]) == 0
+        record = json.loads((artifact_dir / "bench_flat.json").read_text())
+        record["parallel_speedup_vs_baseline"] = 0.1
+        _write(artifact_dir / "bench_flat.json", record)
+        assert bench_trajectory.main(["check",
+                                      "--artifacts", str(artifact_dir),
+                                      "--baseline", str(baseline),
+                                      "--tolerance", "0.1"]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_missing_baseline_is_a_no_op(self, artifact_dir, tmp_path):
+        assert bench_trajectory.check(tmp_path / "absent.json",
+                                      artifact_dir, 0.1) == []

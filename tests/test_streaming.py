@@ -8,6 +8,7 @@ import pytest
 
 from repro.core import SubspaceDetector, aggregate_detections, detect_network_anomalies
 from repro.core.events import Detection
+from repro.core.identification import identify_spe_flows
 from repro.core.pca import EigenflowDecomposition
 from repro.datasets import DatasetConfig, generate_abilene_dataset, synthetic_chunk_stream
 from repro.evaluation import event_parity
@@ -361,6 +362,31 @@ class TestStreamingEdgeCases:
         flagged = one_by_one.detect_chunk(matrix, 0)
         assert flagged.anomalous_bins == \
             whole.detect_chunk(matrix, 0).anomalous_bins
+
+    def test_spe_matches_two_gemm_residual_path(self, quickstart_dataset):
+        # detect_chunk computes the SPE as ||c||² − ||scores||² (orthonormal
+        # axes) instead of materializing the full residual matrix; this must
+        # agree numerically with the explicit two-GEMM residual path, and
+        # the identified OD flows of flagged bins must be unchanged.
+        series = quickstart_dataset.series
+        matrix = series.matrix(TrafficType.BYTES)
+        detector = StreamingSubspaceDetector(StreamingConfig())
+        result = detector.process_chunk(matrix)
+        snapshot = detector.snapshot
+        centered = matrix - snapshot.mean
+        scores = centered @ snapshot.normal_axes
+        residual = centered - scores @ snapshot.normal_axes.T
+        reference_spe = np.sum(residual**2, axis=1)
+        scale = float(np.einsum("ij,ij->i", centered, centered).max())
+        np.testing.assert_allclose(result.spe, reference_spe,
+                                   rtol=1e-9, atol=1e-12 * scale)
+        for detection in result.detections:
+            if detection.statistic != "spe":
+                continue
+            flows = identify_spe_flows(residual[detection.bin_index],
+                                       snapshot.limits.spe,
+                                       detector.config.max_identified_flows)
+            assert detection.od_flows == tuple(flows)
 
     def test_chunk_size_larger_than_stream(self, small_dataset):
         series = small_dataset.series

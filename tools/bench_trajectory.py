@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Consolidate benchmark JSON artifacts into the BENCH_streaming.json
+trajectory and diff a run against the committed baseline.
+
+The streaming benchmarks (``benchmarks/test_bench_sharded.py``,
+``benchmarks/test_bench_lowrank.py``, ...) each write a JSON artifact under
+``benchmarks/artifacts/``.  This tool folds them into one
+``BENCH_streaming.json`` at the repo root — the per-PR perf trajectory,
+versioned by git history — and lets CI fail a PR that regresses a tracked
+metric beyond a tolerance:
+
+* ``consolidate`` merges every artifact into the trajectory file (each
+  top-level record is keyed by its ``"benchmark"`` name; nested sections,
+  like the two halves of ``bench_lowrank.json``, are flattened with their
+  section key);
+* ``check`` compares the *portable* metrics of the current artifacts
+  against the committed baseline: **speedup ratios** (any numeric field
+  whose name contains ``speedup``) may not fall below
+  ``baseline * (1 - tolerance)``, and **parity recalls** (``recall`` /
+  ``span_recall`` inside a ``parity`` object) may not fall below
+  ``baseline - recall_tolerance`` (absolute).  Raw bins/sec throughputs
+  are recorded in the trajectory but never gated — they are machine-bound,
+  ratios are not — and a record whose own ``gate.enforced`` is false
+  (the benchmark itself judged this machine un-baselined, e.g.
+  ``BENCH_SHARDED_NO_GATE`` on a small CI runner) has its speedup ratios
+  skipped too.  Parity recalls are always gated, but a benchmark that
+  documents its own looser floor in the record's gate (e.g.
+  ``gate.span_recall_floor``) wins over ``baseline - recall_tolerance``:
+  the trajectory is a drift tripwire, the bench owns its tolerance.
+
+Usage::
+
+    python tools/bench_trajectory.py consolidate
+    python tools/bench_trajectory.py check --tolerance 0.5 --recall-tolerance 0.05
+
+Benchmarks missing from the current artifact directory are skipped with a
+note (CI smoke runs may execute a subset); unknown new benchmarks pass and
+should be consolidated into the baseline in the same PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_ARTIFACTS = REPO_ROOT / "benchmarks" / "artifacts"
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_streaming.json"
+SCHEMA_VERSION = 1
+
+
+def collect_records(artifact_dir: Path) -> Dict[str, Dict]:
+    """All benchmark records in *artifact_dir*, keyed by benchmark name.
+
+    A file may hold one record (with a ``"benchmark"`` key) or a mapping of
+    section name to record; sections inherit their record's own
+    ``"benchmark"`` name when present.
+    """
+    records: Dict[str, Dict] = {}
+    for path in sorted(artifact_dir.glob("*.json")):
+        payload = json.loads(path.read_text())
+        candidates = ([payload] if "benchmark" in payload
+                      else [v for v in payload.values() if isinstance(v, dict)])
+        for record in candidates:
+            name = record.get("benchmark")
+            if isinstance(name, str) and name:
+                records[name] = record
+    return records
+
+
+def consolidate(artifact_dir: Path, output: Path) -> Dict:
+    """Merge the artifacts into the trajectory file and return the payload.
+
+    Records already in the trajectory but absent from the artifact
+    directory are kept (a partial local benchmark run must not silently
+    drop another benchmark's baseline — and thereby its gating).
+    """
+    records: Dict[str, Dict] = {}
+    if output.is_file():
+        records.update(json.loads(output.read_text()).get("benchmarks", {}))
+    records.update(collect_records(artifact_dir))
+    payload = {"schema": SCHEMA_VERSION, "benchmarks": records}
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def _speedup_metrics(record: Dict, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    for key, value in record.items():
+        if isinstance(value, dict) and key != "gate":
+            yield from _speedup_metrics(value, f"{prefix}{key}.")
+        elif isinstance(value, (int, float)) and "speedup" in key:
+            yield f"{prefix}{key}", float(value)
+
+
+def _recall_metrics(record: Dict, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    parity = record.get("parity")
+    if not isinstance(parity, dict):
+        return
+    for section_key, section in parity.items():
+        if isinstance(section, dict):
+            yield from ((f"{prefix}parity.{section_key}.{k}", float(v))
+                        for k, v in section.items()
+                        if k in ("recall", "span_recall")
+                        and isinstance(v, (int, float)))
+        elif (section_key in ("recall", "span_recall")
+              and isinstance(section, (int, float))):
+            yield f"{prefix}parity.{section_key}", float(section)
+
+
+def _speedup_gate_enforced(record: Dict) -> bool:
+    """Whether the benchmark itself considered this machine gate-worthy."""
+    gate = record.get("gate")
+    return not (isinstance(gate, dict) and gate.get("enforced") is False)
+
+
+def check(baseline_path: Path, artifact_dir: Path, tolerance: float,
+          recall_tolerance: float = 0.05) -> List[str]:
+    """Regression messages for the current artifacts vs the baseline."""
+    if not baseline_path.is_file():
+        print(f"no baseline at {baseline_path}; nothing to check")
+        return []
+    baseline = json.loads(baseline_path.read_text()).get("benchmarks", {})
+    current = collect_records(artifact_dir)
+    failures: List[str] = []
+    for name, reference in sorted(baseline.items()):
+        record = current.get(name)
+        if record is None:
+            print(f"note: benchmark {name!r} not in this run; skipped")
+            continue
+        if not _speedup_gate_enforced(record):
+            print(f"note: {name!r} ran with its speedup gate disabled on "
+                  f"this machine; speedup ratios recorded, not checked")
+        else:
+            current_speedups = dict(_speedup_metrics(record))
+            for metric, floor_value in _speedup_metrics(reference):
+                value = current_speedups.get(metric)
+                if value is None:
+                    failures.append(f"{name}: tracked metric {metric!r} "
+                                    f"disappeared from the artifact")
+                elif value < floor_value * (1.0 - tolerance):
+                    failures.append(
+                        f"{name}: {metric} regressed to {value:.3f} "
+                        f"(baseline {floor_value:.3f}, floor "
+                        f"{floor_value * (1.0 - tolerance):.3f})")
+        current_recalls = dict(_recall_metrics(record))
+        gate = record.get("gate") if isinstance(record.get("gate"), dict) else {}
+        for metric, baseline_value in _recall_metrics(reference):
+            value = current_recalls.get(metric)
+            floor = baseline_value - recall_tolerance
+            # A bench that documents its own floor for this recall (e.g.
+            # gate.span_recall_floor) owns the tolerance when it is looser.
+            documented = gate.get(f"{metric.rsplit('.', 1)[-1]}_floor")
+            if isinstance(documented, (int, float)):
+                floor = min(floor, float(documented))
+            if value is None:
+                failures.append(f"{name}: tracked metric {metric!r} "
+                                f"disappeared from the artifact")
+            elif value < floor:
+                failures.append(
+                    f"{name}: {metric} regressed to {value:.3f} "
+                    f"(baseline {baseline_value:.3f}, floor {floor:.3f})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("command", choices=("consolidate", "check"))
+    parser.add_argument("--artifacts", type=Path, default=DEFAULT_ARTIFACTS,
+                        help="directory of per-benchmark JSON artifacts")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="trajectory file (committed baseline)")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed relative drop of speedup ratios")
+    parser.add_argument("--recall-tolerance", type=float, default=0.05,
+                        help="allowed absolute drop of parity recalls")
+    args = parser.parse_args(argv)
+
+    if args.command == "consolidate":
+        payload = consolidate(args.artifacts, args.baseline)
+        print(f"consolidated {len(payload['benchmarks'])} benchmark "
+              f"record(s) into {args.baseline}")
+        return 0
+
+    failures = check(args.baseline, args.artifacts, args.tolerance,
+                     args.recall_tolerance)
+    for message in failures:
+        print(f"REGRESSION: {message}", file=sys.stderr)
+    if not failures:
+        print("benchmark trajectory within tolerance of the baseline")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
