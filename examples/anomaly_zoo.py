@@ -13,15 +13,11 @@ Run with::
     python examples/anomaly_zoo.py
 """
 
-import numpy as np
-
 from repro.anomalies import (
     AlphaInjector,
     DosInjector,
     FlashCrowdInjector,
-    GroundTruthLog,
     IngressShiftInjector,
-    InjectionContext,
     OutageInjector,
     PointMultipointInjector,
     ScanInjector,
@@ -30,7 +26,6 @@ from repro.anomalies import (
 from repro.classification import DominanceAnalyzer, RuleBasedClassifier, extract_event_features
 from repro.core import detect_network_anomalies
 from repro.datasets import DatasetConfig, generate_abilene_dataset
-from repro.flows.composition import FlowCompositionModel
 
 
 def build_injectors():

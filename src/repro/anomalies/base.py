@@ -19,11 +19,10 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.anomalies.types import AnomalyType, GroundTruthAnomaly, GroundTruthLog
-from repro.flows.composition import FlowCompositionModel, FlowGroup
+from repro.flows.composition import FlowCompositionModel
 from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
 from repro.routing.prefixes import Prefix, random_address_in_prefix
 from repro.topology.network import Network
-from repro.utils.rng import RandomState, spawn_rng
 from repro.utils.validation import require
 
 __all__ = ["InjectionContext", "AnomalyInjector"]

@@ -30,7 +30,6 @@ from repro.anomalies.volume import (
 from repro.topology.network import Network
 from repro.utils.rng import RandomState, spawn_rng
 from repro.utils.timebins import TimeBinning, bins_per_week
-from repro.utils.validation import require
 
 __all__ = ["ScheduleConfig", "AnomalyScheduler"]
 

@@ -25,14 +25,14 @@ is comparable across large and small OD pairs.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.anomalies.base import AnomalyInjector, InjectionContext
 from repro.anomalies.types import AnomalyType, GroundTruthAnomaly
 from repro.flows.composition import FlowGroup
-from repro.flows.records import ICMP, TCP, UDP
+from repro.flows.records import TCP
 from repro.flows.timeseries import TrafficType
 from repro.utils.validation import require
 

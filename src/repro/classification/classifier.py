@@ -26,7 +26,7 @@ resolves ambiguity the way the paper describes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.anomalies.types import AnomalyType
 from repro.classification.features import EventFeatures

@@ -14,8 +14,8 @@ recognized even if it is diluted in any one cell.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.flows.composition import BinComposition, FlowCompositionModel
 from repro.flows.timeseries import TrafficMatrixSeries, TrafficType

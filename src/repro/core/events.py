@@ -20,10 +20,9 @@ histogrammed in Figure 2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.detector import DetectionResult
 from repro.flows.timeseries import TrafficType
 from repro.utils.validation import require
 

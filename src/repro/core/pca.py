@@ -17,7 +17,7 @@ method; everything else is projections and thresholds built on top of it.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

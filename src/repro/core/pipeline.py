@@ -9,10 +9,8 @@ i.e. everything the paper does before the manual classification step.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.detector import DetectionResult, SubspaceDetector
 from repro.core.events import AnomalyEvent, Detection, aggregate_detections

@@ -14,6 +14,7 @@ from repro.datasets.synthetic import (
     DatasetConfig,
     SyntheticDataset,
     generate_abilene_dataset,
+    generate_drifting_dataset,
     small_scenario,
 )
 from repro.datasets.streaming import synthetic_chunk_stream
@@ -22,6 +23,7 @@ __all__ = [
     "DatasetConfig",
     "SyntheticDataset",
     "generate_abilene_dataset",
+    "generate_drifting_dataset",
     "small_scenario",
     "synthetic_chunk_stream",
 ]

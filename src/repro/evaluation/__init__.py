@@ -9,11 +9,15 @@
   parity accounting for the online subsystem;
 * :mod:`repro.evaluation.experiments` — one runner per paper artifact
   (Figure 1, Table 1, Figure 2, Table 2, Table 3) plus the ablation,
-  baseline-comparison, and pipeline experiments from DESIGN.md.
+  baseline-comparison, and pipeline experiments from DESIGN.md;
+* :mod:`repro.evaluation.live` — the online evaluation harness: Table 1/3
+  analogues computed by replaying labeled weeks through the streaming
+  pipeline (any engine), with structured batch-vs-live delta reports.
 """
 
 from repro.evaluation.matching import EventMatch, MatchReport, match_events
 from repro.evaluation.metrics import (
+    aggregate_match_metrics,
     classification_confusion,
     detection_metrics,
     DetectionMetrics,
@@ -34,6 +38,7 @@ __all__ = [
     "match_events",
     "DetectionMetrics",
     "detection_metrics",
+    "aggregate_match_metrics",
     "classification_confusion",
     "format_table",
     "format_histogram",

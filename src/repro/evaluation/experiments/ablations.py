@@ -14,8 +14,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Sequence
 
 from repro.core.pipeline import detect_network_anomalies
 from repro.datasets.synthetic import SyntheticDataset

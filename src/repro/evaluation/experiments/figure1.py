@@ -14,8 +14,8 @@ qualitative claims (periodicity removed, anomalies isolated as spikes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -14,8 +14,7 @@ reported.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -27,7 +26,6 @@ from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
 from repro.routing.resolver import PoPResolver, ResolutionStats
 from repro.traffic.flowgen import FlowSynthesizer
 from repro.utils.rng import RandomState, spawn_rng
-from repro.utils.timebins import TimeBinning
 from repro.utils.validation import require
 
 __all__ = ["ResolutionExperimentResult", "run_resolution_experiment"]

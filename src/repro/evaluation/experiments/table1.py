@@ -14,14 +14,13 @@ shape comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List
 
 from repro.core.events import COMBINATION_LABELS, count_by_label
 from repro.core.pipeline import NetworkAnomalyReport, detect_network_anomalies
 from repro.datasets.synthetic import SyntheticDataset
 from repro.evaluation.reporting import format_table
-from repro.utils.timebins import bins_per_week
-from repro.utils.validation import require
+from repro.utils.timebins import week_windows
 
 __all__ = ["Table1Result", "run_table1", "PAPER_TABLE1"]
 
@@ -91,14 +90,8 @@ def run_table1(
     reports: List[NetworkAnomalyReport] = []
 
     if week_by_week:
-        per_week = bins_per_week(dataset.config.bin_seconds)
-        windows = []
-        start = 0
-        while start < dataset.n_bins:
-            end = min(start + per_week, dataset.n_bins)
-            if end - start > n_normal + 2:
-                windows.append((start, end))
-            start = end
+        windows = week_windows(dataset.n_bins, dataset.config.bin_seconds,
+                               min_bins=n_normal + 3)
     else:
         windows = [(0, dataset.n_bins)]
 

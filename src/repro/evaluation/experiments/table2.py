@@ -10,8 +10,8 @@ signature is compared against the paper's stated one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.anomalies.types import AnomalyType
 from repro.classification.dominance import DominanceAnalyzer

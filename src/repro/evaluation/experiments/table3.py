@@ -17,7 +17,7 @@ own numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from repro.anomalies.types import AnomalyType
 from repro.classification.classifier import ClassificationResult, RuleBasedClassifier
@@ -29,12 +29,12 @@ from repro.datasets.synthetic import SyntheticDataset
 from repro.evaluation.matching import MatchReport, match_events
 from repro.evaluation.metrics import (
     DetectionMetrics,
+    aggregate_match_metrics,
     classification_accuracy,
     classification_confusion,
-    detection_metrics,
 )
 from repro.evaluation.reporting import format_table
-from repro.utils.timebins import bins_per_week
+from repro.utils.timebins import week_windows
 from repro.utils.validation import require
 
 __all__ = ["Table3Result", "run_table3", "PAPER_TABLE3", "TABLE3_COLUMNS"]
@@ -164,19 +164,11 @@ def run_table3(
         label: {column: 0 for column in TABLE3_COLUMNS} for label in COMBINATION_LABELS
     }
 
-    all_events = []
-    all_classifications: List[ClassificationResult] = []
     all_matches: List[MatchReport] = []
 
     if week_by_week:
-        per_week = bins_per_week(dataset.config.bin_seconds)
-        windows = []
-        start = 0
-        while start < dataset.n_bins:
-            end = min(start + per_week, dataset.n_bins)
-            if end - start > n_normal + 2:
-                windows.append((start, end))
-            start = end
+        windows = week_windows(dataset.n_bins, dataset.config.bin_seconds,
+                               min_bins=n_normal + 3)
     else:
         windows = [(0, dataset.n_bins)]
 
@@ -208,30 +200,9 @@ def run_table3(
         combined_classifications.extend(window_classifications)
         all_matches.append(match_report)
 
-    # Aggregate matching/metrics over windows: rebuild one report whose
-    # events carry window-local bins by concatenating window reports.
-    total_detected_ids = set()
-    total_false_alarms = 0
-    for match_report in all_matches:
-        total_detected_ids.update(match_report.matched_anomaly_ids())
-        total_false_alarms += len(match_report.unmatched_events())
-    n_truth = len(dataset.ground_truth)
-    n_events = len(combined_events)
-    per_type_rates: Dict[AnomalyType, float] = {}
-    for anomaly_type, total in dataset.ground_truth.type_counts().items():
-        found = sum(1 for a in dataset.ground_truth.by_type(anomaly_type)
-                    if a.anomaly_id in total_detected_ids)
-        per_type_rates[anomaly_type] = found / total if total else 0.0
-    detection = DetectionMetrics(
-        n_ground_truth=n_truth,
-        n_events=n_events,
-        n_detected=len(total_detected_ids),
-        n_missed=n_truth - len(total_detected_ids),
-        n_false_alarms=total_false_alarms,
-        detection_rate=len(total_detected_ids) / n_truth if n_truth else 0.0,
-        false_alarm_rate=total_false_alarms / n_events if n_events else 0.0,
-        per_type_detection_rate=per_type_rates,
-    )
+    # Aggregate matching/metrics over windows (anomaly ids are global, so
+    # an anomaly detected in any window counts once).
+    detection = aggregate_match_metrics(all_matches, dataset.ground_truth)
 
     # Confusion over all windows (per window, then summed).
     confusion: Dict[Tuple[AnomalyType, AnomalyType], int] = {}

@@ -11,7 +11,7 @@ mapping so metrics can count either way without double counting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.anomalies.types import AnomalyType, GroundTruthAnomaly, GroundTruthLog
 from repro.core.events import AnomalyEvent

@@ -3,15 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
 from repro.anomalies.types import AnomalyType, GroundTruthLog
 from repro.classification.classifier import ClassificationResult
 from repro.evaluation.matching import MatchReport
 from repro.utils.validation import require
 
-__all__ = ["DetectionMetrics", "detection_metrics", "classification_confusion",
-           "classification_accuracy"]
+__all__ = ["DetectionMetrics", "detection_metrics", "aggregate_match_metrics",
+           "classification_confusion", "classification_accuracy"]
 
 
 @dataclass(frozen=True)
@@ -55,6 +55,43 @@ def detection_metrics(report: MatchReport) -> DetectionMetrics:
         detection_rate=report.detection_rate,
         false_alarm_rate=report.false_alarm_rate,
         per_type_detection_rate=report.detection_rate_by_type(),
+    )
+
+
+def aggregate_match_metrics(
+    match_reports: Sequence[MatchReport],
+    ground_truth: GroundTruthLog,
+) -> DetectionMetrics:
+    """Headline metrics over several windowed match reports.
+
+    The paper (and the table runners) fit and diagnose one week at a time;
+    each window contributes a :class:`MatchReport` against the same global
+    *ground_truth* (anomaly ids are global, so an anomaly detected in any
+    window counts once).  Used by the batch Table 3 runner and the live
+    evaluation harness so batch and live numbers aggregate identically.
+    """
+    detected_ids = set()
+    n_false_alarms = 0
+    n_events = 0
+    for match_report in match_reports:
+        detected_ids.update(match_report.matched_anomaly_ids())
+        n_false_alarms += len(match_report.unmatched_events())
+        n_events += match_report.n_events
+    n_truth = len(ground_truth)
+    per_type_rates: Dict[AnomalyType, float] = {}
+    for anomaly_type, total in ground_truth.type_counts().items():
+        found = sum(1 for a in ground_truth.by_type(anomaly_type)
+                    if a.anomaly_id in detected_ids)
+        per_type_rates[anomaly_type] = found / total if total else 0.0
+    return DetectionMetrics(
+        n_ground_truth=n_truth,
+        n_events=n_events,
+        n_detected=len(detected_ids),
+        n_missed=n_truth - len(detected_ids),
+        n_false_alarms=n_false_alarms,
+        detection_rate=len(detected_ids) / n_truth if n_truth else 0.0,
+        false_alarm_rate=n_false_alarms / n_events if n_events else 0.0,
+        per_type_detection_rate=per_type_rates,
     )
 
 

@@ -7,7 +7,7 @@ Everything is fixed-width text — no plotting dependencies.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

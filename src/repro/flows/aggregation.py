@@ -11,14 +11,11 @@ paper bins the same way).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, Iterable, Sequence, Tuple
 
 from repro.flows.records import FlowRecord
 from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
 from repro.utils.timebins import TimeBinning
-from repro.utils.validation import require
 
 __all__ = ["FlowAggregator", "aggregate_records"]
 

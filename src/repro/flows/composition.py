@@ -23,14 +23,14 @@ the signal the corresponding real anomaly would produce.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.flows.records import TCP, UDP
 from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
-from repro.routing.prefixes import Prefix, format_ipv4, random_address_in_prefix
+from repro.routing.prefixes import Prefix, random_address_in_prefix
 from repro.topology.network import Network
 from repro.utils.rng import RandomState, spawn_rng
 from repro.utils.validation import ensure_probability, require

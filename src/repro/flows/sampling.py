@@ -18,10 +18,8 @@ Two levels of fidelity are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.flows.records import FiveTuple, FlowRecord, PacketRecord
 from repro.utils.rng import RandomState, spawn_rng

@@ -11,7 +11,7 @@ distance) to the ingress PoP wins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.routing.igp import IGPRouting
 from repro.routing.prefixes import Prefix, PrefixTable

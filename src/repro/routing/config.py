@@ -11,7 +11,7 @@ prefixes reachable through it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.routing.prefixes import Prefix, PrefixTable
 from repro.topology.network import Network

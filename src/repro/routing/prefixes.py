@@ -11,8 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
 
-import numpy as np
-
 from repro.utils.rng import RandomState, spawn_rng
 from repro.utils.validation import require
 

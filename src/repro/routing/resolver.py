@@ -23,8 +23,8 @@ measures the same quantities for experiment E9.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.routing.bgp import BGPTable
 from repro.routing.config import RouterConfig, build_router_configs, ingress_prefix_table

@@ -12,7 +12,7 @@ limitation the paper discusses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.routing.bgp import BGPTable
 from repro.routing.igp import IGPRouting

@@ -36,9 +36,16 @@ detects in one shot; this package turns that into an online system:
    "lowrank")``), killing the ``O(p³)`` eigh on the recalibration hot path
    — ``O(m·p·r + r³)`` per chunk with ``O(p·r)`` state — with an exact
    residual-energy trace for the SPE limit and a drift-monitored
-   re-orthogonalization.
+   re-orthogonalization;
+10. :mod:`repro.streaming.adaptive_limits` tracks EWMA-smoothed empirical
+    quantiles of the streaming SPE/T² statistics
+    (``StreamingConfig(limits="adaptive")``) — warm-up period, clamped
+    drift rate, freeze-on-alarm — so non-stationary weeks are thresholded
+    against the recent clean-statistic tail instead of the lagging
+    parametric limits.
 """
 
+from repro.streaming.adaptive_limits import AdaptiveControlLimits
 from repro.streaming.config import StreamingConfig, forgetting_from_half_life
 from repro.streaming.online_pca import OnlinePCA, eigh_descending
 from repro.streaming.low_rank import (
@@ -57,6 +64,7 @@ from repro.streaming.detector import (
     StreamingSubspaceDetector,
     SubspaceSnapshot,
     make_engine,
+    make_limits_policy,
 )
 from repro.streaming.sources import ChunkedSeriesSource, TrafficChunk, chunk_series
 from repro.streaming.aggregator import OnlineEventAggregator
@@ -74,6 +82,7 @@ from repro.streaming.checkpoint import (
 from repro.streaming.parallel import parallel_stream_detect
 
 __all__ = [
+    "AdaptiveControlLimits",
     "StreamingConfig",
     "forgetting_from_half_life",
     "OnlinePCA",
@@ -89,6 +98,7 @@ __all__ = [
     "ChunkDetections",
     "StreamingSubspaceDetector",
     "make_engine",
+    "make_limits_policy",
     "TrafficChunk",
     "ChunkedSeriesSource",
     "chunk_series",

@@ -1,0 +1,303 @@
+"""Adaptive (empirical-quantile) control limits for non-stationary streams.
+
+The parametric control limits — the Jackson–Mudholkar Q-statistic and the
+F-based T² limit computed by :func:`~repro.core.limits.control_limits` —
+assume the residual statistics are stationary over the calibration window.
+On a drifting week (a level-shifted diurnal mean, a ramping noise variance)
+the running eigenvalue spectrum lags the data it was estimated from, the
+recent SPE/T² values run systematically hot against the lagging limits, and
+the fixed 99.9% thresholds turn the drift itself into a stream of false
+alarms.
+
+:class:`AdaptiveControlLimits` closes that gap by tracking the **empirical**
+``confidence``-quantile of the clean (un-flagged) streaming statistics and
+EWMA-smoothing it into a multiplicative correction of the parametric limits:
+
+* the policy observes every detected chunk's SPE/T² values and collects
+  them into fixed-size blocks, **freezing out** (per statistic) any value
+  beyond ``freeze_factor`` times the current effective limit — the
+  freeze-on-alarm rule.  A genuine anomaly overshoots the limit by orders
+  of magnitude and is censored, so it can never raise the threshold that
+  should be catching it; drift-induced exceedances hug the limit, stay
+  under the cap, and are exactly the signal the tracker must see.  (A
+  strict exclude-all-alarms rule would deadlock: once drift pushes every
+  bin over the lagging limit, all evidence of the drift would be censored
+  and the threshold could never catch up.);
+* each completed block contributes its empirical ``confidence``-quantile,
+  expressed as a ratio to the current parametric limit, to an EWMA of that
+  ratio (the "scale");
+* the per-block movement of the scale is clamped to ``±max_drift``
+  (relative), so a burst of hot statistics bends the threshold slowly
+  instead of jumping it, and the scale itself is clamped to
+  ``scale_bounds`` so the limit can never run away from the parametric
+  anchor by more than a bounded factor;
+* nothing moves until ``warmup_bins`` clean bins have been observed — the
+  policy starts as exactly the fixed-limit policy and earns its drift.
+
+The default ``scale_bounds`` lower edge is ``1.0``: the parametric limit
+remains the sensitivity **floor** and the empirical tracker only ever
+*relaxes* it while the observed clean tail runs hot, decaying back to the
+floor when the stream re-stationarizes.  This is deliberate — a
+``block_bins``-sized empirical quantile saturates at the block maximum
+(roughly the ``1 - 1/block_bins`` quantile), a systematic *under*-estimate
+of the 99.9% tail, so a two-sided tracker would tighten the limits on
+perfectly stationary data.  Pass a lower bound below 1 to opt into
+two-sided adaptation.
+
+Because the scale multiplies whatever parametric limits the detector's
+recalibration produces, a ``max_drift`` of ``0`` pins the scale at ``1`` and
+the policy reduces **exactly** to the fixed :func:`control_limits` policy —
+the property test in ``tests/test_adaptive_limits.py`` enforces this.
+
+Selected via ``StreamingConfig(limits="adaptive", ...)`` and threaded
+through :class:`~repro.streaming.detector.StreamingSubspaceDetector`; the
+full quantile-tracking state serializes through ``state_dict`` /
+``from_state`` so a checkpoint-restored detector adapts identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.core.limits import ControlLimits
+from repro.utils.validation import ensure_probability, require
+
+__all__ = ["AdaptiveControlLimits"]
+
+#: The two per-bin statistics the policy tracks.
+_STATISTICS = ("spe", "t2")
+
+
+class AdaptiveControlLimits:
+    """EWMA-smoothed empirical-quantile correction of the control limits.
+
+    Parameters
+    ----------
+    confidence:
+        Quantile level tracked by the policy (the detector passes its
+        configured confidence, paper: 0.999).  Over a ``block_bins``-sized
+        block the empirical quantile saturates at the block maximum once
+        ``confidence > 1 - 1/block_bins``; the EWMA across blocks is what
+        recovers a stable tail estimate.
+    warmup_bins:
+        Clean (un-flagged) bins to observe before the scale may move.
+    smoothing:
+        EWMA weight of each new block quantile, in ``(0, 1]``.
+    max_drift:
+        Per-block relative clamp of the scale movement; ``0`` freezes the
+        scale at ``1`` (the fixed-limit policy).
+    block_bins:
+        Observed (un-frozen) bins per empirical-quantile block.
+    freeze_factor:
+        Per-statistic censoring cap, as a multiple of the current
+        effective limit: values above it are frozen out of the quantile
+        (treated as anomalies), values below participate (treated as
+        drift).  Must exceed 1.
+    scale_bounds:
+        Hard ``(lower, upper)`` bounds of the multiplicative scale — the
+        total drift budget relative to the parametric limits.  The default
+        lower bound of ``1.0`` keeps the policy one-sided (see the module
+        docstring).
+    """
+
+    STATE_KIND = "adaptive-quantile"
+
+    def __init__(
+        self,
+        confidence: float = 0.999,
+        warmup_bins: int = 64,
+        smoothing: float = 0.25,
+        max_drift: float = 0.05,
+        block_bins: int = 32,
+        freeze_factor: float = 4.0,
+        scale_bounds: Tuple[float, float] = (1.0, 8.0),
+    ) -> None:
+        ensure_probability(confidence, "confidence")
+        require(warmup_bins >= 1, "warmup_bins must be >= 1")
+        require(0.0 < smoothing <= 1.0, "smoothing must be in (0, 1]")
+        require(max_drift >= 0.0, "max_drift must be >= 0")
+        require(block_bins >= 1, "block_bins must be >= 1")
+        require(freeze_factor > 1.0, "freeze_factor must be > 1")
+        require(0.0 < scale_bounds[0] <= 1.0 <= scale_bounds[1],
+                "scale_bounds must straddle 1.0 with a positive lower bound")
+        self._confidence = float(confidence)
+        self._warmup_bins = int(warmup_bins)
+        self._smoothing = float(smoothing)
+        self._max_drift = float(max_drift)
+        self._block_bins = int(block_bins)
+        self._freeze_factor = float(freeze_factor)
+        self._scale_bounds = (float(scale_bounds[0]), float(scale_bounds[1]))
+        self._scales: Dict[str, float] = {name: 1.0 for name in _STATISTICS}
+        self._blocks: Dict[str, List[float]] = {name: [] for name in _STATISTICS}
+        self._n_clean_bins = 0
+        self._n_frozen_bins = 0
+        self._n_updates = 0
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def confidence(self) -> float:
+        """Quantile level the policy tracks."""
+        return self._confidence
+
+    @property
+    def scales(self) -> Dict[str, float]:
+        """Current multiplicative scales per statistic (``spe``, ``t2``)."""
+        return dict(self._scales)
+
+    @property
+    def is_warmed_up(self) -> bool:
+        """Whether enough clean bins were observed for the scale to move."""
+        return self._n_clean_bins >= self._warmup_bins
+
+    @property
+    def n_clean_bins(self) -> int:
+        """Statistic values observed (under the freeze cap) so far.
+
+        Counted per bin and per statistic; a bin whose SPE froze but whose
+        T² did not contributes to one tracker and not the other, and the
+        count here is the maximum across the statistics.
+        """
+        return self._n_clean_bins
+
+    @property
+    def n_frozen_bins(self) -> int:
+        """Statistic values frozen out of the quantile (freeze-on-alarm)."""
+        return self._n_frozen_bins
+
+    @property
+    def n_updates(self) -> int:
+        """Completed block-quantile updates applied to the scales."""
+        return self._n_updates
+
+    # ------------------------------------------------------------------ #
+    # the policy
+    # ------------------------------------------------------------------ #
+    def apply(self, limits: ControlLimits) -> ControlLimits:
+        """The effective limits: the parametric *limits* times the scales."""
+        return ControlLimits(
+            spe=limits.spe * self._scales["spe"],
+            t2=limits.t2 * self._scales["t2"],
+            confidence=limits.confidence,
+        )
+
+    def observe(
+        self,
+        spe: np.ndarray,
+        t2: np.ndarray,
+        parametric: ControlLimits,
+    ) -> None:
+        """Fold one detected chunk's statistics into the quantile tracker.
+
+        Parameters
+        ----------
+        spe, t2:
+            Per-bin statistics of the chunk, as computed by the detector.
+        parametric:
+            The parametric limits of the current snapshot — the anchor the
+            scales are relative to.  Recalibration moves the anchor; the
+            scale composes on top, so the two adaptation mechanisms (model
+            refresh and threshold drift) stay independent.
+
+        Each statistic is censored independently at ``freeze_factor``
+        times its current effective limit (freeze-on-alarm, see the module
+        docstring); the surviving values fill fixed-size blocks whose
+        empirical quantiles EWMA-fold into the scales.
+        """
+        spe = np.asarray(spe, dtype=float).ravel()
+        t2 = np.asarray(t2, dtype=float).ravel()
+        require(spe.shape == t2.shape,
+                "spe and t2 must have one entry per chunk bin")
+        values = {"spe": spe, "t2": t2}
+        anchors = {"spe": parametric.spe, "t2": parametric.t2}
+        kept: Dict[str, np.ndarray] = {}
+        for name in _STATISTICS:
+            cap = self._freeze_factor * self._scales[name] * anchors[name]
+            kept[name] = (values[name][values[name] <= cap]
+                          if anchors[name] > 0 else values[name])
+            self._n_frozen_bins += int(values[name].size - kept[name].size)
+        # Count the observations before folding blocks, so warm-up can
+        # complete within the very chunk that crosses the threshold.
+        self._n_clean_bins += max(int(v.size) for v in kept.values())
+        for name in _STATISTICS:
+            block = self._blocks[name]
+            block.extend(float(v) for v in kept[name])
+            while len(block) >= self._block_bins:
+                completed, self._blocks[name] = (block[:self._block_bins],
+                                                 block[self._block_bins:])
+                block = self._blocks[name]
+                self._fold_block(name, completed, anchors[name])
+
+    def _fold_block(self, name: str, block: List[float],
+                    anchor: float) -> None:
+        """EWMA-fold one completed block's empirical quantile into a scale."""
+        if not self.is_warmed_up or anchor <= 0.0 or self._max_drift == 0.0:
+            # Pre-warmup blocks are observed but discarded; a degenerate
+            # anchor has no meaningful ratio; zero drift pins the scale.
+            return
+        quantile = float(np.quantile(np.asarray(block), self._confidence))
+        target = quantile / anchor
+        proposed = ((1.0 - self._smoothing) * self._scales[name]
+                    + self._smoothing * target)
+        previous = self._scales[name]
+        lower = previous * (1.0 - self._max_drift)
+        upper = previous * (1.0 + self._max_drift)
+        clamped = min(max(proposed, lower), upper)
+        self._scales[name] = min(max(clamped, self._scale_bounds[0]),
+                                 self._scale_bounds[1])
+        self._n_updates += 1
+
+    # ------------------------------------------------------------------ #
+    # serialization (checkpoint/restore)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, Dict]:
+        """Serializable form as ``{"meta": scalars, "arrays": ndarrays}``."""
+        return {
+            "meta": {
+                "kind": self.STATE_KIND,
+                "confidence": self._confidence,
+                "warmup_bins": self._warmup_bins,
+                "smoothing": self._smoothing,
+                "max_drift": self._max_drift,
+                "block_bins": self._block_bins,
+                "freeze_factor": self._freeze_factor,
+                "scale_bounds": list(self._scale_bounds),
+                "scales": dict(self._scales),
+                "n_clean_bins": self._n_clean_bins,
+                "n_frozen_bins": self._n_frozen_bins,
+                "n_updates": self._n_updates,
+            },
+            "arrays": {
+                f"block_{name}": np.asarray(self._blocks[name], dtype=float)
+                for name in _STATISTICS
+            },
+        }
+
+    @classmethod
+    def from_state(cls, meta: Mapping,
+                   arrays: Mapping[str, np.ndarray]) -> "AdaptiveControlLimits":
+        """Rebuild a policy (mid-block buffers included) from state."""
+        require(meta.get("kind") == cls.STATE_KIND,
+                f"unknown adaptive-limits state kind {meta.get('kind')!r}")
+        policy = cls(
+            confidence=float(meta["confidence"]),
+            warmup_bins=int(meta["warmup_bins"]),
+            smoothing=float(meta["smoothing"]),
+            max_drift=float(meta["max_drift"]),
+            block_bins=int(meta["block_bins"]),
+            freeze_factor=float(meta["freeze_factor"]),
+            scale_bounds=tuple(float(b) for b in meta["scale_bounds"]),
+        )
+        policy._scales = {name: float(meta["scales"][name])
+                          for name in _STATISTICS}
+        policy._blocks = {
+            name: [float(v) for v in np.asarray(arrays[f"block_{name}"])]
+            for name in _STATISTICS
+        }
+        policy._n_clean_bins = int(meta["n_clean_bins"])
+        policy._n_frozen_bins = int(meta["n_frozen_bins"])
+        policy._n_updates = int(meta["n_updates"])
+        return policy

@@ -76,6 +76,29 @@ class StreamingConfig:
     drift_tolerance:
         Basis orthonormality-drift threshold ``max|UᵀU − I|`` above which
         the low-rank engine re-orthonormalizes (QR + small-core eigh).
+    limits:
+        Control-limit policy.  ``"fixed"`` (the default) applies the
+        parametric limits recomputed at each recalibration verbatim;
+        ``"adaptive"`` multiplies them by EWMA-smoothed empirical-quantile
+        scales maintained by an
+        :class:`~repro.streaming.adaptive_limits.AdaptiveControlLimits`
+        policy — warm-up period, clamped drift rate, freeze-on-alarm — for
+        non-stationary streams where the parametric limits lag the data.
+    adaptive_warmup_bins:
+        Clean (un-flagged) bins the adaptive policy observes before its
+        scales may move; until then it behaves exactly like ``"fixed"``.
+    adaptive_smoothing:
+        EWMA weight of each new block quantile, in ``(0, 1]``.
+    adaptive_max_drift:
+        Per-block relative clamp on the scale movement; ``0`` pins the
+        scales at ``1`` and reduces the adaptive policy to ``"fixed"``.
+    adaptive_block_bins:
+        Observed bins per empirical-quantile block of the adaptive policy.
+    adaptive_freeze_factor:
+        Freeze-on-alarm censoring cap, as a multiple of the current
+        effective limit: statistic values above it are treated as
+        anomalies and excluded from the quantile; values below it are
+        treated as drift and tracked.
     """
 
     n_normal: int = 4
@@ -91,6 +114,12 @@ class StreamingConfig:
     engine: str = "exact"
     rank_slack: int = 8
     drift_tolerance: float = 1e-10
+    limits: str = "fixed"
+    adaptive_warmup_bins: int = 64
+    adaptive_smoothing: float = 0.25
+    adaptive_max_drift: float = 0.05
+    adaptive_block_bins: int = 32
+    adaptive_freeze_factor: float = 4.0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "t2_scaling", T2Scaling(self.t2_scaling))
@@ -109,6 +138,18 @@ class StreamingConfig:
                 "(the tracked rank r = n_normal + rank_slack must exceed "
                 "the normal subspace dimension, as in the batch fit)")
         require(self.drift_tolerance >= 0.0, "drift_tolerance must be >= 0")
+        require(self.limits in ("fixed", "adaptive"),
+                "limits must be 'fixed' or 'adaptive'")
+        require(self.adaptive_warmup_bins >= 1,
+                "adaptive_warmup_bins must be >= 1")
+        require(0.0 < self.adaptive_smoothing <= 1.0,
+                "adaptive_smoothing must be in (0, 1]")
+        require(self.adaptive_max_drift >= 0.0,
+                "adaptive_max_drift must be >= 0")
+        require(self.adaptive_block_bins >= 1,
+                "adaptive_block_bins must be >= 1")
+        require(self.adaptive_freeze_factor > 1.0,
+                "adaptive_freeze_factor must be > 1")
         require(not (self.engine == "lowrank" and self.n_shards > 1),
                 "column sharding shards the exact scatter matrix and cannot "
                 "be combined with the low-rank engine; ingest sharded and "

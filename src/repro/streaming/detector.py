@@ -34,12 +34,13 @@ from repro.core.events import Detection
 from repro.core.identification import identify_spe_flows, identify_t2_flows
 from repro.core.limits import ControlLimits, T2Scaling, control_limits
 from repro.flows.timeseries import TrafficType
+from repro.streaming.adaptive_limits import AdaptiveControlLimits
 from repro.streaming.config import StreamingConfig
 from repro.streaming.online_pca import OnlinePCA
 from repro.utils.validation import ensure_2d, require
 
 __all__ = ["SubspaceSnapshot", "StreamDetection", "ChunkDetections",
-           "StreamingSubspaceDetector", "make_engine"]
+           "StreamingSubspaceDetector", "make_engine", "make_limits_policy"]
 
 
 def make_engine(config: StreamingConfig):
@@ -54,6 +55,20 @@ def make_engine(config: StreamingConfig):
         return ShardedOnlinePCA(n_shards=config.n_shards,
                                 forgetting=config.forgetting)
     return OnlinePCA(forgetting=config.forgetting)
+
+
+def make_limits_policy(config: StreamingConfig) -> Optional[AdaptiveControlLimits]:
+    """The control-limit policy a config asks for (``None`` means fixed)."""
+    if config.limits != "adaptive":
+        return None
+    return AdaptiveControlLimits(
+        confidence=config.confidence,
+        warmup_bins=config.adaptive_warmup_bins,
+        smoothing=config.adaptive_smoothing,
+        max_drift=config.adaptive_max_drift,
+        block_bins=config.adaptive_block_bins,
+        freeze_factor=config.adaptive_freeze_factor,
+    )
 
 
 @dataclass(frozen=True)
@@ -193,6 +208,7 @@ class StreamingSubspaceDetector:
                 f"engine tracks only {rank_limit} eigenpairs but the "
                 f"detector needs more than n_normal={config.n_normal}; "
                 f"increase the tracked rank")
+        self._adaptive = make_limits_policy(config)
         self._snapshot: Optional[SubspaceSnapshot] = None
         self._bins_at_calibration = 0
         self._next_bin = 0
@@ -220,6 +236,25 @@ class StreamingSubspaceDetector:
     def snapshot(self) -> Optional[SubspaceSnapshot]:
         """The current calibrated snapshot (``None`` during warmup)."""
         return self._snapshot
+
+    @property
+    def limits_policy(self) -> Optional[AdaptiveControlLimits]:
+        """The adaptive control-limit policy (``None`` under fixed limits)."""
+        return self._adaptive
+
+    @property
+    def effective_limits(self) -> Optional[ControlLimits]:
+        """The limits the next chunk will be tested against.
+
+        The snapshot's parametric limits under the fixed policy; those
+        limits times the adaptive quantile scales under ``"adaptive"``.
+        ``None`` during warmup.
+        """
+        if self._snapshot is None:
+            return None
+        if self._adaptive is None:
+            return self._snapshot.limits
+        return self._adaptive.apply(self._snapshot.limits)
 
     @property
     def is_warmed_up(self) -> bool:
@@ -296,7 +331,10 @@ class StreamingSubspaceDetector:
         """Flag the bins of *chunk* against the current snapshot.
 
         Does not update the moments; *start_bin* gives the chunk's
-        stream-global position for reported bin indices.
+        stream-global position for reported bin indices.  Under the
+        adaptive-limits policy the chunk's clean statistics are folded into
+        the empirical-quantile tracker (the limits of *later* chunks), so
+        even this non-ingesting path advances the threshold state.
         """
         snapshot = self._snapshot
         require(snapshot is not None, "detector has no calibrated snapshot")
@@ -321,11 +359,16 @@ class StreamingSubspaceDetector:
         if config.t2_scaling is T2Scaling.RAW_EIGENFLOW:
             t2 = t2 / (snapshot.n_samples - 1)
 
-        flagged = classify_bins(spe, t2, snapshot.limits, use_t2=config.use_t2,
+        limits = snapshot.limits
+        if self._adaptive is not None:
+            limits = self._adaptive.apply(limits)
+        flagged = classify_bins(spe, t2, limits, use_t2=config.use_t2,
                                 bin_offset=start_bin)
+        if self._adaptive is not None:
+            self._adaptive.observe(spe, t2, snapshot.limits)
         detections = [
             self._build_detection(b, b.bin_index - start_bin, centered,
-                                  scores, snapshot)
+                                  scores, snapshot, limits)
             for b in flagged
         ]
         return ChunkDetections(
@@ -334,7 +377,7 @@ class StreamingSubspaceDetector:
             warmup=False,
             spe=spe,
             t2=t2,
-            limits=snapshot.limits,
+            limits=limits,
             detections=detections,
         )
 
@@ -345,6 +388,7 @@ class StreamingSubspaceDetector:
         centered: np.ndarray,
         scores: np.ndarray,
         snapshot: SubspaceSnapshot,
+        limits: ControlLimits,
     ) -> StreamDetection:
         config = self._config
         statistic = "spe" if flagged.spe_triggered else "t2"
@@ -354,7 +398,7 @@ class StreamingSubspaceDetector:
                 # Only flagged bins materialize their residual row.
                 residual_row = (centered[row]
                                 - scores[row] @ snapshot.normal_axes.T)
-                flows = identify_spe_flows(residual_row, snapshot.limits.spe,
+                flows = identify_spe_flows(residual_row, limits.spe,
                                            config.max_identified_flows)
             else:
                 flows = identify_t2_flows(
@@ -362,7 +406,7 @@ class StreamingSubspaceDetector:
                     snapshot.normal_axes,
                     snapshot.eigenvalues,
                     snapshot.n_samples,
-                    snapshot.limits.t2,
+                    limits.t2,
                     config.t2_scaling,
                     config.max_identified_flows,
                 )
@@ -411,6 +455,7 @@ class StreamingSubspaceDetector:
             "bins_at_calibration": self._bins_at_calibration,
             "next_bin": self._next_bin,
             "snapshot": None,
+            "adaptive": None,
         }
         arrays = {f"engine__{k}": v for k, v in engine_state["arrays"].items()}
         if self._snapshot is not None:
@@ -419,6 +464,12 @@ class StreamingSubspaceDetector:
             arrays.update(
                 {f"snapshot__{k}": v
                  for k, v in snapshot_state["arrays"].items()})
+        if self._adaptive is not None:
+            adaptive_state = self._adaptive.state_dict()
+            meta["adaptive"] = adaptive_state["meta"]
+            arrays.update(
+                {f"adaptive__{k}": v
+                 for k, v in adaptive_state["arrays"].items()})
         return {"meta": meta, "arrays": arrays}
 
     @classmethod
@@ -446,6 +497,16 @@ class StreamingSubspaceDetector:
                 meta["snapshot"],
                 {k[len("snapshot__"):]: v for k, v in arrays.items()
                  if k.startswith("snapshot__")})
+        # .get(): checkpoints written before the adaptive-limits policy
+        # carry no "adaptive" entry and restore with the fixed policy.
+        if meta.get("adaptive") is not None:
+            require(detector._adaptive is not None,
+                    "checkpoint carries adaptive-limits state but the config "
+                    "asks for fixed limits")
+            detector._adaptive = AdaptiveControlLimits.from_state(
+                meta["adaptive"],
+                {k[len("adaptive__"):]: v for k, v in arrays.items()
+                 if k.startswith("adaptive__")})
         detector._bins_at_calibration = int(meta["bins_at_calibration"])
         detector._next_bin = int(meta["next_bin"])
         return detector

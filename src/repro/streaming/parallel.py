@@ -27,7 +27,7 @@ import itertools
 import multiprocessing
 import queue as queue_module
 import traceback
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 

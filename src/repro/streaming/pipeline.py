@@ -307,6 +307,9 @@ def replay_network_anomalies(
     """
     require(config.forgetting == 1.0,
             "exact replay parity requires forgetting == 1.0")
+    require(config.limits == "fixed",
+            "exact replay parity requires the fixed control-limit policy "
+            "(adaptive quantile limits drift away from the batch limits)")
     require(config.identify, "event fusion needs identified OD flows")
     types = (_dedup_types(traffic_types)
              if traffic_types is not None else series.traffic_types)

@@ -14,7 +14,7 @@ during the LOSA outage.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.topology.network import Customer, Link, Network, PoP, Router
 

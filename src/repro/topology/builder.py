@@ -8,9 +8,7 @@ that nothing in the pipeline is Abilene-specific.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import networkx as nx
+from typing import List, Sequence
 
 from repro.topology.network import Customer, Link, Network, PoP, Router
 from repro.utils.rng import RandomState, spawn_rng

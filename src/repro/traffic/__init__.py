@@ -21,7 +21,12 @@ subspace method relies on:
 """
 
 from repro.traffic.gravity import GravityModel
-from repro.traffic.seasonality import DiurnalProfile, WeeklyProfile, SeasonalityModel
+from repro.traffic.seasonality import (
+    DiurnalProfile,
+    DriftProfile,
+    SeasonalityModel,
+    WeeklyProfile,
+)
 from repro.traffic.noise import NoiseModel, ar1_noise, lognormal_noise
 from repro.traffic.generator import GeneratorConfig, ODTrafficGenerator
 from repro.traffic.flowgen import FlowSynthesizer
@@ -29,6 +34,7 @@ from repro.traffic.flowgen import FlowSynthesizer
 __all__ = [
     "GravityModel",
     "DiurnalProfile",
+    "DriftProfile",
     "WeeklyProfile",
     "SeasonalityModel",
     "NoiseModel",

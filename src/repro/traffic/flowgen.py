@@ -11,17 +11,17 @@ could not resolve.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.flows.composition import DEFAULT_APPLICATION_PORTS
-from repro.flows.records import FiveTuple, FlowRecord, TCP
+from repro.flows.records import FiveTuple, FlowRecord
 from repro.routing.prefixes import Prefix, random_address_in_prefix
 from repro.topology.network import Network
 from repro.utils.rng import RandomState, spawn_rng
 from repro.utils.timebins import TimeBinning
-from repro.utils.validation import ensure_probability, require
+from repro.utils.validation import require
 
 __all__ = ["FlowSynthesizer"]
 

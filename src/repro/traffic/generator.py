@@ -18,7 +18,7 @@ traffic differ substantially yet share common trends.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict
 
 import numpy as np
 
@@ -26,7 +26,12 @@ from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
 from repro.topology.network import Network
 from repro.traffic.gravity import GravityModel
 from repro.traffic.noise import NoiseModel
-from repro.traffic.seasonality import DiurnalProfile, SeasonalityModel, WeeklyProfile
+from repro.traffic.seasonality import (
+    DiurnalProfile,
+    DriftProfile,
+    SeasonalityModel,
+    WeeklyProfile,
+)
 from repro.utils.rng import RandomState, spawn_rng
 from repro.utils.timebins import TimeBinning
 from repro.utils.validation import ensure_positive, require
@@ -60,6 +65,11 @@ class GeneratorConfig:
         eigenflows, which is what the residual-subspace statistics assume.
     self_traffic_fraction, mass_jitter:
         Forwarded to the gravity model.
+    drift:
+        Deterministic non-stationarity of the background (level drift /
+        level shift of the seasonal mean, ramping noise variance).  The
+        default :class:`~repro.traffic.seasonality.DriftProfile` is the
+        identity, reproducing the stationary generator bit-for-bit.
     """
 
     total_bytes_per_bin: float = 2.5e9
@@ -79,6 +89,7 @@ class GeneratorConfig:
     amplitude_jitter: float = 0.05
     self_traffic_fraction: float = 0.02
     mass_jitter: float = 0.15
+    drift: DriftProfile = field(default_factory=DriftProfile)
 
     def __post_init__(self) -> None:
         ensure_positive(self.total_bytes_per_bin, "total_bytes_per_bin")
@@ -177,10 +188,22 @@ class ODTrafficGenerator:
         seasonal = self._seasonality.factors(binning)               # (n, p)
         clean_bytes = seasonal * mean_bytes[np.newaxis, :]
 
+        # Deterministic non-stationarity: the drift profile ramps/shifts
+        # the mean level and ramps the noise sigma along the absolute time
+        # axis.  The identity profile leaves every code path untouched so
+        # stationary datasets stay bit-for-bit reproducible.
+        drift = self._config.drift
+        noise_scale = None
+        if not drift.is_stationary:
+            times = np.array([binning.bin_start(i) for i in range(n_bins)],
+                             dtype=float)
+            clean_bytes = clean_bytes * drift.level_factor(times)[:, np.newaxis]
+            noise_scale = drift.noise_scale(times)
+
         # Bytes: anchored noise whose scale follows each OD flow's mean level.
         byte_rng = spawn_rng(self._seed, stream="byte-noise")
         bytes_matrix = self._config.byte_noise.apply_anchored(
-            clean_bytes, mean_bytes, byte_rng)
+            clean_bytes, mean_bytes, byte_rng, time_scale=noise_scale)
 
         # Packets: the byte signal converted through the per-OD packet size,
         # plus an independent anchored fluctuation of its own.
@@ -188,7 +211,7 @@ class ODTrafficGenerator:
         clean_packets = bytes_matrix / self._packet_sizes[np.newaxis, :]
         packet_rng = spawn_rng(self._seed, stream="packet-noise")
         packets_matrix = self._config.packet_noise.apply_anchored(
-            clean_packets, mean_packets, packet_rng)
+            clean_packets, mean_packets, packet_rng, time_scale=noise_scale)
 
         # IP flows: the packet signal converted through packets-per-flow,
         # again with independent anchored fluctuation.
@@ -196,7 +219,7 @@ class ODTrafficGenerator:
         clean_flows = packets_matrix / self._packets_per_flow[np.newaxis, :]
         flow_rng = spawn_rng(self._seed, stream="flow-noise")
         flows_matrix = self._config.flow_noise.apply_anchored(
-            clean_flows, mean_flows, flow_rng)
+            clean_flows, mean_flows, flow_rng, time_scale=noise_scale)
 
         matrices: Dict[TrafficType, np.ndarray] = {
             TrafficType.BYTES: np.clip(bytes_matrix, 0.0, None),

@@ -9,8 +9,6 @@ paper (a few strong common factors dominate the ensemble of OD flows).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
-
 import numpy as np
 
 from repro.topology.network import Network

@@ -15,7 +15,7 @@ correlated and right-skewed.  We provide:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -130,7 +130,8 @@ class NoiseModel:
         return np.clip(noisy, 0.0, None)
 
     def apply_anchored(self, clean: np.ndarray, anchor: np.ndarray,
-                       rng: RandomState = None) -> np.ndarray:
+                       rng: RandomState = None,
+                       time_scale: Optional[np.ndarray] = None) -> np.ndarray:
         """Apply the noise model with per-column (per-OD) anchored scale.
 
         Each column receives zero-mean AR(1) Gaussian noise whose standard
@@ -150,6 +151,13 @@ class NoiseModel:
             mean volume).
         rng:
             Randomness source.
+        time_scale:
+            Optional length-``n`` per-row multiplier of the noise standard
+            deviation (both components), breaking the homoscedasticity
+            deliberately — this is how
+            :class:`~repro.traffic.seasonality.DriftProfile` ramps the
+            variance of a non-stationary week.  ``None`` (the default)
+            keeps the stationary behaviour bit-for-bit.
         """
         require(clean.ndim == 2, "clean matrix must be 2-D")
         anchor = np.asarray(anchor, dtype=float).ravel()
@@ -160,6 +168,19 @@ class NoiseModel:
         n_samples, n_series = clean.shape
         core = ar1_noise(n_samples, n_series, self.temporal_correlation,
                          self.multiplicative_sigma, generator)
-        noisy = clean + core * anchor[np.newaxis, :]
-        noisy = noisy + self.additive_terms(n_samples, n_series, generator)
+        anchored = core * anchor[np.newaxis, :]
+        additive = self.additive_terms(n_samples, n_series, generator)
+        if time_scale is not None:
+            time_scale = np.asarray(time_scale, dtype=float).ravel()
+            require(time_scale.size == n_samples,
+                    "time_scale must have one entry per row of the clean "
+                    "matrix")
+            require(np.all(time_scale >= 0),
+                    "time_scale values must be non-negative")
+            anchored = anchored * time_scale[:, np.newaxis]
+            additive = additive * time_scale[:, np.newaxis]
+        # Summation order matches the historical implementation so that a
+        # None time_scale reproduces pre-drift datasets bit-for-bit.
+        noisy = clean + anchored
+        noisy = noisy + additive
         return np.clip(noisy, 0.0, None)

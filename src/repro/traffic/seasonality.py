@@ -10,7 +10,7 @@ per-OD phase/amplitude perturbations) across the whole OD ensemble.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -18,7 +18,7 @@ from repro.utils.rng import RandomState, spawn_rng
 from repro.utils.timebins import SECONDS_PER_DAY, TimeBinning
 from repro.utils.validation import require
 
-__all__ = ["DiurnalProfile", "WeeklyProfile", "SeasonalityModel"]
+__all__ = ["DiurnalProfile", "WeeklyProfile", "DriftProfile", "SeasonalityModel"]
 
 
 @dataclass(frozen=True)
@@ -77,6 +77,66 @@ class WeeklyProfile:
         """Multiplicative factor at the given absolute time(s) in seconds."""
         days = (np.asarray(time_seconds, dtype=float) // SECONDS_PER_DAY).astype(int) % 7
         return np.asarray(self.day_factors, dtype=float)[days]
+
+
+@dataclass(frozen=True)
+class DriftProfile:
+    """Deterministic non-stationarity of the synthetic background.
+
+    The seasonality/noise substrates above model a *stationary* week — the
+    regime the paper's fixed 99.9% control limits assume.  This profile
+    layers slow secular drift on top, producing the non-stationary weeks
+    the adaptive-threshold policy
+    (:class:`~repro.streaming.adaptive_limits.AdaptiveControlLimits`) is
+    benchmarked on: a linear multiplicative ramp of the diurnal mean
+    level, an optional one-time level shift, and a linear ramp of the
+    noise standard deviation.  All factors follow the absolute time axis,
+    like the seasonal profiles, so block-wise streaming generation stays
+    seamless.
+
+    Parameters
+    ----------
+    level_drift_per_day:
+        Relative drift of the mean level per day (``0.1`` ≈ +10%/day).
+    level_shift:
+        One-time relative step of the mean level (``0.2`` ≈ +20%).
+    level_shift_day:
+        Day (fractional, from the stream's absolute time origin) at which
+        the level shift applies.
+    variance_ramp_per_day:
+        Relative ramp of the noise standard deviation per day.
+    """
+
+    level_drift_per_day: float = 0.0
+    level_shift: float = 0.0
+    level_shift_day: float = 0.0
+    variance_ramp_per_day: float = 0.0
+
+    def __post_init__(self) -> None:
+        require(self.level_shift > -1.0, "level_shift must be > -1")
+        require(self.level_shift_day >= 0.0,
+                "level_shift_day must be non-negative")
+
+    @property
+    def is_stationary(self) -> bool:
+        """Whether the profile is the identity (no drift at all)."""
+        return (self.level_drift_per_day == 0.0
+                and self.level_shift == 0.0
+                and self.variance_ramp_per_day == 0.0)
+
+    def level_factor(self, time_seconds: np.ndarray | float) -> np.ndarray:
+        """Multiplicative mean-level factor at absolute time(s) in seconds."""
+        days = np.asarray(time_seconds, dtype=float) / SECONDS_PER_DAY
+        values = 1.0 + self.level_drift_per_day * days
+        if self.level_shift != 0.0:
+            values = np.where(days >= self.level_shift_day,
+                              values * (1.0 + self.level_shift), values)
+        return np.clip(values, 0.05, None)
+
+    def noise_scale(self, time_seconds: np.ndarray | float) -> np.ndarray:
+        """Multiplicative noise-sigma factor at absolute time(s) in seconds."""
+        days = np.asarray(time_seconds, dtype=float) / SECONDS_PER_DAY
+        return np.clip(1.0 + self.variance_ramp_per_day * days, 0.0, None)
 
 
 class SeasonalityModel:

@@ -8,12 +8,13 @@ generator, injectors, detector, and evaluation all agree on indexing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
 from repro.utils.validation import require
 
-__all__ = ["TimeBinning", "bins_per_day", "bins_per_week", "SECONDS_PER_MINUTE"]
+__all__ = ["TimeBinning", "bins_per_day", "bins_per_week", "week_windows",
+           "SECONDS_PER_MINUTE"]
 
 SECONDS_PER_MINUTE = 60
 SECONDS_PER_DAY = 86_400
@@ -30,6 +31,28 @@ def bins_per_day(bin_seconds: int = 300) -> int:
 def bins_per_week(bin_seconds: int = 300) -> int:
     """Number of bins in one week for the given bin width (default 5 minutes)."""
     return 7 * bins_per_day(bin_seconds)
+
+
+def week_windows(n_bins: int, bin_seconds: int = 300,
+                 min_bins: int = 1) -> List[Tuple[int, int]]:
+    """``(start, end)`` week windows covering ``n_bins`` bins.
+
+    The paper fits and diagnoses one week at a time; every table/figure
+    runner and the live evaluation harness window a dataset the same way
+    through this helper.  A trailing partial week shorter than *min_bins*
+    (e.g. too short to fit the subspace model) is dropped.
+    """
+    require(n_bins >= 0, "n_bins must be non-negative")
+    require(min_bins >= 1, "min_bins must be >= 1")
+    per_week = bins_per_week(bin_seconds)
+    windows: List[Tuple[int, int]] = []
+    start = 0
+    while start < n_bins:
+        end = min(start + per_week, n_bins)
+        if end - start >= min_bins:
+            windows.append((start, end))
+        start = end
+    return windows
 
 
 @dataclass(frozen=True)

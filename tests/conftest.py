@@ -11,7 +11,7 @@ import pytest
 
 from repro.datasets import DatasetConfig, generate_abilene_dataset
 from repro.topology import abilene_topology, random_backbone
-from repro.traffic import GeneratorConfig, ODTrafficGenerator
+from repro.traffic import ODTrafficGenerator
 from repro.utils.timebins import TimeBinning
 
 

@@ -21,7 +21,6 @@ from repro.anomalies import (
 )
 from repro.flows.composition import FlowCompositionModel
 from repro.flows.timeseries import TrafficType
-from repro.traffic import ODTrafficGenerator
 from repro.utils.timebins import TimeBinning
 
 

@@ -1,11 +1,14 @@
 """The benchmark-trajectory tool: consolidation and regression gating.
 
 ``tools/bench_trajectory.py`` is repo tooling (not part of the ``repro``
-package), so it is loaded here by file path.  The tests cover the three
-behaviors CI relies on: artifacts (flat and sectioned) consolidate into one
+package), so it is loaded here by file path.  The tests cover the behaviors
+CI relies on: artifacts (flat and sectioned) consolidate into one
 trajectory keyed by benchmark name, speedup-ratio and parity-recall
-regressions beyond tolerance fail, and partial runs (benchmarks absent
-from the artifact dir) are skipped rather than failed.
+regressions beyond tolerance fail, baseline records with no fresh artifact
+fail distinctly (exit code 2) unless ``--allow-missing`` marks the run as
+deliberately partial, an empty artifact directory always fails, and the
+markdown summary table renders every tracked metric for
+``$GITHUB_STEP_SUMMARY``.
 """
 
 import importlib.util
@@ -160,12 +163,46 @@ class TestCheck:
         assert len(failures) == 1
         assert "span_recall" in failures[0]
 
-    def test_missing_benchmark_is_skipped(self, artifact_dir, tmp_path,
-                                          capsys):
+    def test_missing_benchmark_is_skipped_when_allowed(self, artifact_dir,
+                                                       tmp_path, capsys):
         baseline = self._baseline(artifact_dir, tmp_path)
         (artifact_dir / "bench_sectioned.json").unlink()
-        assert bench_trajectory.check(baseline, artifact_dir, 0.1) == []
+        assert bench_trajectory.check(baseline, artifact_dir, 0.1,
+                                      allow_missing=True) == []
         assert "skipped" in capsys.readouterr().out
+
+    def test_missing_benchmark_fails_by_default(self, artifact_dir, tmp_path):
+        """A benchmark that crashed before writing JSON must not slip past
+        the gate as a silent pass."""
+        baseline = self._baseline(artifact_dir, tmp_path)
+        (artifact_dir / "bench_sectioned.json").unlink()
+        failures = bench_trajectory.check(baseline, artifact_dir, 0.1)
+        assert len(failures) == 2          # bench_recal and bench_parity
+        assert all("no fresh artifact" in message for message in failures)
+
+    def test_empty_artifact_dir_is_an_error_even_when_allowed(
+            self, artifact_dir, tmp_path):
+        baseline = self._baseline(artifact_dir, tmp_path)
+        for path in artifact_dir.glob("*.json"):
+            path.unlink()
+        failures = bench_trajectory.check(baseline, artifact_dir, 0.1,
+                                          allow_missing=True)
+        assert len(failures) == 1
+        assert "did not run" in failures[0]
+
+    def test_cli_missing_artifacts_exit_distinctly(self, artifact_dir,
+                                                   tmp_path, capsys):
+        baseline = self._baseline(artifact_dir, tmp_path)
+        (artifact_dir / "bench_sectioned.json").unlink()
+        code = bench_trajectory.main(["check",
+                                      "--artifacts", str(artifact_dir),
+                                      "--baseline", str(baseline)])
+        assert code == 2                   # distinct from regressions (1)
+        assert "MISSING" in capsys.readouterr().err
+        assert bench_trajectory.main(["check",
+                                      "--artifacts", str(artifact_dir),
+                                      "--baseline", str(baseline),
+                                      "--allow-missing"]) == 0
 
     def test_disappearing_tracked_metric_fails(self, artifact_dir, tmp_path):
         baseline = self._baseline(artifact_dir, tmp_path)
@@ -193,3 +230,66 @@ class TestCheck:
     def test_missing_baseline_is_a_no_op(self, artifact_dir, tmp_path):
         assert bench_trajectory.check(tmp_path / "absent.json",
                                       artifact_dir, 0.1) == []
+
+
+class TestMarkdownSummary:
+    def _baseline(self, artifact_dir, tmp_path):
+        baseline = tmp_path / "BENCH.json"
+        bench_trajectory.consolidate(artifact_dir, baseline)
+        return baseline
+
+    def test_summary_table_lists_every_tracked_metric(self, artifact_dir,
+                                                      tmp_path):
+        baseline = self._baseline(artifact_dir, tmp_path)
+        summary = tmp_path / "summary.md"
+        code = bench_trajectory.main(["check",
+                                      "--artifacts", str(artifact_dir),
+                                      "--baseline", str(baseline),
+                                      "--summary", str(summary)])
+        assert code == 0
+        text = summary.read_text()
+        assert "| Benchmark | Metric |" in text
+        assert "parallel_speedup_vs_baseline" in text
+        assert "parity.span_recall" in text
+        assert "within tolerance" in text
+
+    def test_summary_marks_regressions(self, artifact_dir, tmp_path):
+        baseline = self._baseline(artifact_dir, tmp_path)
+        record = json.loads((artifact_dir / "bench_flat.json").read_text())
+        record["parallel_speedup_vs_baseline"] = 0.1
+        _write(artifact_dir / "bench_flat.json", record)
+        summary = tmp_path / "summary.md"
+        code = bench_trajectory.main(["check",
+                                      "--artifacts", str(artifact_dir),
+                                      "--baseline", str(baseline),
+                                      "--tolerance", "0.5",
+                                      "--summary", str(summary)])
+        assert code == 1
+        text = summary.read_text()
+        assert "REGRESSION" in text
+        assert "**Failures:**" in text
+
+    def test_summary_appends_rather_than_overwrites(self, artifact_dir,
+                                                    tmp_path):
+        baseline = self._baseline(artifact_dir, tmp_path)
+        summary = tmp_path / "summary.md"
+        summary.write_text("## earlier step output\n")
+        bench_trajectory.main(["check", "--artifacts", str(artifact_dir),
+                               "--baseline", str(baseline),
+                               "--summary", str(summary)])
+        text = summary.read_text()
+        assert text.startswith("## earlier step output")
+        assert "Benchmark trajectory" in text
+
+    def test_disabled_gate_rows_are_marked_not_gated(self, artifact_dir,
+                                                     tmp_path):
+        baseline = self._baseline(artifact_dir, tmp_path)
+        record = json.loads((artifact_dir / "bench_flat.json").read_text())
+        record["gate"] = {"min_speedup": 1.5, "enforced": False}
+        _write(artifact_dir / "bench_flat.json", record)
+        _, _, rows = bench_trajectory.compare(baseline, artifact_dir, 0.5)
+        speedup_rows = [r for r in rows if r["kind"] == "speedup"
+                        and r["benchmark"] == "bench_flat"]
+        assert speedup_rows
+        assert all(r["status"] == "not gated (machine)"
+                   for r in speedup_rows)

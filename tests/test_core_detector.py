@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.detector import BinDetection, DetectionResult, SubspaceDetector
+from repro.core.detector import SubspaceDetector
 from repro.core.events import (
     COMBINATION_LABELS,
     AnomalyEvent,

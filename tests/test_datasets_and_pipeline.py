@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import detect_network_anomalies
-from repro.datasets import DatasetConfig, generate_abilene_dataset, small_scenario
+from repro.datasets import (DatasetConfig, generate_abilene_dataset,
+                            generate_drifting_dataset, small_scenario)
 from repro.evaluation import detection_metrics, match_events
 from repro.flows.timeseries import TrafficType
 
@@ -121,3 +122,27 @@ class TestEndToEndDiagnosis:
         report = detect_network_anomalies(small_dataset.series)
         for event in report.events:
             assert 0 <= event.start_bin <= event.end_bin < small_dataset.n_bins
+
+
+class TestGenerateDriftingDataset:
+    def test_same_shape_and_ground_truth_machinery(self):
+        config = DatasetConfig(weeks=1.0 / 7.0)
+        drifting = generate_drifting_dataset(config, seed=5)
+        stationary = generate_abilene_dataset(config, seed=5)
+        assert drifting.n_bins == stationary.n_bins
+        assert drifting.n_od_pairs == stationary.n_od_pairs
+        assert len(drifting.ground_truth) == len(stationary.ground_truth)
+
+    def test_drift_profile_lands_in_the_generator_config(self):
+        from repro.traffic import DriftProfile
+
+        drift = DriftProfile(level_drift_per_day=0.3)
+        dataset = generate_drifting_dataset(DatasetConfig(weeks=1.0 / 7.0),
+                                            drift=drift, seed=5)
+        assert dataset.config.generator.drift == drift
+        # The drifting background really differs from the stationary one.
+        stationary = generate_abilene_dataset(DatasetConfig(weeks=1.0 / 7.0),
+                                              seed=5)
+        assert not np.allclose(
+            dataset.clean_series.matrix(TrafficType.BYTES),
+            stationary.clean_series.matrix(TrafficType.BYTES))

@@ -117,7 +117,6 @@ class TestMetrics:
         report = match_events(events, log, series=series)
 
         def _classification(event, anomaly_type):
-            features = object.__new__(type("F", (), {}))  # placeholder features
             return ClassificationResult(features=None, anomaly_type=anomaly_type,
                                         rationale="test")
 

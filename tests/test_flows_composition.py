@@ -1,6 +1,5 @@
 """Unit tests for the per-bin flow-composition model and dominance queries."""
 
-import numpy as np
 import pytest
 
 from repro.flows.composition import BinComposition, FlowCompositionModel, FlowGroup

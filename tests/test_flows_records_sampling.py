@@ -1,9 +1,8 @@
 """Unit tests for flow records and the packet-sampling simulator."""
 
-import numpy as np
 import pytest
 
-from repro.flows.records import TCP, UDP, FiveTuple, FlowRecord, PacketRecord
+from repro.flows.records import TCP, FiveTuple, FlowRecord, PacketRecord
 from repro.flows.sampling import PacketSampler, SamplingConfig, sample_flow_records
 from repro.routing.prefixes import parse_ipv4
 

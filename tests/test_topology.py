@@ -9,7 +9,6 @@ from repro.topology import (
     Link,
     Network,
     PoP,
-    Router,
     TopologyBuilder,
     abilene_topology,
     random_backbone,

@@ -6,6 +6,7 @@ import pytest
 from repro.flows.timeseries import TrafficType
 from repro.traffic import (
     DiurnalProfile,
+    DriftProfile,
     FlowSynthesizer,
     GeneratorConfig,
     GravityModel,
@@ -230,3 +231,89 @@ class TestFlowSynthesizer:
         for record in records:
             assert 600.0 <= record.start_time < 900.0
             assert record.end_time <= 900.0 + 1e-6
+
+
+class TestDriftProfile:
+    def test_default_profile_is_stationary_identity(self):
+        drift = DriftProfile()
+        assert drift.is_stationary
+        times = np.arange(0, 3 * SECONDS_PER_DAY, 300)
+        assert np.allclose(drift.level_factor(times), 1.0)
+        assert np.allclose(drift.noise_scale(times), 1.0)
+
+    def test_level_drift_ramps_linearly_per_day(self):
+        drift = DriftProfile(level_drift_per_day=0.1)
+        assert not drift.is_stationary
+        assert drift.level_factor(0.0) == pytest.approx(1.0)
+        assert drift.level_factor(2 * SECONDS_PER_DAY) == pytest.approx(1.2)
+
+    def test_level_shift_steps_at_the_shift_day(self):
+        drift = DriftProfile(level_shift=0.5, level_shift_day=2.0)
+        assert drift.level_factor(SECONDS_PER_DAY) == pytest.approx(1.0)
+        assert drift.level_factor(2 * SECONDS_PER_DAY) == pytest.approx(1.5)
+
+    def test_variance_ramp_scales_noise_sigma(self):
+        drift = DriftProfile(variance_ramp_per_day=0.25)
+        assert drift.noise_scale(0.0) == pytest.approx(1.0)
+        assert drift.noise_scale(4 * SECONDS_PER_DAY) == pytest.approx(2.0)
+
+    def test_factors_clip_away_from_negative(self):
+        drift = DriftProfile(level_drift_per_day=-2.0,
+                             variance_ramp_per_day=-2.0)
+        late = 5 * SECONDS_PER_DAY
+        assert drift.level_factor(late) == pytest.approx(0.05)
+        assert drift.noise_scale(late) == 0.0
+
+    def test_rejects_invalid_knobs(self):
+        with pytest.raises(ValueError):
+            DriftProfile(level_shift=-1.0)
+        with pytest.raises(ValueError):
+            DriftProfile(level_shift_day=-1.0)
+
+
+class TestDriftingGenerator:
+    def test_identity_drift_reproduces_stationary_traffic_bitwise(
+            self, abilene):
+        binning = TimeBinning(n_bins=288, bin_seconds=300)
+        plain = ODTrafficGenerator(abilene, seed=9).generate(binning)
+        with_identity = ODTrafficGenerator(
+            abilene, config=GeneratorConfig(drift=DriftProfile()),
+            seed=9).generate(binning)
+        for traffic_type in plain.traffic_types:
+            np.testing.assert_array_equal(
+                with_identity.matrix(traffic_type),
+                plain.matrix(traffic_type))
+
+    def test_level_drift_ramps_the_generated_mean(self, abilene):
+        binning = TimeBinning(n_bins=2 * 288, bin_seconds=300)
+        config = GeneratorConfig(drift=DriftProfile(level_drift_per_day=0.5))
+        series = ODTrafficGenerator(abilene, config=config,
+                                    seed=9).generate(binning)
+        volumes = series.matrix(TrafficType.BYTES).sum(axis=1)
+        first_day, second_day = volumes[:288].mean(), volumes[288:].mean()
+        # +50%/day of drift dominates the weekly profile's few-percent dip.
+        assert second_day > 1.2 * first_day
+
+    def test_variance_ramp_inflates_late_fluctuations(self, abilene):
+        binning = TimeBinning(n_bins=2 * 288, bin_seconds=300)
+        config = GeneratorConfig(
+            drift=DriftProfile(variance_ramp_per_day=2.0))
+        drifting = ODTrafficGenerator(abilene, config=config,
+                                      seed=9).generate(binning)
+        flat = ODTrafficGenerator(abilene, seed=9).generate(binning)
+        residual = (drifting.matrix(TrafficType.BYTES)
+                    - flat.matrix(TrafficType.BYTES))
+        early = np.abs(residual[:288]).mean()
+        late = np.abs(residual[288:]).mean()
+        assert late > 1.5 * early
+
+    def test_time_scale_validation(self, abilene):
+        noise = NoiseModel(multiplicative_sigma=0.1)
+        clean = np.ones((10, 3))
+        anchor = np.ones(3)
+        with pytest.raises(ValueError, match="time_scale"):
+            noise.apply_anchored(clean, anchor, rng=1,
+                                 time_scale=np.ones(7))
+        with pytest.raises(ValueError, match="non-negative"):
+            noise.apply_anchored(clean, anchor, rng=1,
+                                 time_scale=-np.ones(10))

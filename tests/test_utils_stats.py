@@ -1,7 +1,5 @@
 """Unit tests for the statistical threshold helpers."""
 
-import math
-
 import numpy as np
 import pytest
 from scipy import stats as scipy_stats

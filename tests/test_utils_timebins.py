@@ -3,11 +3,11 @@
 import pytest
 
 from repro.utils.timebins import (
-    SECONDS_PER_MINUTE,
     TimeBinning,
     bins_per_day,
     bins_per_week,
     week_binning,
+    week_windows,
 )
 
 
@@ -96,3 +96,25 @@ class TestWeekBinning:
     def test_rejects_zero_weeks(self):
         with pytest.raises(ValueError):
             week_binning(weeks=0)
+
+
+class TestWeekWindows:
+    def test_tiles_multiple_weeks(self):
+        windows = week_windows(2 * 2016 + 500)
+        assert windows == [(0, 2016), (2016, 4032), (4032, 4532)]
+
+    def test_drops_too_short_trailing_window(self):
+        windows = week_windows(2016 + 3, min_bins=10)
+        assert windows == [(0, 2016)]
+
+    def test_short_dataset_is_one_window(self):
+        assert week_windows(500) == [(0, 500)]
+
+    def test_empty_dataset_has_no_windows(self):
+        assert week_windows(0) == []
+
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            week_windows(-1)
+        with pytest.raises(ValueError):
+            week_windows(100, min_bins=0)

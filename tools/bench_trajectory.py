@@ -32,10 +32,20 @@ Usage::
 
     python tools/bench_trajectory.py consolidate
     python tools/bench_trajectory.py check --tolerance 0.5 --recall-tolerance 0.05
+    python tools/bench_trajectory.py check --summary "$GITHUB_STEP_SUMMARY"
 
-Benchmarks missing from the current artifact directory are skipped with a
-note (CI smoke runs may execute a subset); unknown new benchmarks pass and
-should be consolidated into the baseline in the same PR.
+A baseline record with no fresh artifact is an **error** (exit code 2,
+``MISSING:`` messages): a benchmark that crashes before writing its JSON
+must not slip past the gate, and an empty artifact directory means the
+benchmarks did not run at all.  Pass ``--allow-missing`` for deliberate
+partial local runs — absent benchmarks are then skipped with a note (an
+empty artifact directory stays an error even so).  Unknown new benchmarks
+pass and should be consolidated into the baseline in the same PR.
+
+``--summary PATH`` appends a markdown comparison table (benchmark, metric,
+baseline, current, floor, status) to *PATH* — CI points it at
+``$GITHUB_STEP_SUMMARY`` so trajectory drift is readable from the run page
+without downloading artifacts.
 """
 
 from __future__ import annotations
@@ -116,35 +126,74 @@ def _speedup_gate_enforced(record: Dict) -> bool:
     return not (isinstance(gate, dict) and gate.get("enforced") is False)
 
 
-def check(baseline_path: Path, artifact_dir: Path, tolerance: float,
-          recall_tolerance: float = 0.05) -> List[str]:
-    """Regression messages for the current artifacts vs the baseline."""
+def compare(baseline_path: Path, artifact_dir: Path, tolerance: float,
+            recall_tolerance: float = 0.05,
+            allow_missing: bool = False) -> Tuple[List[str], List[str], List[Dict]]:
+    """``(regressions, missing, rows)`` of the current artifacts vs baseline.
+
+    *regressions* are tolerance violations of tracked metrics; *missing*
+    are baseline records (or the whole artifact directory) that produced no
+    fresh artifact this run — a distinct failure class, because a benchmark
+    that crashes before writing JSON must not read as a pass.  *rows* is
+    the full comparison table (one row per tracked metric) for the
+    markdown summary.
+    """
     if not baseline_path.is_file():
         print(f"no baseline at {baseline_path}; nothing to check")
-        return []
+        return [], [], []
     baseline = json.loads(baseline_path.read_text()).get("benchmarks", {})
-    current = collect_records(artifact_dir)
+    current = collect_records(artifact_dir) if artifact_dir.is_dir() else {}
     failures: List[str] = []
+    missing: List[str] = []
+    rows: List[Dict] = []
+    if baseline and not current:
+        missing.append(
+            f"no benchmark artifacts at all in {artifact_dir} — the "
+            f"benchmarks did not run, or crashed before writing JSON")
+        return failures, missing, rows
+
+    def row(name, metric, kind, baseline_value, value, floor, status):
+        rows.append({"benchmark": name, "metric": metric, "kind": kind,
+                     "baseline": baseline_value, "current": value,
+                     "floor": floor, "status": status})
+
     for name, reference in sorted(baseline.items()):
         record = current.get(name)
         if record is None:
-            print(f"note: benchmark {name!r} not in this run; skipped")
+            if allow_missing:
+                print(f"note: benchmark {name!r} not in this run; skipped")
+                row(name, "-", "-", None, None, None, "skipped (not run)")
+            else:
+                missing.append(
+                    f"benchmark {name!r} is in the baseline but produced no "
+                    f"fresh artifact (crashed before writing JSON, or not "
+                    f"selected — pass --allow-missing for partial runs)")
+                row(name, "-", "-", None, None, None, "MISSING")
             continue
-        if not _speedup_gate_enforced(record):
+        gate_enforced = _speedup_gate_enforced(record)
+        if not gate_enforced:
             print(f"note: {name!r} ran with its speedup gate disabled on "
                   f"this machine; speedup ratios recorded, not checked")
-        else:
-            current_speedups = dict(_speedup_metrics(record))
-            for metric, floor_value in _speedup_metrics(reference):
-                value = current_speedups.get(metric)
-                if value is None:
-                    failures.append(f"{name}: tracked metric {metric!r} "
-                                    f"disappeared from the artifact")
-                elif value < floor_value * (1.0 - tolerance):
-                    failures.append(
-                        f"{name}: {metric} regressed to {value:.3f} "
-                        f"(baseline {floor_value:.3f}, floor "
-                        f"{floor_value * (1.0 - tolerance):.3f})")
+        current_speedups = dict(_speedup_metrics(record))
+        for metric, floor_value in _speedup_metrics(reference):
+            value = current_speedups.get(metric)
+            floor = floor_value * (1.0 - tolerance)
+            if not gate_enforced:
+                row(name, metric, "speedup", floor_value, value, None,
+                    "not gated (machine)")
+            elif value is None:
+                failures.append(f"{name}: tracked metric {metric!r} "
+                                f"disappeared from the artifact")
+                row(name, metric, "speedup", floor_value, None, floor,
+                    "MISSING METRIC")
+            elif value < floor:
+                failures.append(
+                    f"{name}: {metric} regressed to {value:.3f} "
+                    f"(baseline {floor_value:.3f}, floor {floor:.3f})")
+                row(name, metric, "speedup", floor_value, value, floor,
+                    "REGRESSION")
+            else:
+                row(name, metric, "speedup", floor_value, value, floor, "ok")
         current_recalls = dict(_recall_metrics(record))
         gate = record.get("gate") if isinstance(record.get("gate"), dict) else {}
         for metric, baseline_value in _recall_metrics(reference):
@@ -158,11 +207,61 @@ def check(baseline_path: Path, artifact_dir: Path, tolerance: float,
             if value is None:
                 failures.append(f"{name}: tracked metric {metric!r} "
                                 f"disappeared from the artifact")
+                row(name, metric, "recall", baseline_value, None, floor,
+                    "MISSING METRIC")
             elif value < floor:
                 failures.append(
                     f"{name}: {metric} regressed to {value:.3f} "
                     f"(baseline {baseline_value:.3f}, floor {floor:.3f})")
-    return failures
+                row(name, metric, "recall", baseline_value, value, floor,
+                    "REGRESSION")
+            else:
+                row(name, metric, "recall", baseline_value, value, floor,
+                    "ok")
+    return failures, missing, rows
+
+
+def check(baseline_path: Path, artifact_dir: Path, tolerance: float,
+          recall_tolerance: float = 0.05,
+          allow_missing: bool = False) -> List[str]:
+    """All failure messages (regressions + missing) for the current run."""
+    failures, missing, _ = compare(baseline_path, artifact_dir, tolerance,
+                                   recall_tolerance, allow_missing)
+    return failures + missing
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.3f}" if isinstance(value, float) else str(value)
+
+
+def render_markdown(rows: List[Dict], failures: List[str],
+                    missing: List[str]) -> str:
+    """The comparison table as GitHub-flavored markdown (step summaries)."""
+    lines = ["### Benchmark trajectory vs committed baseline", ""]
+    if rows:
+        lines += ["| Benchmark | Metric | Kind | Baseline | Current | Floor "
+                  "| Status |",
+                  "|---|---|---|---|---|---|---|"]
+        for entry in rows:
+            status = entry["status"]
+            marker = ("✅" if status == "ok"
+                      else "❌" if "REGRESSION" in status or "MISSING" in status
+                      else "⏭️")
+            lines.append(
+                f"| {entry['benchmark']} | {entry['metric']} "
+                f"| {entry['kind']} | {_format_value(entry['baseline'])} "
+                f"| {_format_value(entry['current'])} "
+                f"| {_format_value(entry['floor'])} | {marker} {status} |")
+    else:
+        lines.append("_no tracked metrics compared_")
+    if failures or missing:
+        lines += ["", "**Failures:**", ""]
+        lines += [f"- `{message}`" for message in failures + missing]
+    else:
+        lines += ["", "All tracked metrics within tolerance."]
+    return "\n".join(lines) + "\n"
 
 
 def main(argv=None) -> int:
@@ -176,6 +275,13 @@ def main(argv=None) -> int:
                         help="allowed relative drop of speedup ratios")
     parser.add_argument("--recall-tolerance", type=float, default=0.05,
                         help="allowed absolute drop of parity recalls")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="skip baseline records with no fresh artifact "
+                             "(deliberate partial local runs) instead of "
+                             "failing with exit code 2")
+    parser.add_argument("--summary", type=Path, default=None,
+                        help="append a markdown comparison table to this "
+                             "file (point at $GITHUB_STEP_SUMMARY in CI)")
     args = parser.parse_args(argv)
 
     if args.command == "consolidate":
@@ -184,13 +290,21 @@ def main(argv=None) -> int:
               f"record(s) into {args.baseline}")
         return 0
 
-    failures = check(args.baseline, args.artifacts, args.tolerance,
-                     args.recall_tolerance)
+    failures, missing, rows = compare(args.baseline, args.artifacts,
+                                      args.tolerance, args.recall_tolerance,
+                                      args.allow_missing)
+    if args.summary is not None:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write(render_markdown(rows, failures, missing))
     for message in failures:
         print(f"REGRESSION: {message}", file=sys.stderr)
-    if not failures:
+    for message in missing:
+        print(f"MISSING: {message}", file=sys.stderr)
+    if not failures and not missing:
         print("benchmark trajectory within tolerance of the baseline")
-    return 1 if failures else 0
+    if failures:
+        return 1
+    return 2 if missing else 0
 
 
 if __name__ == "__main__":
