@@ -10,6 +10,7 @@ claim (the four-week run is a matter of looping the same harness).
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from pathlib import Path
@@ -20,6 +21,37 @@ from repro.datasets import DatasetConfig, generate_abilene_dataset
 
 #: Seed used by every benchmark so the reported numbers are reproducible.
 BENCHMARK_SEED = 2004
+
+#: The committed perf trajectory (see ``tools/bench_trajectory.py``).
+TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_streaming.json"
+
+#: Safety margin applied to a measured speedup before it becomes a floor.
+FLOOR_MARGIN = 0.8
+
+
+def trajectory_floor(benchmark_name: str, metric: str, default: float) -> float:
+    """Speedup floor self-baselined from the committed trajectory.
+
+    When the committed ``BENCH_streaming.json`` record for *benchmark_name*
+    was measured with its gate **enforced** (a real multi-core box, no
+    ``*_NO_GATE`` escape hatch), the floor is the measured ratio scaled by
+    :data:`FLOOR_MARGIN` — so the gate tightens automatically once a
+    trustworthy measurement is committed, instead of trusting a hand-picked
+    constant forever.  Otherwise (no trajectory, record missing, or the
+    committed number came from an un-baselined machine) *default* applies.
+    The floor never drops below *default*.
+    """
+    try:
+        record = json.loads(TRAJECTORY_PATH.read_text())[
+            "benchmarks"][benchmark_name]
+    except (OSError, KeyError, ValueError):
+        return default
+    gate = record.get("gate")
+    measured = record.get(metric)
+    if (isinstance(gate, dict) and gate.get("enforced")
+            and isinstance(measured, (int, float))):
+        return max(default, round(FLOOR_MARGIN * float(measured), 3))
+    return default
 
 
 def artifact_path(filename: str) -> Path:

@@ -28,9 +28,11 @@ detects in one shot; this package turns that into an online system:
 7. :mod:`repro.streaming.checkpoint` persists the full detector state
    (npz + JSON manifest) so a restarted detector resumes mid-stream with
    the identical remaining event list;
-8. :mod:`repro.streaming.parallel` drives the per-type detectors in worker
-   processes behind bounded (backpressure-aware) queues, scaling the
-   three-type pipeline past one core with an unchanged event list;
+8. :mod:`repro.streaming.parallel` drives detection in worker processes
+   over the zero-copy shared-memory chunk bus (:mod:`repro.streaming.bus`)
+   — type-parallel or shard-parallel (one column shard of every detector
+   per worker, so speedup follows the worker count) — with an unchanged
+   event list and backpressure at both the queue and the ring;
 9. :mod:`repro.streaming.low_rank` maintains only the top-``r`` eigenpairs
    via Brand-style rank-``m`` secular updates (``StreamingConfig(engine=
    "lowrank")``), killing the ``O(p³)`` eigh on the recalibration hot path
@@ -42,10 +44,21 @@ detects in one shot; this package turns that into an online system:
     (``StreamingConfig(limits="adaptive")``) — warm-up period, clamped
     drift rate, freeze-on-alarm — so non-stationary weeks are thresholded
     against the recent clean-statistic tail instead of the lagging
-    parametric limits.
+    parametric limits;
+11. :mod:`repro.streaming.hierarchy` aggregates per-PoP ingestion leaves
+    into one global detector by merging **models** instead of shipping
+    raw data — event-identical to the flat run, and checkpointable as the
+    merged flat state.
 """
 
 from repro.streaming.adaptive_limits import AdaptiveControlLimits
+from repro.streaming.bus import (
+    ChunkBusHandle,
+    ChunkBusReader,
+    ChunkBusWriter,
+    SlotDescriptor,
+    chunk_slot_bytes,
+)
 from repro.streaming.config import StreamingConfig, forgetting_from_half_life
 from repro.streaming.online_pca import OnlinePCA, eigh_descending
 from repro.streaming.low_rank import (
@@ -55,6 +68,7 @@ from repro.streaming.low_rank import (
 )
 from repro.streaming.sharding import (
     ShardedOnlinePCA,
+    ShardWorkerMoments,
     merge_online_pca,
     partition_columns,
 )
@@ -66,7 +80,12 @@ from repro.streaming.detector import (
     make_engine,
     make_limits_policy,
 )
-from repro.streaming.sources import ChunkedSeriesSource, TrafficChunk, chunk_series
+from repro.streaming.sources import (
+    AsyncChunkSource,
+    ChunkedSeriesSource,
+    TrafficChunk,
+    chunk_series,
+)
 from repro.streaming.aggregator import OnlineEventAggregator
 from repro.streaming.pipeline import (
     StreamingNetworkDetector,
@@ -79,6 +98,7 @@ from repro.streaming.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from repro.streaming.hierarchy import HierarchicalNetworkDetector
 from repro.streaming.parallel import parallel_stream_detect
 
 __all__ = [
@@ -91,8 +111,14 @@ __all__ = [
     "compress_engine",
     "merge_low_rank",
     "ShardedOnlinePCA",
+    "ShardWorkerMoments",
     "merge_online_pca",
     "partition_columns",
+    "ChunkBusHandle",
+    "ChunkBusReader",
+    "ChunkBusWriter",
+    "SlotDescriptor",
+    "chunk_slot_bytes",
     "SubspaceSnapshot",
     "StreamDetection",
     "ChunkDetections",
@@ -101,6 +127,7 @@ __all__ = [
     "make_limits_policy",
     "TrafficChunk",
     "ChunkedSeriesSource",
+    "AsyncChunkSource",
     "chunk_series",
     "OnlineEventAggregator",
     "StreamingNetworkDetector",
@@ -110,5 +137,6 @@ __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "save_checkpoint",
     "load_checkpoint",
+    "HierarchicalNetworkDetector",
     "parallel_stream_detect",
 ]

@@ -60,6 +60,13 @@ def save_checkpoint(detector: StreamingNetworkDetector,
                     directory: Union[str, Path]) -> Path:
     """Write *detector*'s complete state into *directory*.
 
+    *detector* may also be any object exposing ``to_network_detector()``
+    (e.g. a :class:`~repro.streaming.hierarchy.HierarchicalNetworkDetector`):
+    the checkpoint then persists the **merged** flat state, so every
+    checkpoint on disk — flat, shard-parallel, or hierarchical — has one
+    format and restores through :func:`load_checkpoint` into an ordinary
+    single-process detector.
+
     The directory is created if needed.  Overwriting an existing checkpoint
     is crash-consistent: the arrays land under a content-addressed name
     (``state-<digest>.npz``) that never clobbers the previous save, the
@@ -72,6 +79,8 @@ def save_checkpoint(detector: StreamingNetworkDetector,
     """
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
+    if hasattr(detector, "to_network_detector"):
+        detector = detector.to_network_detector()
     state = detector.state_dict()
     arrays = state["arrays"]
 

@@ -99,6 +99,27 @@ class StreamingConfig:
         effective limit: statistic values above it are treated as
         anomalies and excluded from the quantile; values below it are
         treated as drift and tracked.
+    parallel_mode:
+        How :func:`~repro.streaming.parallel.parallel_stream_detect`
+        distributes work.  ``"type"`` (the default) runs one detector per
+        traffic type per worker — simple, but speedup saturates at the
+        number of traffic types; ``"shard"`` gives every worker one column
+        shard of **every** detector over a shared-memory chunk bus, so
+        speedup follows the worker count instead.
+    bus_slots:
+        Ring length of the shared-memory chunk bus (shard mode): how many
+        chunks may be in flight before the writer blocks on the readers —
+        the bus-side backpressure window, in chunks.
+    poll_seconds:
+        Liveness-poll cadence of the multi-process drivers: the longest a
+        blocked feed/drain waits before re-checking worker health.  Worker
+        *death* wakes the driver immediately through its process sentinel
+        regardless of this value (see :mod:`repro.streaming.parallel`).
+    n_pops:
+        Default leaf count of the hierarchical detector
+        (:class:`~repro.streaming.hierarchy.HierarchicalNetworkDetector`):
+        how many per-PoP ingestion detectors feed the global one.  ``1``
+        collapses the hierarchy to a flat run.
     """
 
     n_normal: int = 4
@@ -120,6 +141,10 @@ class StreamingConfig:
     adaptive_max_drift: float = 0.05
     adaptive_block_bins: int = 32
     adaptive_freeze_factor: float = 4.0
+    parallel_mode: str = "type"
+    bus_slots: int = 8
+    poll_seconds: float = 1.0
+    n_pops: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "t2_scaling", T2Scaling(self.t2_scaling))
@@ -150,6 +175,11 @@ class StreamingConfig:
                 "adaptive_block_bins must be >= 1")
         require(self.adaptive_freeze_factor > 1.0,
                 "adaptive_freeze_factor must be > 1")
+        require(self.parallel_mode in ("type", "shard"),
+                "parallel_mode must be 'type' or 'shard'")
+        require(self.bus_slots >= 2, "bus_slots must be >= 2")
+        require(self.poll_seconds > 0.0, "poll_seconds must be positive")
+        require(self.n_pops >= 1, "n_pops must be >= 1")
         require(not (self.engine == "lowrank" and self.n_shards > 1),
                 "column sharding shards the exact scatter matrix and cannot "
                 "be combined with the low-rank engine; ingest sharded and "

@@ -266,6 +266,17 @@ class StreamingSubspaceDetector:
         """Stream-global index of the next expected bin."""
         return self._next_bin
 
+    def advance_to(self, next_bin: int) -> None:
+        """Record the stream position without ingesting or detecting.
+
+        Used by drivers that split training and detection across objects
+        (the hierarchical global detector detects chunks its *leaves*
+        ingested), so a later checkpoint carries the true position.
+        """
+        require(next_bin >= self._next_bin,
+                "the stream position can only move forward")
+        self._next_bin = int(next_bin)
+
     # ------------------------------------------------------------------ #
     # training
     # ------------------------------------------------------------------ #
@@ -316,7 +327,14 @@ class StreamingSubspaceDetector:
         self._bins_at_calibration = engine.n_bins_seen
         return self._snapshot
 
-    def _maybe_calibrate(self) -> None:
+    def maybe_calibrate(self) -> None:
+        """Recalibrate when due: trainable and past the refresh cadence.
+
+        The cadence check drivers share — the in-process ``process_chunk``,
+        the shard-parallel coordinator, and the hierarchical global
+        detector all call this after new bins land in the engine, so their
+        snapshots refresh at the identical stream positions.
+        """
         if not self._trainable():
             return
         stale = (self._engine.n_bins_seen - self._bins_at_calibration
@@ -430,7 +448,7 @@ class StreamingSubspaceDetector:
         matrix = ensure_2d(chunk, "chunk")
         start = self._next_bin if start_bin is None else start_bin
         self.ingest(matrix)
-        self._maybe_calibrate()
+        self.maybe_calibrate()
         if self._snapshot is None:
             result = ChunkDetections(start_bin=start, n_bins=matrix.shape[0],
                                      warmup=True)

@@ -1,45 +1,70 @@
-"""Bounded-queue multi-process driver for the 3-type streaming pipeline.
+"""Multi-process streaming drivers over the shared-memory chunk bus.
 
 :func:`parallel_stream_detect` scales
-:func:`~repro.streaming.pipeline.stream_detect` past one core by running
-the per-traffic-type :class:`StreamingSubspaceDetector`s in worker
-processes while the main process keeps the one inherently sequential piece
-— in-order event fusion through the
-:class:`~repro.streaming.aggregator.OnlineEventAggregator`:
+:func:`~repro.streaming.pipeline.stream_detect` past one core.  Both modes
+move chunk payloads through the zero-copy
+:class:`~repro.streaming.bus.ChunkBusWriter` ring (one serialize per chunk,
+``K`` read-only views) instead of pickling matrices into every worker
+queue, and both are bound by the same rule: **they may only change
+wall-clock time, never an event**.
 
-* each worker owns one or more traffic types (a detector per type stays in
-  one process for its whole life, so its moment state never crosses a
-  process boundary mid-stream);
-* every worker input queue is **bounded** (``queue_depth`` chunks), so a
-  slow worker exerts backpressure on the feeding loop instead of letting
-  chunks pile up unboundedly — memory stays ``O(queue_depth)`` chunks;
-* the main process fuses per-type results strictly in chunk order, so the
-  emitted event list is **identical** to the single-process
-  ``stream_detect`` run (enforced by ``tests/test_streaming_parallel.py``).
+* ``mode="type"`` — each worker owns one or more traffic types; a type's
+  detector lives in one process for its whole life, and the main process
+  fuses per-type results strictly in chunk order.  Simple, but the speedup
+  saturates at the number of traffic types (3 for the paper's pipeline).
+* ``mode="shard"`` — each worker owns one **column shard**
+  (:func:`~repro.streaming.sharding.partition_columns`) of *every*
+  per-type detector and maintains its ``|cols| x p`` scatter row block
+  (:class:`~repro.streaming.sharding.ShardWorkerMoments`); the coordinator
+  keeps the cheap ``O(m p)`` scalar moments plus detection/fusion, and
+  assembles the worker blocks into the full scatter only at calibration
+  time (a collect barrier).  The heavy ``O(m p²)`` scatter GEMM — the
+  throughput cap — is split ``1/K``, so speedup follows the worker count
+  instead of the traffic-type count.
 
-Per-type detection is deterministic and workers do not interact, so the
-only parallelism-visible effect is wall-clock time.
+Backpressure exists at two layers: every worker input queue is bounded
+(``queue_depth`` control messages) and the bus ring itself blocks the
+writer once ``config.bus_slots`` chunks are in flight — memory stays
+``O(bus_slots)`` chunks no matter how slow a worker is.
+
+Liveness: a blocked feed or drain waits on the workers' process
+**sentinels** (:func:`multiprocessing.connection.wait`), so a dead worker
+wakes the driver immediately; ``poll_seconds`` (a
+:class:`~repro.streaming.config.StreamingConfig` knob) only caps how long
+a fully idle wait sleeps between health re-checks.
+
+Per-type/per-shard arithmetic is deterministic and workers do not
+interact, so the only parallelism-visible effect is wall-clock time —
+enforced by ``tests/test_streaming_parallel.py`` against the
+single-process event list.
 """
 
 from __future__ import annotations
 
 import itertools
 import multiprocessing
+import multiprocessing.connection
+import os
 import queue as queue_module
 import traceback
-from typing import Dict, Iterable, List, Optional, Sequence
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.flows.timeseries import TrafficType
 from repro.streaming.aggregator import OnlineEventAggregator
+from repro.streaming.bus import ChunkBusReader, ChunkBusWriter, chunk_slot_bytes
 from repro.streaming.config import StreamingConfig
 from repro.streaming.detector import ChunkDetections, StreamingSubspaceDetector
+from repro.streaming.online_pca import OnlinePCA, _MomentTracker
 from repro.streaming.pipeline import (
+    StreamingNetworkDetector,
     StreamingReport,
     _dedup_types,
     _fuse_chunk_results,
 )
+from repro.streaming.sharding import ShardWorkerMoments
 from repro.streaming.sources import TrafficChunk
 from repro.utils.validation import require
 
@@ -49,7 +74,13 @@ __all__ = ["parallel_stream_detect"]
 _STOP = None
 #: First element of a result tuple carrying a worker traceback.
 _ERROR = "__error__"
-#: Seconds the result loop waits before re-checking worker liveness.
+#: Message kinds of the shard-mode control protocol.
+_MSG_CHUNK = "chunk"
+_MSG_COLLECT = "collect"
+_BLOCKS = "__blocks__"
+#: Default seconds an idle wait sleeps before re-checking worker liveness
+#: (overridable via ``StreamingConfig.poll_seconds`` / ``poll_seconds=``;
+#: worker death wakes every wait immediately through its sentinel).
 _POLL_SECONDS = 1.0
 
 
@@ -67,82 +98,364 @@ class _ChunkSpan:
         return self.start_bin + self.n_bins
 
 
-def _type_worker(config: StreamingConfig, in_queue, out_queue) -> None:
-    """Process chunks for the traffic types routed to this worker."""
+def _restricted_chunk(chunk: TrafficChunk,
+                      types: Sequence[TrafficType]) -> TrafficChunk:
+    """*chunk* narrowed to the analyzed types (no matrix copies)."""
+    if list(chunk.matrices.keys()) == list(types):
+        return chunk
+    return TrafficChunk(start_bin=chunk.start_bin,
+                        matrices={t: chunk.matrix(t) for t in types})
+
+
+# --------------------------------------------------------------------- #
+# worker loops
+# --------------------------------------------------------------------- #
+def _type_worker(config: StreamingConfig, own_types: Sequence[str],
+                 bus_handle, in_queue, out_queue) -> None:
+    """Process the traffic types routed to this worker, off the bus."""
+    reader = ChunkBusReader(bus_handle)
     detectors: Dict[str, StreamingSubspaceDetector] = {}
     try:
         while True:
             item = in_queue.get()
             if item is _STOP:
                 return
-            chunk_index, type_value, start_bin, matrix = item
-            detector = detectors.get(type_value)
-            if detector is None:
-                detector = StreamingSubspaceDetector(config)
-                detectors[type_value] = detector
-            result = detector.process_chunk(matrix, start_bin)
-            out_queue.put((chunk_index, type_value, result))
+            chunk_index, descriptor = item
+            views = reader.map(descriptor)
+            try:
+                for type_value in own_types:
+                    detector = detectors.get(type_value)
+                    if detector is None:
+                        detector = StreamingSubspaceDetector(config)
+                        detectors[type_value] = detector
+                    result = detector.process_chunk(views[type_value],
+                                                    descriptor.start_bin)
+                    out_queue.put((chunk_index, type_value, result))
+            finally:
+                # Views alias the shared slot: drop them before releasing so
+                # reader.close() never sees exported buffers.
+                views = None
+            reader.release(descriptor)
     except BaseException:  # noqa: BLE001 - forwarded verbatim to the driver
         out_queue.put((_ERROR, traceback.format_exc()))
         # Keep draining so the feeder's bounded put never blocks forever on
-        # a full queue; the driver raises once it sees the _ERROR message.
+        # a full queue; the driver raises once it sees the _ERROR message
+        # (an errored worker stops releasing bus slots, so a writer blocked
+        # on the ring is woken by its alive_check seeing the error).
         while in_queue.get() is not _STOP:
+            pass
+    finally:
+        try:
+            reader.close()
+        except BufferError:  # pragma: no cover - a live view on error paths
             pass
 
 
-class _WorkerPool:
-    """The worker processes plus their bounded input queues."""
+def _shard_worker(shard_index: int, n_shards: int, forgetting: float,
+                  bus_handle, in_queue, out_queue) -> None:
+    """Maintain this worker's column shard of every per-type engine."""
+    reader = ChunkBusReader(bus_handle)
+    engines: Dict[str, ShardWorkerMoments] = {}
+    try:
+        while True:
+            message = in_queue.get()
+            if message is _STOP:
+                return
+            kind = message[0]
+            if kind == _MSG_CHUNK:
+                descriptor = message[1]
+                views = reader.map(descriptor)
+                view = None
+                try:
+                    for type_value, view in views.items():
+                        engine = engines.get(type_value)
+                        if engine is None:
+                            engine = ShardWorkerMoments(shard_index, n_shards,
+                                                        forgetting)
+                            engines[type_value] = engine
+                        engine.partial_fit(view)
+                finally:
+                    views = view = None
+                reader.release(descriptor)
+            else:  # _MSG_COLLECT
+                _, collect_id, type_value = message
+                engine = engines.get(type_value)
+                payload = (None if engine is None or engine.n_features is None
+                           else (engine.columns, engine.block))
+                out_queue.put((_BLOCKS, collect_id, shard_index, type_value,
+                               payload))
+    except BaseException:  # noqa: BLE001 - forwarded verbatim to the driver
+        out_queue.put((_ERROR, traceback.format_exc()))
+        while in_queue.get() is not _STOP:
+            pass
+    finally:
+        try:
+            reader.close()
+        except BufferError:  # pragma: no cover - a live view on error paths
+            pass
 
-    def __init__(self, types: Sequence[TrafficType], config: StreamingConfig,
-                 n_workers: int, queue_depth: int, context) -> None:
-        self.n_workers = max(1, min(n_workers, len(types)))
+
+# --------------------------------------------------------------------- #
+# worker pools
+# --------------------------------------------------------------------- #
+class _PoolBase:
+    """Processes + bounded control queues + the shared chunk bus.
+
+    Owns the liveness/wakeup machinery both drivers share: every blocking
+    wait (queue put, result receive, bus-slot wait) is woken immediately by
+    a dying worker's process sentinel instead of sleeping out a fixed poll
+    interval, and every wake first surfaces any worker traceback sitting in
+    the result queue.
+    """
+
+    def __init__(self, n_workers: int, queue_depth: int, poll_seconds: float,
+                 context, slot_bytes: int, bus_slots: int) -> None:
+        self.n_workers = n_workers
+        self.poll_seconds = poll_seconds
+        self.bus = ChunkBusWriter(slot_bytes, bus_slots, n_workers, context)
         self.out_queue = context.Queue()
         self.in_queues = [context.Queue(maxsize=queue_depth)
-                          for _ in range(self.n_workers)]
-        # Round-robin type -> worker; a type never migrates between workers.
-        self.queue_of = {t: self.in_queues[i % self.n_workers]
-                         for i, t in enumerate(types)}
+                          for _ in range(n_workers)]
+        self.processes: List = []
+        # Non-error messages consumed while scanning for failures are
+        # buffered here and served to receive() first, in arrival order.
+        self._stray: deque = deque()
+
+    def _spawn(self, context, target, per_worker_args) -> None:
         self.processes = [
-            context.Process(target=_type_worker,
-                            args=(config, in_queue, self.out_queue),
-                            daemon=True)
-            for in_queue in self.in_queues
+            context.Process(target=target, args=args, daemon=True)
+            for args in per_worker_args
         ]
         for process in self.processes:
             process.start()
 
-    def send(self, traffic_type: TrafficType, item) -> None:
-        self._put(self.queue_of[traffic_type], item)
+    # ---------------- liveness ---------------- #
+    def _live_sentinels(self) -> List:
+        return [p.sentinel for p in self.processes if p.is_alive()]
 
-    def send_stop(self) -> None:
-        for in_queue in self.in_queues:
-            self._put(in_queue, _STOP)
+    def check_alive(self, strict: bool = False) -> None:
+        """Raise if a worker died; *strict* also rejects clean exits.
 
-    def _put(self, in_queue, item) -> None:
-        # Bounded put with a liveness check so a hard-killed worker (whose
-        # queue stays full and is never drained) fails the driver instead
-        # of deadlocking it; workers that die with an exception keep
-        # draining their queue, so this loop terminates for them too.
-        while True:
-            try:
-                in_queue.put(item, timeout=_POLL_SECONDS)
-                return
-            except queue_module.Full:
-                self.check_alive()
-
-    def check_alive(self) -> None:
+        A clean (exit code 0) worker death is only legal after ``_STOP``;
+        a feeder still delivering work treats it as a failure too.
+        """
         for process in self.processes:
-            if not process.is_alive() and process.exitcode not in (0, None):
+            if process.is_alive():
+                continue
+            if process.exitcode not in (0, None):
                 raise RuntimeError(
                     f"streaming worker died with exit code {process.exitcode}")
+            if strict:
+                raise RuntimeError(
+                    "streaming worker exited before the end of the stream")
+
+    def check_failure(self, strict: bool = False) -> None:
+        """Surface a worker traceback or abnormal death without blocking."""
+        while True:
+            try:
+                message = self.out_queue.get_nowait()
+            except queue_module.Empty:
+                break
+            if message[0] == _ERROR:
+                raise RuntimeError(f"streaming worker failed:\n{message[1]}")
+            self._stray.append(message)
+        self.check_alive(strict=strict)
+
+    # ---------------- sending ---------------- #
+    def put(self, in_queue, item) -> None:
+        """Bounded put that wakes on worker death instead of deadlocking."""
+        while True:
+            try:
+                in_queue.put_nowait(item)
+                return
+            except queue_module.Full:
+                # Sleep until a worker dies (sentinel) or the poll cadence
+                # elapses, then surface failures and retry; the queue
+                # draining has no event of its own, so the poll bounds the
+                # retry latency for the healthy-but-slow case.
+                multiprocessing.connection.wait(self._live_sentinels(),
+                                                timeout=self.poll_seconds)
+                self.check_failure(strict=True)
+
+    def broadcast(self, item) -> None:
+        for in_queue in self.in_queues:
+            self.put(in_queue, item)
+
+    def send_stop(self) -> None:
+        self.broadcast(_STOP)
+
+    # ---------------- receiving ---------------- #
+    def receive(self, block: bool):
+        """One worker message, or ``None`` when non-blocking and idle.
+
+        Raises the forwarded traceback of a failed worker.  Blocking waits
+        listen on the result pipe *and* every live worker sentinel, so both
+        data arrival and worker death wake the driver immediately.
+        """
+        if self._stray:
+            return self._stray.popleft()
+        reader = getattr(self.out_queue, "_reader", None)
+        while True:
+            try:
+                message = self.out_queue.get_nowait()
+            except queue_module.Empty:
+                if not block:
+                    return None
+                if reader is None:  # pragma: no cover - platform fallback
+                    try:
+                        message = self.out_queue.get(timeout=self.poll_seconds)
+                    except queue_module.Empty:
+                        self.check_alive()
+                        continue
+                else:
+                    ready = multiprocessing.connection.wait(
+                        [reader] + self._live_sentinels(),
+                        timeout=self.poll_seconds)
+                    if reader not in ready:
+                        # Timeout or a sentinel fired: re-check health,
+                        # then retry the non-blocking get.
+                        self.check_alive()
+                    continue
+            if message[0] == _ERROR:
+                raise RuntimeError(f"streaming worker failed:\n{message[1]}")
+            return message
+
+    # ---------------- teardown ---------------- #
+    def publish(self, chunk: TrafficChunk):
+        """Publish *chunk* on the bus, surfacing worker failures meanwhile."""
+        return self.bus.publish(
+            chunk,
+            alive_check=lambda: self.check_failure(strict=True),
+            poll_seconds=self.poll_seconds)
 
     def shutdown(self, force: bool = False) -> None:
-        for process in self.processes:
-            if force and process.is_alive():
-                process.terminate()
-            process.join(timeout=30)
+        try:
+            for process in self.processes:
+                if force and process.is_alive():
+                    process.terminate()
+                process.join(timeout=30)
+        finally:
+            self.bus.close()
 
 
+class _TypeWorkerPool(_PoolBase):
+    """One worker per group of traffic types (mode="type")."""
+
+    def __init__(self, types: Sequence[TrafficType], config: StreamingConfig,
+                 n_workers: int, queue_depth: int, poll_seconds: float,
+                 context, slot_bytes: int) -> None:
+        n_workers = max(1, min(n_workers, len(types)))
+        super().__init__(n_workers, queue_depth, poll_seconds, context,
+                         slot_bytes, config.bus_slots)
+        # Round-robin type -> worker; a type never migrates between workers.
+        own_types: List[List[str]] = [[] for _ in range(n_workers)]
+        for i, traffic_type in enumerate(types):
+            own_types[i % n_workers].append(traffic_type.value)
+        handle = self.bus.handle()
+        self._spawn(context, _type_worker, [
+            (config, own_types[i], handle, self.in_queues[i], self.out_queue)
+            for i in range(n_workers)
+        ])
+
+
+class _ShardWorkerPool(_PoolBase):
+    """One worker per column shard of every detector (mode="shard")."""
+
+    def __init__(self, config: StreamingConfig, n_workers: int,
+                 queue_depth: int, poll_seconds: float, context,
+                 slot_bytes: int) -> None:
+        super().__init__(n_workers, queue_depth, poll_seconds, context,
+                         slot_bytes, config.bus_slots)
+        self._collect_id = 0
+        handle = self.bus.handle()
+        self._spawn(context, _shard_worker, [
+            (i, n_workers, config.forgetting, handle, self.in_queues[i],
+             self.out_queue)
+            for i in range(n_workers)
+        ])
+
+    def collect_scatter(self, type_value: str, n_features: int) -> np.ndarray:
+        """Barrier-collect the assembled ``p x p`` scatter for one type.
+
+        The collect message queues *behind* every chunk already sent, so
+        the returned blocks cover exactly the bins the coordinator's scalar
+        moments cover — the synchronization that makes calibration-time
+        state identical to the single-process run.
+        """
+        self._collect_id += 1
+        self.broadcast((_MSG_COLLECT, self._collect_id, type_value))
+        scatter = np.empty((n_features, n_features))
+        covered = 0
+        pending = set(range(self.n_workers))
+        while pending:
+            message = self.receive(block=True)
+            kind, collect_id, shard_index, received_type, payload = message
+            require(kind == _BLOCKS and collect_id == self._collect_id
+                    and received_type == type_value,
+                    "out-of-order shard collect reply")
+            pending.discard(shard_index)
+            if payload is not None:
+                columns, block = payload
+                scatter[columns, :] = block
+                covered += columns.size
+        require(covered == n_features,
+                "shard blocks do not cover every scatter row")
+        return scatter
+
+
+class _ShardScatterProxy(_MomentTracker):
+    """Coordinator-side moment engine whose scatter rows live in workers.
+
+    Maintains the exact ``_MomentTracker`` scalar arithmetic locally (mean,
+    weights — ``O(m p)`` per chunk) while the ``O(m p²)`` scatter update
+    happens remotely in the shard workers, which see the identical float64
+    chunk through the bus.  :meth:`covariance` triggers a collect barrier
+    that assembles the worker row blocks — by construction the same matrix
+    a :class:`~repro.streaming.sharding.ShardedOnlinePCA` would assemble
+    in-process, so calibration (and therefore every event) matches the
+    single-process run.
+
+    Serializes as a plain :class:`OnlinePCA` state with the assembled
+    scatter: **checkpointing a distributed run is checkpointing the merged
+    state**, and the checkpoint restores into an ordinary single-process
+    detector.
+    """
+
+    def __init__(self, forgetting: float, type_value: str,
+                 pool: _ShardWorkerPool) -> None:
+        super().__init__(forgetting)
+        self._type_value = type_value
+        self._pool = pool
+
+    def _initialize_scatter(self, n_features: int) -> None:
+        pass  # the scatter lives in the shard workers
+
+    def _apply_scatter_update(self, centered, weights, delta, decay,
+                              outer_coefficient) -> None:
+        pass  # applied remotely by every shard worker from the bus view
+
+    def _collect(self) -> np.ndarray:
+        require(self._n_features is not None, "no data ingested yet")
+        return self._pool.collect_scatter(self._type_value, self._n_features)
+
+    def covariance(self) -> np.ndarray:
+        require(self._weight_sum > 1.0,
+                "need total weight > 1 for a sample covariance")
+        return self._collect() / (self._weight_sum - 1.0)
+
+    def state_dict(self) -> Dict[str, Dict]:
+        """Merged (flat ``OnlinePCA``) state — one collect barrier."""
+        arrays: Dict[str, np.ndarray] = {}
+        if self._n_features is not None:
+            arrays["mean"] = np.array(self._mean, dtype=float)
+            arrays["scatter"] = self._collect()
+        return {"meta": self._scalar_state(OnlinePCA.STATE_KIND),
+                "arrays": arrays}
+
+
+# --------------------------------------------------------------------- #
+# drivers
+# --------------------------------------------------------------------- #
 def parallel_stream_detect(
     chunks: Iterable[TrafficChunk],
     config: StreamingConfig = StreamingConfig(),
@@ -150,28 +463,49 @@ def parallel_stream_detect(
     n_workers: Optional[int] = None,
     queue_depth: int = 4,
     mp_context: Optional[str] = None,
+    mode: Optional[str] = None,
+    poll_seconds: Optional[float] = None,
+    checkpoint_dir: Optional[Union[str, os.PathLike]] = None,
+    checkpoint_every_chunks: Optional[int] = None,
 ) -> StreamingReport:
     """Multi-process live diagnosis over an iterable of chunks.
 
     Parameters
     ----------
     chunks:
-        The chunk stream (consumed once, in order).
+        The chunk stream (consumed once, in order).  Chunks may shrink over
+        the stream (a short tail chunk is fine) but must not grow: the bus
+        ring is sized from the first chunk.
     config:
-        Streaming configuration applied by every per-type detector —
-        including ``n_shards``, so workers can run column-sharded engines.
+        Streaming configuration applied by every detector; also supplies
+        the defaults for *mode* (``parallel_mode``), the bus ring length
+        (``bus_slots``) and *poll_seconds*.
     traffic_types:
         Types to analyze; defaults to the types of the first chunk.
     n_workers:
-        Worker process count (capped at the number of traffic types, since
-        a type's detector must live in exactly one process).  Defaults to
-        one worker per traffic type.
+        Worker process count.  ``mode="type"`` caps it at the number of
+        traffic types (a type's detector must live in exactly one process)
+        and defaults to one worker per type; ``mode="shard"`` defaults to
+        the machine's CPU count and scales past the type count — workers
+        beyond the OD-flow count own empty shards.
     queue_depth:
-        Bound of every worker input queue, in chunks: the backpressure
-        window between the feeding loop and the slowest worker.
+        Bound of every worker input queue, in control messages.
     mp_context:
         Optional :mod:`multiprocessing` start-method name (e.g. ``"spawn"``);
         the platform default is used when ``None``.
+    mode:
+        ``"type"`` or ``"shard"`` (see the module docstring); defaults to
+        ``config.parallel_mode``.
+    poll_seconds:
+        Idle liveness-poll cadence; defaults to ``config.poll_seconds``.
+        Worker death wakes the driver immediately regardless.
+    checkpoint_dir:
+        Shard mode only: when given, the coordinator writes a **merged**
+        (single-process-equivalent) checkpoint of the distributed state
+        there every *checkpoint_every_chunks* chunks — restorable by the
+        ordinary :func:`~repro.streaming.checkpoint.load_checkpoint`.
+    checkpoint_every_chunks:
+        Checkpoint cadence in chunks (requires *checkpoint_dir*).
 
     Returns
     -------
@@ -179,28 +513,56 @@ def parallel_stream_detect(
         Identical (events, detections, counters) to the single-process
         :func:`~repro.streaming.pipeline.stream_detect` on the same stream.
     """
+    mode = config.parallel_mode if mode is None else mode
+    poll = config.poll_seconds if poll_seconds is None else float(poll_seconds)
+    require(mode in ("type", "shard"), "mode must be 'type' or 'shard'")
+    require(poll > 0.0, "poll_seconds must be positive")
     require(queue_depth >= 1, "queue_depth must be >= 1")
     require(n_workers is None or n_workers >= 1,
             "n_workers must be >= 1 when given")
     require(config.identify, "event fusion needs identified OD flows")
+    require((checkpoint_dir is None) == (checkpoint_every_chunks is None),
+            "checkpoint_dir and checkpoint_every_chunks go together")
+    require(checkpoint_every_chunks is None or checkpoint_every_chunks >= 1,
+            "checkpoint_every_chunks must be >= 1 when given")
+    require(checkpoint_dir is None or mode == "shard",
+            "mid-stream checkpointing of a parallel run requires "
+            "mode='shard' (type mode keeps detector state in the workers)")
+    require(mode == "type" or config.engine == "exact",
+            "shard-parallel workers maintain the exact scatter; use "
+            "mode='type' for low-rank engines (or compress after the run "
+            "via compress_engine)")
 
     iterator = iter(chunks)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        return StreamingReport()
     if traffic_types is not None:
         types = _dedup_types(traffic_types)
     else:
-        try:
-            first = next(iterator)
-        except StopIteration:
-            return StreamingReport()
         types = first.traffic_types
-        iterator = itertools.chain([first], iterator)
     require(len(types) >= 1, "at least one traffic type must be analyzed")
+    iterator = itertools.chain([first], iterator)
+    # The ring is sized from the first (largest) chunk's analyzed types.
+    slot_bytes = chunk_slot_bytes(_restricted_chunk(first, types))
 
     context = multiprocessing.get_context(mp_context)
-    pool = _WorkerPool(types, config,
-                       n_workers if n_workers is not None else len(types),
-                       queue_depth, context)
+    if mode == "shard":
+        workers = (n_workers if n_workers is not None
+                   else max(2, os.cpu_count() or 1))
+        pool = _ShardWorkerPool(config, workers, queue_depth, poll, context,
+                                slot_bytes)
+        return _run_shard_mode(iterator, types, config, pool, checkpoint_dir,
+                               checkpoint_every_chunks)
+    pool = _TypeWorkerPool(types, config,
+                           n_workers if n_workers is not None else len(types),
+                           queue_depth, poll, context, slot_bytes)
+    return _run_type_mode(iterator, types, pool)
 
+
+def _run_type_mode(iterator, types: List[TrafficType],
+                   pool: _TypeWorkerPool) -> StreamingReport:
     aggregator = OnlineEventAggregator()
     report = StreamingReport()
     spans: Dict[int, _ChunkSpan] = {}
@@ -209,13 +571,12 @@ def parallel_stream_detect(
     n_chunks = 0
     try:
         for chunk_index, chunk in enumerate(iterator):
-            spans[chunk_index] = _ChunkSpan(chunk.start_bin, chunk.n_bins)
+            narrowed = _restricted_chunk(chunk, types)
+            spans[chunk_index] = _ChunkSpan(narrowed.start_bin,
+                                            narrowed.n_bins)
             n_chunks += 1
-            for traffic_type in types:
-                matrix = np.ascontiguousarray(chunk.matrix(traffic_type))
-                pool.send(traffic_type,
-                          (chunk_index, traffic_type.value, chunk.start_bin,
-                           matrix))
+            descriptor = pool.publish(narrowed)
+            pool.broadcast((chunk_index, descriptor))
             next_to_fuse = _drain(pool, buffered, spans, types, aggregator,
                                   report, next_to_fuse, block=False)
         pool.send_stop()
@@ -231,7 +592,7 @@ def parallel_stream_detect(
 
 
 def _drain(
-    pool: _WorkerPool,
+    pool: _TypeWorkerPool,
     buffered: Dict[int, Dict[TrafficType, ChunkDetections]],
     spans: Dict[int, _ChunkSpan],
     types: List[TrafficType],
@@ -242,18 +603,9 @@ def _drain(
 ) -> int:
     """Collect available worker results; fuse every completed chunk in order."""
     while True:
-        try:
-            if block:
-                message = pool.out_queue.get(timeout=_POLL_SECONDS)
-            else:
-                message = pool.out_queue.get_nowait()
-        except queue_module.Empty:
-            if not block:
-                return next_to_fuse
-            pool.check_alive()
-            continue
-        if message[0] == _ERROR:
-            raise RuntimeError(f"streaming worker failed:\n{message[1]}")
+        message = pool.receive(block=block)
+        if message is None:
+            return next_to_fuse
         chunk_index, type_value, result = message
         buffered.setdefault(chunk_index, {})[TrafficType(type_value)] = result
         # Fuse strictly in order, each chunk only once all types reported.
@@ -268,3 +620,33 @@ def _drain(
         if block:
             # Progress was made; let the caller re-check its exit condition.
             return next_to_fuse
+
+
+def _run_shard_mode(iterator, types: List[TrafficType],
+                    config: StreamingConfig, pool: _ShardWorkerPool,
+                    checkpoint_dir, checkpoint_every_chunks) -> StreamingReport:
+    # The whole single-process pipeline — calibration cadence, detection,
+    # identification, in-order fusion — runs unchanged inside this
+    # coordinator-owned network detector; only the engines differ, farming
+    # the scatter out to the shard workers.
+    network = StreamingNetworkDetector(
+        config, types,
+        engine_factory=lambda t: _ShardScatterProxy(config.forgetting,
+                                                    t.value, pool))
+    try:
+        for chunk_index, chunk in enumerate(iterator):
+            narrowed = _restricted_chunk(chunk, types)
+            descriptor = pool.publish(narrowed)
+            pool.broadcast((_MSG_CHUNK, descriptor))
+            # Scalar moments + (collect-barrier) calibration + detection.
+            network.process_chunk(narrowed)
+            pool.check_failure(strict=True)
+            if (checkpoint_every_chunks is not None
+                    and (chunk_index + 1) % checkpoint_every_chunks == 0):
+                network.save(checkpoint_dir)
+        pool.send_stop()
+        pool.shutdown()
+    except BaseException:
+        pool.shutdown(force=True)
+        raise
+    return network.finish()

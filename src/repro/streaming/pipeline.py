@@ -25,7 +25,7 @@ Two driving modes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -141,6 +141,7 @@ class StreamingNetworkDetector:
         self,
         config: StreamingConfig = StreamingConfig(),
         traffic_types: Optional[Sequence[TrafficType]] = None,
+        engine_factory: Optional[Callable[[TrafficType], object]] = None,
     ) -> None:
         require(config.identify,
                 "event fusion needs identified OD flows; use a config with "
@@ -149,6 +150,11 @@ class StreamingNetworkDetector:
         self._types: Optional[List[TrafficType]] = (
             _dedup_types(traffic_types) if traffic_types is not None else None
         )
+        # Per-type moment-engine override: the distributed drivers hand the
+        # per-type detectors coordinator-side engines (whose scatter lives
+        # in shard workers) while everything else — calibration cadence,
+        # detection, fusion — runs through this class unchanged.
+        self._engine_factory = engine_factory
         self._detectors: Dict[TrafficType, StreamingSubspaceDetector] = {}
         self._aggregator = OnlineEventAggregator()
         self._report = StreamingReport()
@@ -184,16 +190,33 @@ class StreamingNetworkDetector:
             self._types = chunk.traffic_types
         return self._types
 
+    def _detector_for(self, traffic_type: TrafficType) -> StreamingSubspaceDetector:
+        detector = self._detectors.get(traffic_type)
+        if detector is None:
+            engine = (self._engine_factory(traffic_type)
+                      if self._engine_factory is not None else None)
+            detector = StreamingSubspaceDetector(self._config, engine=engine)
+            self._detectors[traffic_type] = detector
+        return detector
+
+    def ingest_chunk(self, chunk: TrafficChunk) -> None:
+        """Fold a chunk into the per-type moment engines without detecting.
+
+        The training-only half of :meth:`process_chunk`: no calibration, no
+        detection, no aggregator advance.  Used to pre-train on history and
+        by the hierarchical driver's per-PoP leaves, whose detection happens
+        at the global level (:mod:`repro.streaming.hierarchy`).
+        """
+        require(not self._finished, "detector already finished")
+        for traffic_type in self._types_for(chunk):
+            self._detector_for(traffic_type).ingest(chunk.matrix(traffic_type))
+
     def process_chunk(self, chunk: TrafficChunk) -> List[AnomalyEvent]:
         """Consume one chunk; return events that closed because of it."""
         require(not self._finished, "detector already finished")
         results: Dict[TrafficType, ChunkDetections] = {}
         for traffic_type in self._types_for(chunk):
-            detector = self._detectors.get(traffic_type)
-            if detector is None:
-                detector = StreamingSubspaceDetector(self._config)
-                self._detectors[traffic_type] = detector
-            results[traffic_type] = detector.process_chunk(
+            results[traffic_type] = self._detector_for(traffic_type).process_chunk(
                 chunk.matrix(traffic_type), chunk.start_bin)
         events = _fuse_chunk_results(results, chunk, self._aggregator,
                                      self._report)

@@ -34,7 +34,8 @@ import numpy as np
 from repro.streaming.online_pca import OnlinePCA, _MomentTracker
 from repro.utils.validation import require
 
-__all__ = ["ShardedOnlinePCA", "merge_online_pca", "partition_columns"]
+__all__ = ["ShardedOnlinePCA", "ShardWorkerMoments", "merge_online_pca",
+           "partition_columns"]
 
 
 def partition_columns(n_features: int, n_shards: int) -> List[np.ndarray]:
@@ -219,6 +220,69 @@ class ShardedOnlinePCA(_MomentTracker):
             engine._shards = shards
         engine._restore_scalars(meta)
         return engine
+
+
+class ShardWorkerMoments(_MomentTracker):
+    """One shard's moments, owned end to end by a remote worker process.
+
+    The distributed driver (:mod:`repro.streaming.parallel`, shard mode)
+    gives each worker process one column shard of **every** per-type
+    detector.  The worker replays the full ``_MomentTracker`` scalar
+    arithmetic locally — the ``O(m p)`` mean/weight bookkeeping is
+    duplicated across workers so no per-chunk scalar messages are needed,
+    and because the arithmetic is deterministic on identical float64 input
+    every worker's scalars agree bit-for-bit with the coordinator's — while
+    storing only its own ``|cols| x p`` row block of the scatter (the
+    ``O(m p²/K)`` share that is the point of the split).
+
+    This is exactly one :class:`_ColumnShard` of a
+    :class:`ShardedOnlinePCA` torn out into its own tracker: stacking the
+    blocks of all ``K`` workers reproduces the single-engine scatter
+    bit-compatibly, which is what the coordinator does at calibration time.
+    """
+
+    def __init__(self, shard_index: int, n_shards: int,
+                 forgetting: float = 1.0) -> None:
+        require(n_shards >= 1, "n_shards must be >= 1")
+        require(0 <= shard_index < n_shards,
+                "shard_index must lie in [0, n_shards)")
+        super().__init__(forgetting)
+        self._shard_index = int(shard_index)
+        self._total_shards = int(n_shards)
+        self._shard: Optional[_ColumnShard] = None
+
+    @property
+    def columns(self) -> np.ndarray:
+        """This shard's owned columns (empty before the first chunk)."""
+        if self._shard is None:
+            return np.empty(0, dtype=int)
+        return self._shard.columns.copy()
+
+    @property
+    def block(self) -> np.ndarray:
+        """The owned ``|cols| x p`` scatter row block (copy)."""
+        require(self._shard is not None, "no data ingested yet")
+        return self._shard.block.copy()
+
+    def _initialize_scatter(self, n_features: int) -> None:
+        partition = partition_columns(n_features, self._total_shards)
+        # More workers than columns: trailing shards own nothing and their
+        # blocks are empty (0 x p) — assembly still covers every row.
+        columns = (partition[self._shard_index]
+                   if self._shard_index < len(partition)
+                   else np.empty(0, dtype=int))
+        self._shard = _ColumnShard(columns, n_features)
+
+    def _apply_scatter_update(self, centered: np.ndarray,
+                              weights: Optional[np.ndarray],
+                              delta: np.ndarray, decay: float,
+                              outer_coefficient: float) -> None:
+        self._shard.update(centered, weights, delta, decay, outer_coefficient)
+
+    def covariance(self) -> np.ndarray:
+        raise NotImplementedError(
+            "a single shard cannot produce the full covariance; assemble "
+            "the blocks of all shards in the coordinator")
 
 
 def merge_online_pca(earlier: OnlinePCA, later: OnlinePCA) -> OnlinePCA:

@@ -1,27 +1,33 @@
 """Chunked stream sources feeding the online detection pipeline.
 
 A stream is any iterable of :class:`TrafficChunk` — a block of consecutive
-timebins carrying aligned matrices for one or more traffic types.  Two
+timebins carrying aligned matrices for one or more traffic types.  Three
 adapters are provided here:
 
 * :func:`chunk_series` / :class:`ChunkedSeriesSource` replay an in-memory
   :class:`~repro.flows.timeseries.TrafficMatrixSeries` as zero-copy chunks
   (the bridge from every existing dataset to the streaming pipeline);
+* :class:`AsyncChunkSource` bridges an :mod:`asyncio` producer (a collector
+  polling routers, a network receive loop) to the synchronous detection
+  drivers, with bounded backpressure and explicit watermarks;
 * :func:`repro.datasets.streaming.synthetic_chunk_stream` (in the datasets
   package) generates an **unbounded** synthetic feed block by block.
 """
 
 from __future__ import annotations
 
+import asyncio
+import queue as queue_module
 from dataclasses import dataclass
-from typing import Iterator, List, Mapping
+from typing import Iterator, List, Mapping, Optional
 
 import numpy as np
 
 from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
 from repro.utils.validation import ensure_2d, require
 
-__all__ = ["TrafficChunk", "ChunkedSeriesSource", "chunk_series"]
+__all__ = ["TrafficChunk", "ChunkedSeriesSource", "AsyncChunkSource",
+           "chunk_series"]
 
 
 @dataclass(frozen=True)
@@ -129,3 +135,130 @@ class ChunkedSeriesSource:
 
     def __iter__(self) -> Iterator[TrafficChunk]:
         return chunk_series(self._series, self._chunk_size, self._start_bin)
+
+
+#: Queue sentinel marking a cleanly closed stream.
+_CLOSED = object()
+
+
+class AsyncChunkSource:
+    """Bridge an :mod:`asyncio` producer to the synchronous chunk drivers.
+
+    The detection drivers (:func:`~repro.streaming.pipeline.stream_detect`,
+    :func:`~repro.streaming.parallel.parallel_stream_detect`) consume a
+    plain iterable; live collectors are naturally asynchronous.  This
+    adapter is both at once — an awaitable sink and a blocking iterator —
+    over one bounded queue:
+
+    * **backpressure**: :meth:`put` suspends the producer coroutine (via an
+      executor thread, never blocking the event loop) while the queue holds
+      *maxsize* chunks, so ingestion lag propagates back to the collector
+      instead of growing an unbounded buffer;
+    * **explicit watermarks**: every accepted chunk must start exactly at
+      :attr:`produced_watermark` (in order, gapless — the contract the
+      online aggregator's event-closing watermark relies on), and
+      :attr:`consumed_watermark` reports how far the consumer got —
+      ``produced - consumed`` is the in-flight backlog in bins;
+    * **failure propagation**: :meth:`abort` carries a producer-side
+      exception to the consumer, which re-raises it instead of silently
+      truncating the stream.
+
+    Typical wiring (consumer on a worker thread, producer on the loop)::
+
+        source = AsyncChunkSource(maxsize=4)
+        report_future = loop.run_in_executor(None, stream_detect, source)
+        async for chunk in collector:
+            await source.put(chunk)
+        await source.aclose()
+        report = await report_future
+    """
+
+    def __init__(self, maxsize: int = 4,
+                 start_bin: Optional[int] = None) -> None:
+        require(maxsize >= 1, "maxsize must be >= 1")
+        require(start_bin is None or start_bin >= 0,
+                "start_bin must be non-negative")
+        self._queue: queue_module.Queue = queue_module.Queue(maxsize)
+        self._produced: Optional[int] = start_bin
+        self._consumed: Optional[int] = start_bin
+        self._closed = False
+        self._error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+    # watermarks
+    # ------------------------------------------------------------------ #
+    @property
+    def produced_watermark(self) -> Optional[int]:
+        """Exclusive end bin of everything accepted so far (``None``: nothing
+        yet and no explicit ``start_bin`` was given)."""
+        return self._produced
+
+    @property
+    def consumed_watermark(self) -> Optional[int]:
+        """Exclusive end bin of everything the consumer iterated past."""
+        return self._consumed
+
+    # ------------------------------------------------------------------ #
+    # producer side
+    # ------------------------------------------------------------------ #
+    def put_sync(self, chunk: TrafficChunk) -> None:
+        """Blocking put with watermark enforcement (thread producers)."""
+        require(not self._closed, "source is closed")
+        require(self._error is None, "source was aborted")
+        require(self._produced is None or chunk.start_bin == self._produced,
+                f"out-of-order chunk: expected start_bin {self._produced}, "
+                f"got {chunk.start_bin} (streams must be in order and "
+                f"gapless)")
+        self._queue.put(chunk)
+        self._produced = chunk.end_bin
+
+    async def put(self, chunk: TrafficChunk) -> None:
+        """Enqueue *chunk*; suspends (without blocking the loop) when full."""
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.put_sync, chunk)
+
+    def close(self) -> None:
+        """Mark the end of the stream (blocking; idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._queue.put(_CLOSED)
+
+    async def aclose(self) -> None:
+        """Async :meth:`close` (suspends while the queue is full)."""
+        await asyncio.get_running_loop().run_in_executor(None, self.close)
+
+    def abort(self, error: BaseException) -> None:
+        """Propagate a producer failure to the consumer (never blocks).
+
+        The consumer re-raises *error* on its next step, before any chunk
+        still sitting in the queue — a failed producer means the stream is
+        incomplete, so buffered data must not be mistaken for a clean tail.
+        """
+        self._error = error
+        self._closed = True
+        try:
+            self._queue.put_nowait(_CLOSED)
+        except queue_module.Full:
+            # The consumer is not blocked on an empty queue; it will see
+            # the error flag before its next get.
+            pass
+
+    # ------------------------------------------------------------------ #
+    # consumer side
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[TrafficChunk]:
+        return self
+
+    def __next__(self) -> TrafficChunk:
+        if self._error is not None:
+            raise self._error
+        item = self._queue.get()
+        if self._error is not None:
+            raise self._error
+        if item is _CLOSED:
+            # Re-enqueue so a second (accidental) iteration also stops
+            # instead of blocking forever.
+            self._queue.put(_CLOSED)
+            raise StopIteration
+        self._consumed = item.end_bin
+        return item

@@ -1,0 +1,126 @@
+"""Tests of the asyncio → synchronous chunk-stream bridge.
+
+``AsyncChunkSource`` must behave exactly like the plain iterable it
+replaces (same chunks, same order ⇒ same report), while enforcing bounded
+backpressure, the in-order/gapless watermark contract, and producer-error
+propagation.
+"""
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.evaluation import event_parity
+from repro.flows.timeseries import TrafficType
+from repro.streaming import (
+    AsyncChunkSource,
+    StreamingConfig,
+    TrafficChunk,
+    stream_detect,
+)
+
+
+def make_chunks(n_chunks=10, n_bins=16, n_flows=6):
+    rng = np.random.default_rng(7)
+    return [TrafficChunk(start_bin=n_bins * i, matrices={
+        TrafficType.BYTES: rng.random((n_bins, n_flows)) + 1.0})
+        for i in range(n_chunks)]
+
+
+def feed_async(source, chunks, error=None):
+    """Run an asyncio producer to completion on a fresh event loop."""
+    async def producer():
+        for chunk in chunks:
+            await source.put(chunk)
+        if error is not None:
+            source.abort(error)
+        else:
+            await source.aclose()
+
+    asyncio.run(producer())
+
+
+class TestBridgeParity:
+    def test_detection_report_matches_plain_iterable(self):
+        chunks = make_chunks()
+        config = StreamingConfig(min_train_bins=64, recalibrate_every_bins=16)
+        baseline = stream_detect(chunks, config)
+
+        source = AsyncChunkSource(maxsize=2)
+        producer = threading.Thread(target=feed_async,
+                                    args=(source, chunks), daemon=True)
+        producer.start()
+        report = stream_detect(source, config)
+        producer.join(timeout=30)
+        assert event_parity(baseline.events, report.events).exact
+        assert report.n_chunks_processed == len(chunks)
+        assert source.consumed_watermark == chunks[-1].end_bin
+        assert source.produced_watermark == chunks[-1].end_bin
+
+    def test_backpressure_bounds_the_producer(self):
+        chunks = make_chunks()
+        source = AsyncChunkSource(maxsize=2)
+        producer = threading.Thread(target=feed_async,
+                                    args=(source, chunks), daemon=True)
+        producer.start()
+        time.sleep(0.5)
+        # No consumer yet: the producer must be parked at the bound, not
+        # done with the whole stream.
+        assert producer.is_alive()
+        assert source.produced_watermark <= chunks[2].end_bin
+        consumed = list(source)
+        producer.join(timeout=30)
+        assert not producer.is_alive()
+        assert len(consumed) == len(chunks)
+        assert [c.start_bin for c in consumed] == \
+            [c.start_bin for c in chunks]
+
+    def test_iteration_after_close_keeps_stopping(self):
+        source = AsyncChunkSource()
+        source.close()
+        assert list(source) == []
+        assert list(source) == []
+
+
+class TestWatermarkContract:
+    def test_gap_is_rejected(self):
+        chunks = make_chunks(n_chunks=3)
+        source = AsyncChunkSource()
+        source.put_sync(chunks[0])
+        with pytest.raises(ValueError, match="out-of-order"):
+            source.put_sync(chunks[2])
+
+    def test_explicit_start_bin_is_enforced(self):
+        source = AsyncChunkSource(start_bin=100)
+        with pytest.raises(ValueError, match="expected start_bin 100"):
+            source.put_sync(make_chunks(n_chunks=1)[0])
+
+    def test_put_after_close_is_rejected(self):
+        source = AsyncChunkSource()
+        source.close()
+        with pytest.raises(ValueError, match="closed"):
+            source.put_sync(make_chunks(n_chunks=1)[0])
+
+
+class TestErrorPropagation:
+    def test_abort_reaches_the_consumer_before_buffered_chunks(self):
+        chunks = make_chunks(n_chunks=2)
+        source = AsyncChunkSource(maxsize=4)
+        source.put_sync(chunks[0])
+        source.abort(RuntimeError("collector lost its session"))
+        with pytest.raises(RuntimeError, match="collector lost"):
+            next(iter(source))
+
+    def test_producer_failure_propagates_through_the_driver(self):
+        chunks = make_chunks(n_chunks=4)
+        source = AsyncChunkSource(maxsize=2)
+        producer = threading.Thread(
+            target=feed_async,
+            args=(source, chunks, RuntimeError("export died")), daemon=True)
+        producer.start()
+        with pytest.raises(RuntimeError, match="export died"):
+            stream_detect(source, StreamingConfig(min_train_bins=64))
+        producer.join(timeout=30)

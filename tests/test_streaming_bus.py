@@ -1,0 +1,181 @@
+"""Unit tests of the shared-memory chunk bus (single-process harness).
+
+The bus is process-agnostic: a reader attaches by segment name, so writer
+and reader can live in one process and the ring/refcount/backpressure
+semantics are exercised directly, without multiprocessing nondeterminism.
+The multi-process behaviour is covered end to end by
+``tests/test_streaming_parallel.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flows.timeseries import TrafficType
+from repro.streaming import (
+    ChunkBusReader,
+    ChunkBusWriter,
+    TrafficChunk,
+    chunk_slot_bytes,
+)
+
+
+def make_chunk(start_bin=0, n_bins=8, n_flows=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return TrafficChunk(start_bin=start_bin, matrices={
+        TrafficType.BYTES: rng.random((n_bins, n_flows)) + 1.0,
+        TrafficType.PACKETS: rng.random((n_bins, n_flows)) + 1.0,
+    })
+
+
+@pytest.fixture()
+def bus():
+    chunk = make_chunk()
+    writer = ChunkBusWriter(chunk_slot_bytes(chunk), n_slots=2, n_readers=1)
+    reader = ChunkBusReader(writer.handle())
+    yield writer, reader, chunk
+    reader.close()
+    writer.close()
+
+
+class TestPublishMap:
+    def test_roundtrip_values_and_keys(self, bus):
+        writer, reader, chunk = bus
+        descriptor = writer.publish(chunk)
+        views = reader.map(descriptor)
+        assert set(views) == {"bytes", "packets"}
+        for traffic_type in (TrafficType.BYTES, TrafficType.PACKETS):
+            np.testing.assert_array_equal(views[traffic_type.value],
+                                          chunk.matrix(traffic_type))
+        views = None
+        reader.release(descriptor)
+
+    def test_views_are_read_only(self, bus):
+        writer, reader, chunk = bus
+        descriptor = writer.publish(chunk)
+        views = reader.map(descriptor)
+        with pytest.raises(ValueError):
+            views["bytes"][0, 0] = 0.0
+        views = None
+        reader.release(descriptor)
+
+    def test_descriptor_carries_stream_position(self, bus):
+        writer, reader, chunk = bus
+        descriptor = writer.publish(chunk)
+        assert descriptor.start_bin == chunk.start_bin
+        assert descriptor.n_bins == chunk.n_bins
+        reader.release(descriptor)
+
+    def test_slots_rotate_round_robin(self, bus):
+        writer, reader, chunk = bus
+        slots = []
+        for i in range(4):
+            descriptor = writer.publish(make_chunk(start_bin=8 * i, seed=i))
+            slots.append(descriptor.slot)
+            views = reader.map(descriptor)
+            np.testing.assert_array_equal(
+                views["bytes"], make_chunk(start_bin=8 * i, seed=i).matrix(
+                    TrafficType.BYTES))
+            views = None
+            reader.release(descriptor)
+        assert slots == [0, 1, 0, 1]
+
+    def test_smaller_tail_chunk_fits(self, bus):
+        writer, reader, chunk = bus
+        tail = make_chunk(start_bin=8, n_bins=3, seed=7)
+        descriptor = writer.publish(tail)
+        views = reader.map(descriptor)
+        np.testing.assert_array_equal(views["bytes"],
+                                      tail.matrix(TrafficType.BYTES))
+        views = None
+        reader.release(descriptor)
+
+    def test_oversized_chunk_is_rejected(self, bus):
+        writer, _, chunk = bus
+        grown = make_chunk(n_bins=chunk.n_bins * 2)
+        with pytest.raises(ValueError, match="size the bus from the largest"):
+            writer.publish(grown)
+
+
+class TestRefcountsAndBackpressure:
+    def test_full_ring_blocks_until_release(self, bus):
+        writer, reader, chunk = bus
+        first = writer.publish(chunk)
+        writer.publish(make_chunk(start_bin=8, seed=1))
+
+        probes = []
+
+        def alive_check():
+            probes.append(True)
+            if len(probes) >= 2:
+                raise TimeoutError("ring still full")
+
+        # Both slots held: the third publish must block and poll the check.
+        with pytest.raises(TimeoutError):
+            writer.publish(make_chunk(start_bin=16, seed=2),
+                           alive_check=alive_check, poll_seconds=0.01)
+        assert probes  # the wait actually polled liveness
+
+        reader.release(first)
+        third = writer.publish(make_chunk(start_bin=16, seed=2),
+                               poll_seconds=0.01)
+        assert third.slot == first.slot  # recycled the freed slot
+        reader.release(third)
+        # Tear down the slot still held by the second publish.
+        reader.release(type(first)(slot=1, start_bin=8, arrays=first.arrays))
+
+    def test_multi_reader_slot_frees_after_last_release(self):
+        chunk = make_chunk()
+        writer = ChunkBusWriter(chunk_slot_bytes(chunk), n_slots=2,
+                                n_readers=3)
+        readers = [ChunkBusReader(writer.handle()) for _ in range(3)]
+        try:
+            descriptor = writer.publish(chunk)
+            for reader in readers[:2]:
+                reader.release(descriptor)
+            # One hold-out left: a wait on full release must still time out.
+            with pytest.raises(TimeoutError):
+                writer.wait_all_released(
+                    alive_check=lambda: (_ for _ in ()).throw(
+                        TimeoutError("held")),
+                    poll_seconds=0.01)
+            readers[2].release(descriptor)
+            writer.wait_all_released(poll_seconds=0.01)
+        finally:
+            for reader in readers:
+                reader.close()
+            writer.close()
+
+    def test_over_release_is_rejected(self, bus):
+        writer, reader, chunk = bus
+        descriptor = writer.publish(chunk)
+        reader.release(descriptor)
+        with pytest.raises(ValueError, match="released more times"):
+            reader.release(descriptor)
+
+
+class TestLifecycle:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChunkBusWriter(slot_bytes=0, n_slots=2, n_readers=1)
+        with pytest.raises(ValueError):
+            ChunkBusWriter(slot_bytes=64, n_slots=1, n_readers=1)
+        with pytest.raises(ValueError):
+            ChunkBusWriter(slot_bytes=64, n_slots=2, n_readers=0)
+
+    def test_close_is_idempotent_and_final(self):
+        chunk = make_chunk()
+        writer = ChunkBusWriter(chunk_slot_bytes(chunk), n_slots=2,
+                                n_readers=1)
+        reader = ChunkBusReader(writer.handle())
+        reader.close()
+        reader.close()
+        writer.close()
+        writer.close()
+        with pytest.raises(ValueError, match="closed"):
+            writer.publish(chunk)
+        with pytest.raises(ValueError, match="closed"):
+            reader.map(None)
+
+    def test_slot_bytes_accounts_every_matrix(self):
+        chunk = make_chunk(n_bins=4, n_flows=3)
+        assert chunk_slot_bytes(chunk) == 2 * 4 * 3 * 8

@@ -5,6 +5,12 @@ detections, counters) must be identical to the single-process
 ``stream_detect`` run, for any worker count and queue depth.
 """
 
+import dataclasses
+import multiprocessing
+import os
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -12,12 +18,14 @@ from repro.evaluation import event_parity, report_parity
 from repro.flows.timeseries import TrafficType
 from repro.streaming import (
     StreamingConfig,
+    StreamingNetworkDetector,
     StreamingReport,
     TrafficChunk,
     chunk_series,
     parallel_stream_detect,
     stream_detect,
 )
+from repro.streaming import parallel
 
 CHUNK = 48
 
@@ -81,6 +89,163 @@ class TestParallelParity:
             chunk_series(small_dataset.series, CHUNK), live_config,
             traffic_types=[TrafficType.BYTES, TrafficType.BYTES], n_workers=2)
         assert event_parity(single.events, report.events).exact
+
+
+class TestShardParallelParity:
+    """mode="shard": K workers each own a column shard of every detector."""
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_shard_worker_counts_reproduce_event_list(
+            self, small_dataset, live_config, baseline_report, n_workers):
+        report = parallel_stream_detect(
+            chunk_series(small_dataset.series, CHUNK), live_config,
+            n_workers=n_workers, mode="shard")
+        parity = event_parity(baseline_report.events, report.events)
+        assert parity.exact, parity.to_dict()
+        full = report_parity(baseline_report, report)
+        assert all(full["equal"].values()), full["equal"]
+
+    def test_mode_defaults_from_config(self, small_dataset, baseline_report):
+        config = StreamingConfig(min_train_bins=128,
+                                 recalibrate_every_bins=32,
+                                 parallel_mode="shard")
+        report = parallel_stream_detect(
+            chunk_series(small_dataset.series, CHUNK), config, n_workers=2)
+        assert event_parity(baseline_report.events, report.events).exact
+
+    def test_tight_bus_and_queue_backpressure(self, small_dataset,
+                                              live_config, baseline_report):
+        config = dataclasses.replace(live_config, bus_slots=2,
+                                     poll_seconds=0.05)
+        report = parallel_stream_detect(
+            chunk_series(small_dataset.series, CHUNK), config,
+            n_workers=2, queue_depth=1, mode="shard")
+        assert event_parity(baseline_report.events, report.events).exact
+
+    def test_more_workers_than_od_flows(self, live_config):
+        # p = 4 OD flows, 6 workers: trailing shards own zero columns.
+        rng = np.random.default_rng(3)
+        chunks = [TrafficChunk(start_bin=32 * i, matrices={
+            TrafficType.BYTES: rng.random((32, 4)) + 1.0})
+            for i in range(8)]
+        config = StreamingConfig(min_train_bins=64, recalibrate_every_bins=32)
+        baseline = stream_detect(chunks, config)
+        report = parallel_stream_detect(chunks, config, n_workers=6,
+                                        mode="shard")
+        full = report_parity(baseline, report)
+        assert all(full["equal"].values()), full["equal"]
+
+    def test_lowrank_engine_is_rejected(self, live_config):
+        config = StreamingConfig(engine="lowrank")
+        with pytest.raises(ValueError, match="exact scatter"):
+            parallel_stream_detect(iter(()), config, mode="shard")
+
+    def test_distributed_checkpoint_restores_as_flat_detector(
+            self, small_dataset, live_config, baseline_report, tmp_path):
+        # Checkpoint the distributed run mid-stream; the checkpoint is the
+        # *merged* state, so an ordinary single-process detector resumes
+        # from it and finishes the stream with the identical event list.
+        chunks = list(chunk_series(small_dataset.series, CHUNK))
+        every = 5
+        parallel_stream_detect(iter(chunks), live_config, n_workers=2,
+                               mode="shard", checkpoint_dir=tmp_path,
+                               checkpoint_every_chunks=every)
+        restored = StreamingNetworkDetector.restore(tmp_path)
+        resume_from = (len(chunks) // every) * every
+        assert restored.report.n_chunks_processed == resume_from
+        for chunk in chunks[resume_from:]:
+            restored.process_chunk(chunk)
+        report = restored.finish()
+        parity = event_parity(baseline_report.events, report.events)
+        assert parity.exact, parity.to_dict()
+        full = report_parity(baseline_report, report)
+        assert all(full["equal"].values()), full["equal"]
+
+    def test_checkpoint_requires_shard_mode(self, live_config, tmp_path):
+        with pytest.raises(ValueError, match="mode='shard'"):
+            parallel_stream_detect(iter(()), live_config, mode="type",
+                                   checkpoint_dir=tmp_path,
+                                   checkpoint_every_chunks=2)
+        with pytest.raises(ValueError, match="go together"):
+            parallel_stream_detect(iter(()), live_config, mode="shard",
+                                   checkpoint_dir=tmp_path)
+
+
+def _tiny_chunks(n_chunks=12, n_bins=16, n_flows=9, start=0):
+    rng = np.random.default_rng(42)
+    return [TrafficChunk(start_bin=start + n_bins * i, matrices={
+        TrafficType.BYTES: rng.random((n_bins, n_flows)) + 1.0})
+        for i in range(n_chunks)]
+
+
+def _crashing_worker(*args):
+    os._exit(3)
+
+
+class TestWorkerFailurePaths:
+    """Satellite: crash propagation, backpressure, and source failures."""
+
+    fast = StreamingConfig(min_train_bins=64, poll_seconds=0.05)
+
+    @pytest.mark.parametrize("mode,target",
+                             [("type", "_type_worker"),
+                              ("shard", "_shard_worker")])
+    def test_worker_crash_propagates_promptly(self, monkeypatch, mode,
+                                              target):
+        monkeypatch.setattr(parallel, target, _crashing_worker)
+        started = time.monotonic()
+        with pytest.raises(RuntimeError,
+                           match="exit code 3|exited before the end"):
+            parallel_stream_detect(_tiny_chunks(), self.fast, n_workers=2,
+                                   mode=mode)
+        # Sentinel wakeup, not the old 1 s poll: the death is noticed fast.
+        assert time.monotonic() - started < 10.0
+        assert multiprocessing.active_children() == []
+
+    def test_bounded_queues_throttle_a_slow_worker(self, monkeypatch):
+        gate = multiprocessing.Event()
+        real_worker = parallel._type_worker
+
+        def gated_worker(*args):
+            gate.wait()
+            real_worker(*args)
+
+        monkeypatch.setattr(parallel, "_type_worker", gated_worker)
+        config = dataclasses.replace(self.fast, bus_slots=2)
+        pulled = []
+
+        def counting_chunks():
+            for chunk in _tiny_chunks():
+                pulled.append(chunk.start_bin)
+                yield chunk
+
+        result = {}
+        thread = threading.Thread(
+            target=lambda: result.update(report=parallel_stream_detect(
+                counting_chunks(), config, queue_depth=1)),
+            daemon=True)
+        thread.start()
+        time.sleep(1.0)
+        # With the worker gated shut, the driver must be blocked by the
+        # ring/queue bound — not buffering the whole stream ahead.
+        assert thread.is_alive()
+        assert len(pulled) < 12
+        gate.set()
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+        assert result["report"].n_chunks_processed == 12
+
+    @pytest.mark.parametrize("mode", ["type", "shard"])
+    def test_source_failure_shuts_workers_down(self, mode):
+        def failing_source():
+            for chunk in _tiny_chunks(n_chunks=3):
+                yield chunk
+            raise ValueError("source exploded")
+
+        with pytest.raises(ValueError, match="source exploded"):
+            parallel_stream_detect(failing_source(), self.fast, n_workers=2,
+                                   mode=mode)
+        assert multiprocessing.active_children() == []
 
 
 class TestParallelEdgeCases:
