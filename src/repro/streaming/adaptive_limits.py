@@ -173,6 +173,31 @@ class AdaptiveControlLimits:
         """Completed block-quantile updates applied to the scales."""
         return self._n_updates
 
+    def telemetry_gauges(self):
+        """The policy's health as ``(name, extra labels, value, help)`` rows.
+
+        The observable surface the telemetry plane records after every
+        recalibration (:mod:`repro.telemetry`); keeping the list here means
+        a new policy knob shows up in snapshots by editing one place.  The
+        caller merges its own identity labels (e.g. ``type``) into each
+        row's extra labels.
+        """
+        rows = [("adaptive_scale", {"stat": stat}, float(scale),
+                 "Effective adaptive limit scale")
+                for stat, scale in sorted(self._scales.items())]
+        rows.append(("adaptive_frozen_bins", {}, float(self._n_frozen_bins),
+                     "Statistic values frozen out of the adaptive quantile "
+                     "(freeze-on-alarm)"))
+        rows.append(("adaptive_updates", {}, float(self._n_updates),
+                     "Completed adaptive block-quantile updates"))
+        rows.append(("adaptive_clean_bins", {}, float(self._n_clean_bins),
+                     "Clean statistic values folded into the quantile"))
+        rows.append(("adaptive_warmed_up", {},
+                     1.0 if self.is_warmed_up else 0.0,
+                     "Whether the adaptive scales may move (1) or are still "
+                     "warming up (0)"))
+        return rows
+
     # ------------------------------------------------------------------ #
     # the policy
     # ------------------------------------------------------------------ #

@@ -29,6 +29,7 @@ ring held by dead readers.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -151,6 +152,12 @@ class ChunkBusWriter:
         self._freed = context.Condition()
         self._next_slot = 0
         self._closed = False
+        self._telemetry = None
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a :class:`~repro.telemetry.Telemetry` bundle (or ``None``)
+        recording slot occupancy and writer-stall time."""
+        self._telemetry = telemetry
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -207,11 +214,31 @@ class ChunkBusWriter:
                 f"{self._slot_bytes}; size the bus from the largest chunk")
 
         slot = self._next_slot
+        telemetry = self._telemetry
+        stall_started = None
         with self._freed:
             while self._refcounts[slot] != 0:
+                if telemetry is not None and stall_started is None:
+                    stall_started = time.perf_counter()
                 if not self._freed.wait(timeout=poll_seconds):
                     if alive_check is not None:
                         alive_check()
+            if telemetry is not None:
+                if stall_started is not None:
+                    telemetry.registry.counter(
+                        "bus_writer_stall_seconds",
+                        help="Time the bus writer spent blocked on a full "
+                        "ring").inc(time.perf_counter() - stall_started)
+                    telemetry.registry.counter(
+                        "bus_writer_stalls",
+                        help="Publishes that blocked on a full ring").inc()
+                occupied = sum(1 for i in range(self._n_slots)
+                               if self._refcounts[i] != 0)
+                telemetry.registry.gauge(
+                    "bus_slots_in_use",
+                    help="Ring slots currently held by readers "
+                    "(backpressure pressure; +1 is about to be "
+                    "published)").set(occupied)
         base = slot * self._slot_bytes
         for (_, array_offset, _, _), matrix in zip(arrays,
                                                    chunk.matrices.values()):

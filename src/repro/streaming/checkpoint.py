@@ -77,6 +77,20 @@ def save_checkpoint(detector: StreamingNetworkDetector,
     manifest paired with the wrong arrays file is rejected at load time by
     the recorded SHA-256 instead of silently resuming from corrupt state.
     """
+    telemetry = getattr(detector, "_telemetry", None)
+    if telemetry is None:
+        return _save_checkpoint(detector, directory)
+    # Count first: the registry is serialized inside the save, so the
+    # checkpoint (and a run restored from it) includes its own write.
+    telemetry.registry.counter(
+        "checkpoints", help="Checkpoints written").inc()
+    with telemetry.span("checkpoint"):
+        path = _save_checkpoint(detector, directory)
+    return path
+
+
+def _save_checkpoint(detector: StreamingNetworkDetector,
+                     directory: Union[str, Path]) -> Path:
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
     if hasattr(detector, "to_network_detector"):

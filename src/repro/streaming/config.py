@@ -120,6 +120,31 @@ class StreamingConfig:
         (:class:`~repro.streaming.hierarchy.HierarchicalNetworkDetector`):
         how many per-PoP ingestion detectors feed the global one.  ``1``
         collapses the hierarchy to a flat run.
+    telemetry:
+        Master switch of the observability layer
+        (:mod:`repro.telemetry`).  ``False`` (the default) keeps every
+        hot-path hook a single ``is None`` check; ``True`` gives the run
+        a :class:`~repro.telemetry.MetricsRegistry` + tracer, and the
+        multi-process drivers merge the workers' registries into the
+        coordinator's at shutdown.
+    telemetry_sample_rate:
+        Fraction of chunks whose trace spans are emitted as JSON-lines
+        records (one seeded Bernoulli draw per chunk).  Latency
+        *histograms* are always maintained regardless; sampling only
+        bounds the structured-record volume.
+    telemetry_seed:
+        Seed of the span-sampling RNG — same seed, same chunk order ⇒
+        same sampled set, which keeps instrumented reruns comparable.
+    telemetry_trace_path:
+        JSON-lines span sink path (empty: spans are timed but not
+        written).  Workers append ``.<worker-id>`` so each process owns
+        its file.
+    telemetry_snapshot_path:
+        Where the pipeline periodically writes a
+        :class:`~repro.telemetry.HealthSnapshot` as JSON (atomic
+        replace; empty: no snapshot file).  ``tools/status.py`` reads it.
+    telemetry_snapshot_every_chunks:
+        Snapshot cadence, in processed chunks.
     """
 
     n_normal: int = 4
@@ -145,6 +170,12 @@ class StreamingConfig:
     bus_slots: int = 8
     poll_seconds: float = 1.0
     n_pops: int = 1
+    telemetry: bool = False
+    telemetry_sample_rate: float = 0.05
+    telemetry_seed: int = 0
+    telemetry_trace_path: str = ""
+    telemetry_snapshot_path: str = ""
+    telemetry_snapshot_every_chunks: int = 16
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "t2_scaling", T2Scaling(self.t2_scaling))
@@ -180,6 +211,10 @@ class StreamingConfig:
         require(self.bus_slots >= 2, "bus_slots must be >= 2")
         require(self.poll_seconds > 0.0, "poll_seconds must be positive")
         require(self.n_pops >= 1, "n_pops must be >= 1")
+        require(0.0 <= self.telemetry_sample_rate <= 1.0,
+                "telemetry_sample_rate must be in [0, 1]")
+        require(self.telemetry_snapshot_every_chunks >= 1,
+                "telemetry_snapshot_every_chunks must be >= 1")
         require(not (self.engine == "lowrank" and self.n_shards > 1),
                 "column sharding shards the exact scatter matrix and cannot "
                 "be combined with the low-rank engine; ingest sharded and "

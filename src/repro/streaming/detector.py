@@ -212,6 +212,45 @@ class StreamingSubspaceDetector:
         self._snapshot: Optional[SubspaceSnapshot] = None
         self._bins_at_calibration = 0
         self._next_bin = 0
+        self._telemetry = None
+        self._metric_labels: Dict[str, str] = {}
+
+    def bind_telemetry(self, telemetry, labels: Optional[Mapping[str, str]]
+                       = None) -> None:
+        """Attach a :class:`~repro.telemetry.Telemetry` bundle (or ``None``).
+
+        *labels* (e.g. ``{"type": "bytes"}``) tag every metric this
+        detector emits.  Unbound detectors skip all instrumentation at the
+        cost of one ``is None`` check per hook.
+        """
+        self._telemetry = telemetry
+        self._metric_labels = dict(labels) if labels else {}
+
+    def _record_model_gauges(self) -> None:
+        """Post-calibration model health: low-rank drift + adaptive scales."""
+        registry = self._telemetry.registry
+        labels = self._metric_labels
+        engine = self._engine
+        if hasattr(engine, "residual_energy"):
+            registry.gauge("lowrank_residual_energy", labels,
+                           help="Scatter energy outside the tracked "
+                           "basis").set(engine.residual_energy)
+            registry.gauge("lowrank_rank", labels,
+                           help="Eigenpairs currently "
+                           "tracked").set(engine.tracked_rank)
+            registry.gauge(
+                "lowrank_reorthogonalizations", labels,
+                help="Drift-monitor re-orthonormalizations so far",
+            ).set(engine.n_reorthogonalizations)
+        if self._adaptive is not None:
+            self._record_adaptive_gauges()
+
+    def _record_adaptive_gauges(self) -> None:
+        registry = self._telemetry.registry
+        labels = self._metric_labels
+        for name, extra, value, help_text in self._adaptive.telemetry_gauges():
+            registry.gauge(name, {**labels, **extra},
+                           help=help_text).set(value)
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -282,7 +321,12 @@ class StreamingSubspaceDetector:
     # ------------------------------------------------------------------ #
     def ingest(self, chunk: np.ndarray) -> None:
         """Fold a chunk into the running moments without detecting."""
-        self._engine.partial_fit(chunk)
+        tel = self._telemetry
+        if tel is None:
+            self._engine.partial_fit(chunk)
+            return
+        with tel.span("update", **self._metric_labels):
+            self._engine.partial_fit(chunk)
 
     def _trainable(self) -> bool:
         config = self._config
@@ -297,6 +341,18 @@ class StreamingSubspaceDetector:
 
     def calibrate(self) -> SubspaceSnapshot:
         """Recompute the subspace snapshot from the current moments."""
+        tel = self._telemetry
+        if tel is None:
+            return self._calibrate()
+        with tel.span("recalibrate", **self._metric_labels):
+            snapshot = self._calibrate()
+        tel.registry.counter(
+            "recalibrations", self._metric_labels,
+            help="Subspace snapshot recalibrations").inc()
+        self._record_model_gauges()
+        return snapshot
+
+    def _calibrate(self) -> SubspaceSnapshot:
         require(self._trainable(),
                 "not enough ingested data to calibrate the subspace model")
         config = self._config
@@ -359,8 +415,22 @@ class StreamingSubspaceDetector:
         matrix = ensure_2d(chunk, "chunk")
         require(matrix.shape[1] == snapshot.n_features,
                 "chunk has the wrong number of OD flows")
-        config = self._config
+        tel = self._telemetry
+        if tel is None:
+            stats = self._center_statistics(matrix, snapshot)
+            return self._classify_chunk(matrix, start_bin, snapshot, *stats)
+        with tel.span("center", **self._metric_labels):
+            stats = self._center_statistics(matrix, snapshot)
+        with tel.span("detect", **self._metric_labels):
+            result = self._classify_chunk(matrix, start_bin, snapshot, *stats)
+        if self._adaptive is not None:
+            self._record_adaptive_gauges()
+        return result
 
+    def _center_statistics(self, matrix: np.ndarray,
+                           snapshot: SubspaceSnapshot):
+        """Centering + subspace statistics: the "center" stage."""
+        config = self._config
         centered = matrix - snapshot.mean
         scores = centered @ snapshot.normal_axes
         # The normal axes are orthonormal, so the SPE needs no residual
@@ -376,7 +446,14 @@ class StreamingSubspaceDetector:
         t2 = np.sum(scores**2 / safe[np.newaxis, :], axis=1)
         if config.t2_scaling is T2Scaling.RAW_EIGENFLOW:
             t2 = t2 / (snapshot.n_samples - 1)
+        return centered, scores, spe, t2
 
+    def _classify_chunk(self, matrix: np.ndarray, start_bin: int,
+                        snapshot: SubspaceSnapshot, centered: np.ndarray,
+                        scores: np.ndarray, spe: np.ndarray,
+                        t2: np.ndarray) -> ChunkDetections:
+        """Classification + identification: the "detect" stage."""
+        config = self._config
         limits = snapshot.limits
         if self._adaptive is not None:
             limits = self._adaptive.apply(limits)

@@ -33,6 +33,7 @@ single-process run with the identical remaining events.
 
 from __future__ import annotations
 
+import time
 from functools import reduce
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -52,6 +53,7 @@ from repro.streaming.pipeline import (
 )
 from repro.streaming.sharding import ShardedOnlinePCA, merge_online_pca
 from repro.streaming.sources import TrafficChunk
+from repro.telemetry import Telemetry
 from repro.utils.validation import require
 
 __all__ = ["HierarchicalNetworkDetector"]
@@ -185,6 +187,15 @@ class HierarchicalNetworkDetector:
         self._report = StreamingReport()
         self._finished = False
         self._chunk_index = 0
+        self._telemetry = Telemetry.from_config(config)
+        # The leaves share the hierarchy's bundle: one registry covers the
+        # whole tree (their per-type "update" spans land next to the global
+        # detectors' recalibrations), and leaves never write snapshots —
+        # only process_chunk/finish do, and those are hierarchy-level.
+        for leaf in self._leaves:
+            leaf._telemetry = self._telemetry
+        self._leaf_end_bin = [0] * n_pops
+        self._run_started: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -220,14 +231,34 @@ class HierarchicalNetworkDetector:
             self._types = chunk.traffic_types
         return self._types
 
+    @property
+    def telemetry(self) -> Optional[Telemetry]:
+        """The observability bundle shared by the whole tree (or ``None``)."""
+        return self._telemetry
+
     def _global_for(self, traffic_type: TrafficType) -> StreamingSubspaceDetector:
         detector = self._global.get(traffic_type)
         if detector is None:
             engine = _MergedEngine(self._leaves, traffic_type,
                                    self._config.forgetting)
             detector = StreamingSubspaceDetector(self._config, engine=engine)
+            if self._telemetry is not None:
+                detector.bind_telemetry(self._telemetry,
+                                        {"type": traffic_type.value})
             self._global[traffic_type] = detector
         return detector
+
+    def _update_runtime(self) -> None:
+        if self._run_started is None:
+            return
+        runtime = time.perf_counter() - self._run_started
+        self._report.runtime_seconds = runtime
+        self._report.bins_per_second = (
+            self._report.n_bins_processed / runtime if runtime > 0 else 0.0)
+        if self._telemetry is not None:
+            self._telemetry.registry.gauge(
+                "runtime_seconds",
+                help="Wall-clock processing time so far").set(runtime)
 
     def process_chunk(self, chunk: TrafficChunk,
                       pop: Optional[int] = None) -> List[AnomalyEvent]:
@@ -243,8 +274,14 @@ class HierarchicalNetworkDetector:
         pop = self._chunk_index % len(self._leaves) if pop is None else pop
         require(0 <= pop < len(self._leaves),
                 f"pop must lie in [0, {len(self._leaves)})")
+        if self._run_started is None:
+            self._run_started = time.perf_counter()
+        tel = self._telemetry
+        if tel is not None:
+            tel.begin_chunk(self._chunk_index)
         types = self._types_for(chunk)
         self._leaves[pop].ingest_chunk(chunk)
+        self._leaf_end_bin[pop] = max(self._leaf_end_bin[pop], chunk.end_bin)
 
         results: Dict[TrafficType, ChunkDetections] = {}
         for traffic_type in types:
@@ -259,10 +296,29 @@ class HierarchicalNetworkDetector:
                     chunk.matrix(traffic_type), chunk.start_bin)
             detector.advance_to(chunk.end_bin)
         events = _fuse_chunk_results(results, chunk, self._aggregator,
-                                     self._report)
+                                     self._report, tel)
         if any(result.warmup for result in results.values()):
             self._report.n_warmup_bins += chunk.n_bins
+            if tel is not None:
+                tel.registry.counter(
+                    "warmup_bins",
+                    help="Bins consumed before the model warmed up"
+                ).inc(chunk.n_bins)
         self._chunk_index += 1
+        if tel is not None:
+            # Per-leaf ingestion lag: how far behind the global watermark
+            # (the newest bin any PoP delivered) each leaf's last chunk is.
+            watermark = max(self._leaf_end_bin)
+            for index, end_bin in enumerate(self._leaf_end_bin):
+                tel.registry.gauge(
+                    "hierarchy_leaf_lag_bins", {"pop": str(index)},
+                    help="Bins between the global watermark and this "
+                    "PoP's last ingested chunk").set(watermark - end_bin)
+            tel.end_chunk()
+            self._update_runtime()
+            tel.maybe_write_snapshot(self._report.n_chunks_processed)
+        else:
+            self._update_runtime()
         return events
 
     def finish(self) -> StreamingReport:
@@ -270,6 +326,9 @@ class HierarchicalNetworkDetector:
         if not self._finished:
             self._report.events.extend(self._aggregator.flush())
             self._finished = True
+            self._update_runtime()
+            if self._telemetry is not None:
+                self._telemetry.write_snapshot()
         return self._report
 
     # ------------------------------------------------------------------ #
@@ -288,12 +347,21 @@ class HierarchicalNetworkDetector:
         flat = StreamingNetworkDetector(self._config, self._types)
         for traffic_type, detector in self._global.items():
             state = detector.state_dict()
-            flat._detectors[traffic_type] = StreamingSubspaceDetector.from_state(
+            twin = StreamingSubspaceDetector.from_state(
                 self._config, state["meta"], state["arrays"])
+            if flat._telemetry is not None:
+                twin.bind_telemetry(flat._telemetry,
+                                    {"type": traffic_type.value})
+            flat._detectors[traffic_type] = twin
+        flat._runtime_base = self._report.runtime_seconds
         flat._aggregator = OnlineEventAggregator.from_state(
             self._aggregator.state_dict())
         flat._report = StreamingReport.from_dict(self._report.to_dict())
         flat._finished = self._finished
+        if flat._telemetry is not None and self._telemetry is not None:
+            # The flat twin starts with a fresh bundle; carry the counters
+            # over so a hierarchy checkpoint preserves them like any other.
+            flat._telemetry.restore_state(self._telemetry.state_dict())
         return flat
 
     def save(self, directory) -> "HierarchicalNetworkDetector":

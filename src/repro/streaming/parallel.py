@@ -46,9 +46,10 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import queue as queue_module
+import time
 import traceback
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -66,6 +67,7 @@ from repro.streaming.pipeline import (
 )
 from repro.streaming.sharding import ShardWorkerMoments
 from repro.streaming.sources import TrafficChunk
+from repro.telemetry import Telemetry
 from repro.utils.validation import require
 
 __all__ = ["parallel_stream_detect"]
@@ -74,6 +76,9 @@ __all__ = ["parallel_stream_detect"]
 _STOP = None
 #: First element of a result tuple carrying a worker traceback.
 _ERROR = "__error__"
+#: First element of a result tuple carrying a worker's metrics registry
+#: (shipped once per worker, after it saw ``_STOP``).
+_TELEMETRY = "__telemetry__"
 #: Message kinds of the shard-mode control protocol.
 _MSG_CHUNK = "chunk"
 _MSG_COLLECT = "collect"
@@ -110,23 +115,43 @@ def _restricted_chunk(chunk: TrafficChunk,
 # --------------------------------------------------------------------- #
 # worker loops
 # --------------------------------------------------------------------- #
-def _type_worker(config: StreamingConfig, own_types: Sequence[str],
-                 bus_handle, in_queue, out_queue) -> None:
+def _worker_error_text(label: str, detail: str, last_chunk) -> str:
+    """The context header + traceback forwarded by a failed worker."""
+    last = "none" if last_chunk is None else str(last_chunk)
+    return (f"worker {label} ({detail}; last-processed chunk {last}):\n"
+            + traceback.format_exc())
+
+
+def _type_worker(worker_index: int, config: StreamingConfig,
+                 own_types: Sequence[str], bus_handle, in_queue,
+                 out_queue) -> None:
     """Process the traffic types routed to this worker, off the bus."""
+    label = f"type-{worker_index}"
     reader = ChunkBusReader(bus_handle)
     detectors: Dict[str, StreamingSubspaceDetector] = {}
+    telemetry = Telemetry.from_config(config, worker=label)
+    last_chunk = None
     try:
         while True:
             item = in_queue.get()
             if item is _STOP:
+                if telemetry is not None:
+                    telemetry.close()
+                    out_queue.put((_TELEMETRY, label,
+                                   telemetry.registry.to_dict()))
                 return
             chunk_index, descriptor = item
+            if telemetry is not None:
+                telemetry.begin_chunk(chunk_index)
             views = reader.map(descriptor)
             try:
                 for type_value in own_types:
                     detector = detectors.get(type_value)
                     if detector is None:
                         detector = StreamingSubspaceDetector(config)
+                        if telemetry is not None:
+                            detector.bind_telemetry(telemetry,
+                                                    {"type": type_value})
                         detectors[type_value] = detector
                     result = detector.process_chunk(views[type_value],
                                                     descriptor.start_bin)
@@ -136,8 +161,15 @@ def _type_worker(config: StreamingConfig, own_types: Sequence[str],
                 # reader.close() never sees exported buffers.
                 views = None
             reader.release(descriptor)
+            if telemetry is not None:
+                telemetry.registry.counter(
+                    "worker_chunks", {"worker": label},
+                    help="Chunks processed per worker").inc()
+                telemetry.end_chunk()
+            last_chunk = chunk_index
     except BaseException:  # noqa: BLE001 - forwarded verbatim to the driver
-        out_queue.put((_ERROR, traceback.format_exc()))
+        out_queue.put((_ERROR, _worker_error_text(
+            label, "types " + ",".join(own_types), last_chunk)))
         # Keep draining so the feeder's bounded put never blocks forever on
         # a full queue; the driver raises once it sees the _ERROR message
         # (an errored worker stops releasing bus slots, so a writer blocked
@@ -151,19 +183,29 @@ def _type_worker(config: StreamingConfig, own_types: Sequence[str],
             pass
 
 
-def _shard_worker(shard_index: int, n_shards: int, forgetting: float,
+def _shard_worker(shard_index: int, n_shards: int, config: StreamingConfig,
                   bus_handle, in_queue, out_queue) -> None:
     """Maintain this worker's column shard of every per-type engine."""
+    label = f"shard-{shard_index}"
     reader = ChunkBusReader(bus_handle)
     engines: Dict[str, ShardWorkerMoments] = {}
+    telemetry = Telemetry.from_config(config, worker=label)
+    last_chunk = None
+    n_chunks = 0
     try:
         while True:
             message = in_queue.get()
             if message is _STOP:
+                if telemetry is not None:
+                    telemetry.close()
+                    out_queue.put((_TELEMETRY, label,
+                                   telemetry.registry.to_dict()))
                 return
             kind = message[0]
             if kind == _MSG_CHUNK:
                 descriptor = message[1]
+                if telemetry is not None:
+                    telemetry.begin_chunk(n_chunks)
                 views = reader.map(descriptor)
                 view = None
                 try:
@@ -171,12 +213,23 @@ def _shard_worker(shard_index: int, n_shards: int, forgetting: float,
                         engine = engines.get(type_value)
                         if engine is None:
                             engine = ShardWorkerMoments(shard_index, n_shards,
-                                                        forgetting)
+                                                        config.forgetting)
                             engines[type_value] = engine
-                        engine.partial_fit(view)
+                        if telemetry is not None:
+                            with telemetry.span("update", type=type_value):
+                                engine.partial_fit(view)
+                        else:
+                            engine.partial_fit(view)
                 finally:
                     views = view = None
                 reader.release(descriptor)
+                if telemetry is not None:
+                    telemetry.registry.counter(
+                        "worker_chunks", {"worker": label},
+                        help="Chunks processed per worker").inc()
+                    telemetry.end_chunk()
+                last_chunk = n_chunks
+                n_chunks += 1
             else:  # _MSG_COLLECT
                 _, collect_id, type_value = message
                 engine = engines.get(type_value)
@@ -185,7 +238,8 @@ def _shard_worker(shard_index: int, n_shards: int, forgetting: float,
                 out_queue.put((_BLOCKS, collect_id, shard_index, type_value,
                                payload))
     except BaseException:  # noqa: BLE001 - forwarded verbatim to the driver
-        out_queue.put((_ERROR, traceback.format_exc()))
+        out_queue.put((_ERROR, _worker_error_text(
+            label, f"shard {shard_index}/{n_shards}", last_chunk)))
         while in_queue.get() is not _STOP:
             pass
     finally:
@@ -220,6 +274,9 @@ class _PoolBase:
         # Non-error messages consumed while scanning for failures are
         # buffered here and served to receive() first, in arrival order.
         self._stray: deque = deque()
+        # (worker label, registry dict) pairs shipped by workers after
+        # _STOP; filled as messages pass through check_failure()/receive().
+        self.telemetry_payloads: List[Tuple[str, Dict]] = []
 
     def _spawn(self, context, target, per_worker_args) -> None:
         self.processes = [
@@ -258,6 +315,9 @@ class _PoolBase:
                 break
             if message[0] == _ERROR:
                 raise RuntimeError(f"streaming worker failed:\n{message[1]}")
+            if message[0] == _TELEMETRY:
+                self.telemetry_payloads.append((message[1], message[2]))
+                continue
             self._stray.append(message)
         self.check_alive(strict=strict)
 
@@ -318,7 +378,47 @@ class _PoolBase:
                     continue
             if message[0] == _ERROR:
                 raise RuntimeError(f"streaming worker failed:\n{message[1]}")
+            if message[0] == _TELEMETRY:
+                self.telemetry_payloads.append((message[1], message[2]))
+                continue
             return message
+
+    def wait_for_telemetry(self) -> List[Tuple[str, Dict]]:
+        """Every worker's shipped registry; call only after :meth:`send_stop`.
+
+        Workers ship their registry as the last message before exiting, so
+        this blocks until all ``n_workers`` payloads arrived (surfacing any
+        worker failure meanwhile).  Data messages encountered on the way
+        are preserved for :meth:`receive`.
+        """
+        reader = getattr(self.out_queue, "_reader", None)
+        while len(self.telemetry_payloads) < self.n_workers:
+            message = self.receive(block=False)
+            if message is not None:
+                self._stray.append(message)
+                continue
+            if len(self.telemetry_payloads) >= self.n_workers:
+                break
+            sentinels = self._live_sentinels()
+            if not sentinels:
+                # All workers are gone and the queue drained empty: a
+                # missing payload would never arrive, so fail loudly
+                # instead of spinning (one last sweep first — the feeder
+                # flushes before exit, but give the pipe a poll's grace).
+                if self.receive(block=False) is None and \
+                        len(self.telemetry_payloads) < self.n_workers:
+                    raise RuntimeError(
+                        "streaming workers exited without shipping "
+                        "telemetry registries")
+                continue
+            if reader is None:  # pragma: no cover - platform fallback
+                multiprocessing.connection.wait(sentinels,
+                                                timeout=self.poll_seconds)
+            else:
+                multiprocessing.connection.wait(
+                    [reader] + sentinels, timeout=self.poll_seconds)
+            self.check_alive()
+        return list(self.telemetry_payloads)
 
     # ---------------- teardown ---------------- #
     def publish(self, chunk: TrafficChunk):
@@ -353,7 +453,8 @@ class _TypeWorkerPool(_PoolBase):
             own_types[i % n_workers].append(traffic_type.value)
         handle = self.bus.handle()
         self._spawn(context, _type_worker, [
-            (config, own_types[i], handle, self.in_queues[i], self.out_queue)
+            (i, config, own_types[i], handle, self.in_queues[i],
+             self.out_queue)
             for i in range(n_workers)
         ])
 
@@ -369,8 +470,7 @@ class _ShardWorkerPool(_PoolBase):
         self._collect_id = 0
         handle = self.bus.handle()
         self._spawn(context, _shard_worker, [
-            (i, n_workers, config.forgetting, handle, self.in_queues[i],
-             self.out_queue)
+            (i, n_workers, config, handle, self.in_queues[i], self.out_queue)
             for i in range(n_workers)
         ])
 
@@ -558,17 +658,35 @@ def parallel_stream_detect(
     pool = _TypeWorkerPool(types, config,
                            n_workers if n_workers is not None else len(types),
                            queue_depth, poll, context, slot_bytes)
-    return _run_type_mode(iterator, types, pool)
+    return _run_type_mode(iterator, types, config, pool)
+
+
+def _finalize_runtime(report: StreamingReport, started: float,
+                      telemetry) -> None:
+    """Stamp wall-clock throughput on *report* (and the runtime gauge)."""
+    runtime = time.perf_counter() - started
+    report.runtime_seconds = runtime
+    report.bins_per_second = (report.n_bins_processed / runtime
+                              if runtime > 0.0 else 0.0)
+    if telemetry is not None:
+        telemetry.registry.gauge(
+            "runtime_seconds",
+            help="Wall-clock seconds of the run so far").set(runtime)
 
 
 def _run_type_mode(iterator, types: List[TrafficType],
+                   config: StreamingConfig,
                    pool: _TypeWorkerPool) -> StreamingReport:
     aggregator = OnlineEventAggregator()
     report = StreamingReport()
+    telemetry = Telemetry.from_config(config)
+    if telemetry is not None:
+        pool.bus.bind_telemetry(telemetry)
     spans: Dict[int, _ChunkSpan] = {}
     buffered: Dict[int, Dict[TrafficType, ChunkDetections]] = {}
     next_to_fuse = 0
     n_chunks = 0
+    started = time.perf_counter()
     try:
         for chunk_index, chunk in enumerate(iterator):
             narrowed = _restricted_chunk(chunk, types)
@@ -578,16 +696,28 @@ def _run_type_mode(iterator, types: List[TrafficType],
             descriptor = pool.publish(narrowed)
             pool.broadcast((chunk_index, descriptor))
             next_to_fuse = _drain(pool, buffered, spans, types, aggregator,
-                                  report, next_to_fuse, block=False)
+                                  report, next_to_fuse, block=False,
+                                  telemetry=telemetry)
         pool.send_stop()
         while next_to_fuse < n_chunks:
             next_to_fuse = _drain(pool, buffered, spans, types, aggregator,
-                                  report, next_to_fuse, block=True)
+                                  report, next_to_fuse, block=True,
+                                  telemetry=telemetry)
+        if telemetry is not None:
+            # Fold every worker's registry into the coordinator's — the
+            # same merge discipline as the moment algebra: counters and
+            # histograms add, each worker's gauges carry disjoint labels.
+            for _, payload in pool.wait_for_telemetry():
+                telemetry.merge_registry(payload)
         pool.shutdown()
     except BaseException:
         pool.shutdown(force=True)
         raise
     report.events.extend(aggregator.flush())
+    _finalize_runtime(report, started, telemetry)
+    if telemetry is not None:
+        telemetry.write_snapshot()
+        telemetry.close()
     return report
 
 
@@ -600,6 +730,7 @@ def _drain(
     report: StreamingReport,
     next_to_fuse: int,
     block: bool,
+    telemetry=None,
 ) -> int:
     """Collect available worker results; fuse every completed chunk in order."""
     while True:
@@ -613,9 +744,22 @@ def _drain(
                 len(buffered[next_to_fuse]) == len(types):
             results = buffered.pop(next_to_fuse)
             span = spans.pop(next_to_fuse)
-            _fuse_chunk_results(results, span, aggregator, report)
+            if telemetry is not None:
+                # The coordinator's chunk clock ticks at fusion time (its
+                # only per-chunk work); workers sample their own traces.
+                telemetry.begin_chunk(next_to_fuse)
+            _fuse_chunk_results(results, span, aggregator, report,
+                                telemetry=telemetry)
             if any(result.warmup for result in results.values()):
                 report.n_warmup_bins += span.n_bins
+                if telemetry is not None:
+                    telemetry.registry.counter(
+                        "warmup_bins",
+                        help="Bins consumed during model warmup").inc(
+                            span.n_bins)
+            if telemetry is not None:
+                telemetry.end_chunk()
+                telemetry.maybe_write_snapshot(report.n_chunks_processed)
             next_to_fuse += 1
         if block:
             # Progress was made; let the caller re-check its exit condition.
@@ -633,18 +777,37 @@ def _run_shard_mode(iterator, types: List[TrafficType],
         config, types,
         engine_factory=lambda t: _ShardScatterProxy(config.forgetting,
                                                     t.value, pool))
+    telemetry = network.telemetry
+    if telemetry is not None:
+        pool.bus.bind_telemetry(telemetry)
     try:
         for chunk_index, chunk in enumerate(iterator):
             narrowed = _restricted_chunk(chunk, types)
-            descriptor = pool.publish(narrowed)
-            pool.broadcast((_MSG_CHUNK, descriptor))
+            if telemetry is not None:
+                # The coordinator owns this chunk's trace; process_chunk
+                # sees the open chunk and does not begin its own.
+                telemetry.begin_chunk(chunk_index)
+                with telemetry.span("ingest"):
+                    descriptor = pool.publish(narrowed)
+                    pool.broadcast((_MSG_CHUNK, descriptor))
+            else:
+                descriptor = pool.publish(narrowed)
+                pool.broadcast((_MSG_CHUNK, descriptor))
             # Scalar moments + (collect-barrier) calibration + detection.
             network.process_chunk(narrowed)
+            if telemetry is not None:
+                telemetry.end_chunk()
             pool.check_failure(strict=True)
             if (checkpoint_every_chunks is not None
                     and (chunk_index + 1) % checkpoint_every_chunks == 0):
                 network.save(checkpoint_dir)
         pool.send_stop()
+        if telemetry is not None:
+            # Fold the shard workers' registries (per-worker chunk counts,
+            # remote update-stage timings) into the coordinator's before
+            # finish() writes the final merged snapshot.
+            for _, payload in pool.wait_for_telemetry():
+                telemetry.merge_registry(payload)
         pool.shutdown()
     except BaseException:
         pool.shutdown(force=True)

@@ -24,6 +24,7 @@ Two driving modes:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -35,6 +36,7 @@ from repro.streaming.aggregator import OnlineEventAggregator
 from repro.streaming.config import StreamingConfig
 from repro.streaming.detector import ChunkDetections, StreamingSubspaceDetector
 from repro.streaming.sources import ChunkedSeriesSource, TrafficChunk
+from repro.telemetry import Telemetry
 from repro.utils.validation import require
 
 __all__ = ["StreamingReport", "StreamingNetworkDetector", "stream_detect",
@@ -66,6 +68,12 @@ class StreamingReport:
     n_bins_processed: int = 0
     n_chunks_processed: int = 0
     n_warmup_bins: int = 0
+    # Wall-clock throughput, maintained by the drivers as chunks flow (a
+    # restored run keeps accumulating on top of the checkpointed value).
+    # Excluded from evaluation.report_parity: two runs producing identical
+    # events legitimately differ here.
+    runtime_seconds: float = 0.0
+    bins_per_second: float = 0.0
 
     @property
     def n_events(self) -> int:
@@ -87,6 +95,8 @@ class StreamingReport:
             "n_bins_processed": self.n_bins_processed,
             "n_chunks_processed": self.n_chunks_processed,
             "n_warmup_bins": self.n_warmup_bins,
+            "runtime_seconds": self.runtime_seconds,
+            "bins_per_second": self.bins_per_second,
         }
 
     @classmethod
@@ -101,6 +111,10 @@ class StreamingReport:
             n_bins_processed=int(data["n_bins_processed"]),
             n_chunks_processed=int(data["n_chunks_processed"]),
             n_warmup_bins=int(data["n_warmup_bins"]),
+            # .get(): checkpoints written before the runtime fields existed
+            # restore with zeros rather than KeyError.
+            runtime_seconds=float(data.get("runtime_seconds", 0.0)),
+            bins_per_second=float(data.get("bins_per_second", 0.0)),
         )
 
 
@@ -109,13 +123,38 @@ def _fuse_chunk_results(
     chunk: TrafficChunk,
     aggregator: OnlineEventAggregator,
     report: StreamingReport,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[AnomalyEvent]:
     """Fold one chunk's per-type detections into the aggregator and report.
 
-    The single fusion step shared by live mode and the two-pass replay: once
-    every type delivered its detections for the chunk's bins, the aggregator
-    watermark advances and newly closed events land in the report.
+    The single fusion step shared by live mode, the two-pass replay, and
+    every distributed driver: once every type delivered its detections for
+    the chunk's bins, the aggregator watermark advances and newly closed
+    events land in the report.  Being the one shared chokepoint also makes
+    it the one place the bins/chunks/events telemetry counters increment —
+    no driver can double-count.
     """
+    if telemetry is not None:
+        with telemetry.span("aggregate"):
+            events = _fuse_inner(results, chunk, aggregator, report)
+        registry = telemetry.registry
+        registry.counter("bins_processed",
+                         help="Timebins fused into the report").inc(chunk.n_bins)
+        registry.counter("chunks_processed",
+                         help="Chunks fused into the report").inc()
+        for event in events:
+            registry.counter("events", {"type": event.traffic_label},
+                             help="Anomaly events by combination label").inc()
+        return events
+    return _fuse_inner(results, chunk, aggregator, report)
+
+
+def _fuse_inner(
+    results: Dict[TrafficType, ChunkDetections],
+    chunk: TrafficChunk,
+    aggregator: OnlineEventAggregator,
+    report: StreamingReport,
+) -> List[AnomalyEvent]:
     for traffic_type, result in results.items():
         per_type = report.detections.setdefault(traffic_type, [])
         for stream_detection in result.detections:
@@ -159,6 +198,9 @@ class StreamingNetworkDetector:
         self._aggregator = OnlineEventAggregator()
         self._report = StreamingReport()
         self._finished = False
+        self._telemetry = Telemetry.from_config(config)
+        self._run_started: Optional[float] = None
+        self._runtime_base = 0.0
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -178,6 +220,11 @@ class StreamingNetworkDetector:
         """The incremental event aggregator."""
         return self._aggregator
 
+    @property
+    def telemetry(self) -> Optional[Telemetry]:
+        """The observability bundle (``None`` unless ``config.telemetry``)."""
+        return self._telemetry
+
     def detector(self, traffic_type: TrafficType) -> StreamingSubspaceDetector:
         """The per-type online detector (created on first chunk)."""
         return self._detectors[TrafficType(traffic_type)]
@@ -196,8 +243,26 @@ class StreamingNetworkDetector:
             engine = (self._engine_factory(traffic_type)
                       if self._engine_factory is not None else None)
             detector = StreamingSubspaceDetector(self._config, engine=engine)
+            if self._telemetry is not None:
+                detector.bind_telemetry(self._telemetry,
+                                        {"type": traffic_type.value})
             self._detectors[traffic_type] = detector
         return detector
+
+    def _update_runtime(self) -> None:
+        """Refresh the report's wall-clock throughput fields in place."""
+        if self._run_started is None:
+            return
+        elapsed = time.perf_counter() - self._run_started
+        runtime = self._runtime_base + elapsed
+        self._report.runtime_seconds = runtime
+        self._report.bins_per_second = (
+            self._report.n_bins_processed / runtime if runtime > 0 else 0.0)
+        if self._telemetry is not None:
+            self._telemetry.registry.gauge(
+                "runtime_seconds",
+                help="Wall-clock processing time so far"
+            ).set(runtime)
 
     def ingest_chunk(self, chunk: TrafficChunk) -> None:
         """Fold a chunk into the per-type moment engines without detecting.
@@ -208,20 +273,40 @@ class StreamingNetworkDetector:
         at the global level (:mod:`repro.streaming.hierarchy`).
         """
         require(not self._finished, "detector already finished")
+        if self._run_started is None:
+            self._run_started = time.perf_counter()
         for traffic_type in self._types_for(chunk):
             self._detector_for(traffic_type).ingest(chunk.matrix(traffic_type))
 
     def process_chunk(self, chunk: TrafficChunk) -> List[AnomalyEvent]:
         """Consume one chunk; return events that closed because of it."""
         require(not self._finished, "detector already finished")
+        if self._run_started is None:
+            self._run_started = time.perf_counter()
+        tel = self._telemetry
+        # Drivers that time their own "ingest" stage open the chunk's trace
+        # before handing the chunk over; only start one here if they didn't.
+        owns_chunk = tel is not None and not tel.tracer.in_chunk
+        if owns_chunk:
+            tel.begin_chunk(self._report.n_chunks_processed)
         results: Dict[TrafficType, ChunkDetections] = {}
         for traffic_type in self._types_for(chunk):
             results[traffic_type] = self._detector_for(traffic_type).process_chunk(
                 chunk.matrix(traffic_type), chunk.start_bin)
         events = _fuse_chunk_results(results, chunk, self._aggregator,
-                                     self._report)
+                                     self._report, tel)
         if any(result.warmup for result in results.values()):
             self._report.n_warmup_bins += chunk.n_bins
+            if tel is not None:
+                tel.registry.counter(
+                    "warmup_bins",
+                    help="Bins consumed before the model warmed up"
+                ).inc(chunk.n_bins)
+        if owns_chunk:
+            tel.end_chunk()
+        self._update_runtime()
+        if tel is not None:
+            tel.maybe_write_snapshot(self._report.n_chunks_processed)
         return events
 
     def finish(self) -> StreamingReport:
@@ -229,6 +314,9 @@ class StreamingNetworkDetector:
         if not self._finished:
             self._report.events.extend(self._aggregator.flush())
             self._finished = True
+            self._update_runtime()
+            if self._telemetry is not None:
+                self._telemetry.write_snapshot()
         return self._report
 
     # ------------------------------------------------------------------ #
@@ -251,6 +339,10 @@ class StreamingNetworkDetector:
             "detectors": {},
             "aggregator": self._aggregator.state_dict(),
             "report": self._report.to_dict(),
+            # Counters survive the checkpoint; in-flight spans do not (the
+            # restored run builds a fresh tracer from the config).
+            "telemetry": (None if self._telemetry is None
+                          else self._telemetry.state_dict()),
         }
         arrays: Dict[str, np.ndarray] = {}
         for traffic_type, detector in self._detectors.items():
@@ -278,6 +370,17 @@ class StreamingNetworkDetector:
             meta["aggregator"])
         detector._report = StreamingReport.from_dict(meta["report"])
         detector._finished = bool(meta["finished"])
+        # Resume the runtime clock from the checkpointed value and fold the
+        # checkpointed counters into the fresh telemetry bundle.  .get():
+        # pre-telemetry checkpoints carry no "telemetry" entry.
+        detector._runtime_base = detector._report.runtime_seconds
+        if (detector._telemetry is not None
+                and meta.get("telemetry") is not None):
+            detector._telemetry.restore_state(meta["telemetry"])
+        for traffic_type, per_type in detector._detectors.items():
+            if detector._telemetry is not None:
+                per_type.bind_telemetry(detector._telemetry,
+                                        {"type": traffic_type.value})
         return detector
 
     def save(self, directory) -> "StreamingNetworkDetector":
@@ -304,8 +407,25 @@ def stream_detect(
 ) -> StreamingReport:
     """Single-pass live diagnosis over an iterable of chunks."""
     detector = StreamingNetworkDetector(config, traffic_types)
-    for chunk in chunks:
+    tel = detector.telemetry
+    if tel is None:
+        for chunk in chunks:
+            detector.process_chunk(chunk)
+        return detector.finish()
+    # Instrumented loop: open each chunk's trace before pulling it so the
+    # time spent waiting on the source lands in the "ingest" stage.
+    iterator = iter(chunks)
+    index = 0
+    while True:
+        tel.begin_chunk(index)
+        with tel.span("ingest"):
+            chunk = next(iterator, None)
+        if chunk is None:
+            tel.end_chunk()
+            break
         detector.process_chunk(chunk)
+        tel.end_chunk()
+        index += 1
     return detector.finish()
 
 

@@ -1,0 +1,180 @@
+"""Health snapshots: the registry folded into one structured report.
+
+A :class:`HealthSnapshot` is the status surface of a run: the handful of
+headline quantities an operator checks first (throughput, events by type,
+recalibration cadence, worker liveness, bus pressure) pulled out of the
+:class:`~repro.telemetry.registry.MetricsRegistry`, plus the complete
+metrics dump for everything else.  The pipeline writes one periodically
+(atomic rename, so a reader never sees a torn file); ``tools/status.py``
+renders the latest one as a table, and
+:func:`~repro.telemetry.registry.prometheus_exposition` turns the same
+registry into a scrape payload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["HealthSnapshot", "render_status_table"]
+
+SNAPSHOT_VERSION = 1
+
+
+@dataclass
+class HealthSnapshot:
+    """One structured view of a run's telemetry at a point in time."""
+
+    created_unix: float
+    bins_processed: int
+    chunks_processed: int
+    warmup_bins: int
+    runtime_seconds: float
+    bins_per_second: float
+    events_total: int
+    events_by_type: Dict[str, int]
+    recalibrations: int
+    recalibration_seconds: float
+    workers: Dict[str, int] = field(default_factory=dict)
+    stage_seconds: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry,
+                      runtime_seconds: Optional[float] = None,
+                      created_unix: Optional[float] = None
+                      ) -> "HealthSnapshot":
+        """Derive the headline fields from the registry's canonical names.
+
+        ``runtime_seconds`` defaults to the registry's own
+        ``runtime_seconds`` gauge (set by the pipeline); throughput is
+        recomputed from bins/runtime rather than trusted from a gauge so
+        the snapshot is internally consistent.
+        """
+        if runtime_seconds is None:
+            runtime_seconds = registry.value("runtime_seconds")
+        bins = registry.value("bins_processed")
+        events_by_type = {
+            dict(labels_key).get("type", ""): int(metric.value)
+            for labels_key, metric in registry.labeled("events").items()
+        }
+        # Recalibrations are counted per traffic type; the headline number
+        # is the sum over every labeled child.
+        n_recalibrations = sum(
+            int(metric.value)
+            for metric in registry.labeled("recalibrations").values())
+        recal = registry.get("stage_seconds", {"stage": "recalibrate"})
+        stage_summary: Dict[str, Dict[str, float]] = {}
+        for labels_key, metric in registry.labeled("stage_seconds").items():
+            stage = dict(labels_key).get("stage", "")
+            stage_summary[stage] = {
+                "count": metric.count,
+                "total_seconds": metric.total,
+                "mean_seconds": metric.mean,
+                "p95_seconds": metric.quantile(0.95),
+            }
+        workers = {
+            dict(labels_key).get("worker", ""): int(metric.value)
+            for labels_key, metric in registry.labeled("worker_chunks").items()
+        }
+        return cls(
+            created_unix=(time.time() if created_unix is None
+                          else float(created_unix)),
+            bins_processed=int(bins),
+            chunks_processed=int(registry.value("chunks_processed")),
+            warmup_bins=int(registry.value("warmup_bins")),
+            runtime_seconds=float(runtime_seconds),
+            bins_per_second=(bins / runtime_seconds
+                             if runtime_seconds > 0 else 0.0),
+            events_total=sum(events_by_type.values()),
+            events_by_type=events_by_type,
+            recalibrations=n_recalibrations,
+            recalibration_seconds=(recal.total if recal is not None else 0.0),
+            workers=workers,
+            stage_seconds=stage_summary,
+            metrics=registry.to_dict(),
+        )
+
+    def registry(self) -> MetricsRegistry:
+        """Rehydrate the full registry captured in this snapshot."""
+        return MetricsRegistry.from_dict(self.metrics)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        return {"version": SNAPSHOT_VERSION, **asdict(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "HealthSnapshot":
+        fields = dict(data)
+        fields.pop("version", None)
+        return cls(**fields)
+
+    def write(self, path: str) -> None:
+        """Atomically replace *path* with this snapshot as JSON."""
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, sort_keys=True)
+        os.replace(tmp_path, path)
+
+    @classmethod
+    def read(cls, path: str) -> "HealthSnapshot":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def _rows_to_table(rows: List[List[str]], header: List[str]) -> List[str]:
+    widths = [max(len(str(row[i])) for row in [header] + rows)
+              for i in range(len(header))]
+    def fmt(row):
+        return "  ".join(str(cell).ljust(width)
+                         for cell, width in zip(row, widths)).rstrip()
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+def render_status_table(snapshot: HealthSnapshot) -> str:
+    """The snapshot as a plain-text operator table (``tools/status.py``)."""
+    age = time.time() - snapshot.created_unix
+    lines = [
+        f"snapshot taken {age:.1f}s ago "
+        f"(unix {snapshot.created_unix:.0f})",
+        "",
+        f"bins processed     {snapshot.bins_processed}"
+        f"  (+{snapshot.warmup_bins} warm-up)",
+        f"chunks processed   {snapshot.chunks_processed}",
+        f"runtime            {snapshot.runtime_seconds:.2f}s"
+        f"  ({snapshot.bins_per_second:.1f} bins/sec)",
+        f"events emitted     {snapshot.events_total}",
+        f"recalibrations     {snapshot.recalibrations}"
+        f"  ({snapshot.recalibration_seconds:.3f}s total)",
+    ]
+    if snapshot.events_by_type:
+        lines.append("")
+        lines.extend(_rows_to_table(
+            [[label, str(count)]
+             for label, count in sorted(snapshot.events_by_type.items())],
+            ["event type", "count"]))
+    if snapshot.stage_seconds:
+        lines.append("")
+        lines.extend(_rows_to_table(
+            [[stage, str(int(s["count"])), f"{s['mean_seconds'] * 1e3:.3f}",
+              f"{s['p95_seconds'] * 1e3:.3f}", f"{s['total_seconds']:.3f}"]
+             for stage, s in sorted(snapshot.stage_seconds.items())],
+            ["stage", "count", "mean ms", "p95 ms", "total s"]))
+    if snapshot.workers:
+        lines.append("")
+        lines.extend(_rows_to_table(
+            [[worker, str(count)]
+             for worker, count in sorted(snapshot.workers.items())],
+            ["worker", "chunks"]))
+    return "\n".join(lines) + "\n"

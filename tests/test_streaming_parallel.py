@@ -182,6 +182,20 @@ def _crashing_worker(*args):
     os._exit(3)
 
 
+class _ExplodingDetector:
+    def __init__(self, *args, **kwargs):
+        raise RuntimeError("instrumented crash before any chunk")
+
+
+_REAL_TYPE_WORKER = parallel._type_worker
+
+
+def _crashing_on_first(*args):
+    """The real type worker, with detector construction exploding."""
+    parallel.StreamingSubspaceDetector = _ExplodingDetector
+    _REAL_TYPE_WORKER(*args)
+
+
 class TestWorkerFailurePaths:
     """Satellite: crash propagation, backpressure, and source failures."""
 
@@ -269,5 +283,22 @@ class TestParallelEdgeCases:
             TrafficType.BYTES: rng.random((16, 9)) + 1.0})
         bad = TrafficChunk(start_bin=16, matrices={
             TrafficType.BYTES: rng.random((16, 5)) + 1.0})  # wrong p
-        with pytest.raises(RuntimeError, match="streaming worker failed"):
+        with pytest.raises(RuntimeError,
+                           match="streaming worker failed") as excinfo:
             parallel_stream_detect([good, bad], live_config)
+        # The forwarded traceback identifies the failing worker and how far
+        # it got, so a crash in a long run is attributable from the message.
+        text = str(excinfo.value)
+        assert "worker type-0" in text
+        assert "types bytes" in text
+        assert "last-processed chunk 0" in text
+
+    def test_worker_failure_before_any_chunk(self, live_config, monkeypatch):
+        monkeypatch.setattr(parallel, "_type_worker", _crashing_on_first)
+        rng = np.random.default_rng(0)
+        chunk = TrafficChunk(start_bin=0, matrices={
+            TrafficType.BYTES: rng.random((16, 9)) + 1.0})
+        with pytest.raises(RuntimeError,
+                           match="streaming worker failed") as excinfo:
+            parallel_stream_detect([chunk], live_config)
+        assert "last-processed chunk none" in str(excinfo.value)

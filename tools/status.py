@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Render a live streaming run's health snapshot.
+
+The pipeline writes a :class:`repro.telemetry.HealthSnapshot` JSON file
+periodically when ``StreamingConfig(telemetry=True,
+telemetry_snapshot_path=...)`` is set.  This CLI renders the latest one:
+
+    python tools/status.py /path/to/health.json             # status table
+    python tools/status.py /path/to/health.json --prometheus # scrape text
+    python tools/status.py /path/to/health.json --watch 2    # live refresh
+
+Run with ``PYTHONPATH=src`` from the repo root (or an installed package).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("snapshot", help="path to the health snapshot JSON "
+                        "(see StreamingConfig.telemetry_snapshot_path)")
+    parser.add_argument("--prometheus", action="store_true",
+                        help="emit the Prometheus text exposition instead "
+                        "of the status table")
+    parser.add_argument("--watch", type=float, default=0.0, metavar="SECONDS",
+                        help="re-render every SECONDS until interrupted")
+    args = parser.parse_args(argv)
+
+    try:
+        from repro.telemetry import (HealthSnapshot, prometheus_exposition,
+                                     render_status_table)
+    except ImportError:
+        print("error: cannot import repro.telemetry — run with "
+              "PYTHONPATH=src from the repo root", file=sys.stderr)
+        return 2
+
+    def render() -> int:
+        try:
+            snapshot = HealthSnapshot.read(args.snapshot)
+        except FileNotFoundError:
+            print(f"error: no snapshot at {args.snapshot} (is the run "
+                  f"writing one?)", file=sys.stderr)
+            return 1
+        if args.prometheus:
+            sys.stdout.write(prometheus_exposition(snapshot.registry()))
+        else:
+            sys.stdout.write(render_status_table(snapshot))
+        sys.stdout.flush()
+        return 0
+
+    if args.watch <= 0:
+        return render()
+    try:
+        while True:
+            sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+            render()
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
