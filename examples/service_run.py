@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""The detection service end to end: store, alerts, SIGTERM, restart.
+
+Walks the full detection-as-a-service lifecycle in one process:
+
+1. run a :class:`~repro.service.DetectionService` over a synthetic
+   Abilene feed — every closed anomaly event is upserted into a sqlite
+   :class:`~repro.service.EventStore` and alerted through an
+   :class:`~repro.service.AlertDispatcher` (JSON-lines sink here; webhook
+   in production);
+2. stop it mid-stream exactly like an init system would (the SIGTERM
+   handler finishes the in-flight chunk, checkpoints, flushes, returns);
+3. restart from the checkpoint, finish the stream, and verify the
+   **service guarantee**: the event table is byte-identical to an
+   uninterrupted run's, and no event was alerted twice across the
+   restart.
+
+Afterwards it shows the store's query surface (time windows, severity,
+summaries) — what ``tools/serve_status.py`` exposes over HTTP.
+
+Run with::
+
+    python examples/service_run.py
+"""
+
+import json
+import signal
+import tempfile
+from pathlib import Path
+
+from repro.datasets.streaming import synthetic_chunk_stream
+from repro.datasets.synthetic import DatasetConfig
+from repro.service import AlertDispatcher, DetectionService, EventStore, JsonLinesAlertSink
+from repro.streaming import StreamingConfig
+
+CHUNK = 48
+DAYS = 3
+SEED = 7
+CONFIG = StreamingConfig(min_train_bins=256, recalibrate_every_bins=48)
+
+
+def feed():
+    """The deterministic synthetic Abilene feed (DAYS one-day blocks)."""
+    return synthetic_chunk_stream(
+        chunk_size=CHUNK,
+        block_config=DatasetConfig(weeks=1.0 / 7.0),
+        seed=SEED,
+        max_blocks=DAYS,
+    )
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="service-run-"))
+    alerts_path = workdir / "alerts.jsonl"
+
+    # ------------------------------------------------------------------ #
+    # 1. a service that will be "SIGTERMed" mid-stream
+    # ------------------------------------------------------------------ #
+    store = EventStore(workdir / "events.sqlite")
+    dispatcher = AlertDispatcher([JsonLinesAlertSink(str(alerts_path))],
+                                 dead_letter_path=str(workdir / "dead.jsonl"))
+    service = DetectionService(CONFIG, store=store, dispatcher=dispatcher,
+                               checkpoint_dir=workdir / "ckpt")
+    service.install_signal_handlers()
+
+    def sigterm_after(chunks, n_chunks):
+        """Deliver a real SIGTERM to ourselves after the n-th chunk."""
+        for index, chunk in enumerate(chunks, start=1):
+            yield chunk
+            if index == n_chunks:
+                signal.raise_signal(signal.SIGTERM)
+
+    result = service.run(sigterm_after(feed(), 8))
+    print(f"interrupted: {result.interrupted} after "
+          f"{result.report.n_bins_processed} bins; "
+          f"{store.count()} events stored, checkpoint at "
+          f"{result.checkpoint_dir}")
+    first_alerts = alerts_path.read_text().splitlines() \
+        if alerts_path.exists() else []
+    store.close()
+
+    # ------------------------------------------------------------------ #
+    # 2. restart: resume from the checkpoint, finish the stream
+    # ------------------------------------------------------------------ #
+    store = EventStore(workdir / "events.sqlite")
+    dispatcher = AlertDispatcher([JsonLinesAlertSink(str(alerts_path))])
+    resumed = DetectionService(store=store, dispatcher=dispatcher,
+                               checkpoint_dir=workdir / "ckpt")
+    print(f"restart resumes at bin {resumed.resume_bin}")
+    suffix = (c for c in feed() if c.start_bin >= resumed.resume_bin)
+    final = resumed.run(suffix)
+    print(f"finished: {store.count()} events total "
+          f"({final.events_stored} new after the restart)")
+
+    # ------------------------------------------------------------------ #
+    # 3. the guarantee: byte-identical to an uninterrupted run
+    # ------------------------------------------------------------------ #
+    reference_store = EventStore()
+    DetectionService(CONFIG, store=reference_store).run(feed())
+    assert store.table_digest() == reference_store.table_digest(), \
+        "event tables diverged"
+    print(f"byte-identical event table across the restart "
+          f"(digest {store.table_digest()[:16]}...)")
+
+    all_alerts = alerts_path.read_text().splitlines()
+    keys = [json.loads(line)["key"] for line in all_alerts]
+    assert len(keys) == len(set(keys)), "an event was alerted twice"
+    print(f"{len(first_alerts)} alerts before the stop, "
+          f"{len(all_alerts) - len(first_alerts)} after — no duplicates")
+
+    # ------------------------------------------------------------------ #
+    # 4. the query surface (what tools/serve_status.py serves)
+    # ------------------------------------------------------------------ #
+    print("\nmost recent events:")
+    for event in store.recent(limit=3):
+        print(f"  [{event.severity:>8}] {event.summary} "
+              f"(confidence {event.confidence:.2f})")
+    summary = store.summary()
+    print(f"\nrun summary: {summary.total_events} events, "
+          f"severities {summary.events_by_severity}, "
+          f"mean confidence {summary.mean_confidence:.2f}")
+
+    reference_store.close()
+    resumed.close()
+
+
+if __name__ == "__main__":
+    main()

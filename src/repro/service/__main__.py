@@ -1,0 +1,8 @@
+"""``python -m repro.service`` — run the detection service CLI."""
+
+import sys
+
+from repro.service.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,282 @@
+"""Pluggable alert sinks with bounded retry, dedup, and a dead-letter file.
+
+An alert sink is anything with a ``name`` and an ``emit(payload)`` that
+raises on failure — stdout for interactive runs, a JSON-lines file for
+log shippers, a webhook stub whose HTTP transport is injected (the repo
+is network-free; production swaps in ``urllib.request`` in one line).
+
+:class:`AlertDispatcher` is the delivery policy around them, mirroring
+how production notifiers behave:
+
+* **bounded retry with exponential backoff + jitter** — each failed emit
+  is retried up to ``max_attempts`` times, sleeping
+  ``backoff_base * backoff_factor**attempt`` scaled by a seeded random
+  jitter, so a flapping sink neither drops alerts instantly nor
+  synchronizes its retries;
+* **dedup window** — the last ``dedup_window`` event keys are remembered
+  and re-dispatches are suppressed (redelivery happens: sink retries at a
+  higher layer, overlapping replays);
+* **dead-letter file** — an alert that exhausts its retries is appended,
+  with the error chain, to a JSON-lines dead-letter file instead of being
+  lost silently;
+* **metrics** — every outcome increments a counter in the run's
+  :class:`~repro.telemetry.MetricsRegistry` (``alerts_sent``,
+  ``alert_retries``, ``alerts_deduplicated``, ``alerts_dead_lettered``,
+  labeled by sink), so the PR 7 status surface shows alerting health next
+  to detection throughput.
+
+Everything is injectable (``sleep``, RNG seed, webhook transport), so the
+failure paths are unit-testable without wall-clock sleeps or a network.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.events import AnomalyEvent
+from repro.service.records import EventRecord, classify_event
+from repro.telemetry import MetricsRegistry
+from repro.utils.validation import require
+
+__all__ = ["AlertSink", "StdoutSink", "JsonLinesAlertSink", "WebhookSink",
+           "AlertDispatcher"]
+
+
+class AlertSink:
+    """Protocol of an alert sink: ``emit`` delivers or raises."""
+
+    #: Label used in metrics and dead-letter records.
+    name = "sink"
+
+    def emit(self, payload: Dict[str, object]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class StdoutSink(AlertSink):
+    """Writes one compact JSON line per alert to a stream (default stdout)."""
+
+    name = "stdout"
+
+    def __init__(self, stream=None) -> None:
+        self._stream = stream
+
+    def emit(self, payload: Dict[str, object]) -> None:
+        stream = self._stream if self._stream is not None else sys.stdout
+        stream.write(json.dumps(payload, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+        stream.flush()
+
+
+class JsonLinesAlertSink(AlertSink):
+    """Appends one JSON line per alert to a file (lazily opened, locked)."""
+
+    name = "jsonl"
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._handle = None
+
+    def emit(self, payload: Dict[str, object]) -> None:
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._handle is None:
+                directory = os.path.dirname(self.path)
+                if directory:
+                    os.makedirs(directory, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+class WebhookSink(AlertSink):
+    """POST-a-JSON-document webhook, with the transport injected.
+
+    The repo carries no network dependency, so the default transport
+    refuses with a clear error (and the alert dead-letters — the correct
+    offline behavior).  Production injects a two-argument callable
+    ``transport(url, body_bytes)`` that performs the POST and raises on a
+    non-2xx response; tests inject recorders and failure modes.
+    """
+
+    name = "webhook"
+
+    def __init__(self, url: str,
+                 transport: Optional[Callable[[str, bytes], None]] = None
+                 ) -> None:
+        require(bool(url), "webhook sink needs a non-empty url")
+        self.url = str(url)
+        self._transport = transport
+
+    def emit(self, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if self._transport is None:
+            raise RuntimeError(
+                f"webhook sink has no transport configured for {self.url} "
+                f"(inject transport=... to enable delivery)")
+        self._transport(self.url, body)
+
+
+class AlertDispatcher:
+    """Retry/backoff/dedup/dead-letter delivery policy over alert sinks.
+
+    Parameters
+    ----------
+    sinks:
+        The delivery targets.  An empty list is valid (store-only service).
+    registry:
+        Metrics registry the outcome counters land in (one is created when
+        omitted, exposed as :attr:`registry`).
+    max_attempts:
+        Delivery attempts per sink per alert (>= 1).
+    backoff_base:
+        Sleep before the first retry, seconds.
+    backoff_factor:
+        Multiplier applied per subsequent retry.
+    jitter:
+        Uniform jitter fraction: each sleep is scaled by
+        ``1 + jitter * U[0, 1)`` from a seeded RNG.
+    dedup_window:
+        How many recently alerted event keys are remembered.
+    dead_letter_path:
+        JSON-lines file collecting alerts that exhausted their retries
+        (empty: exhausted alerts are only counted).
+    sleep:
+        Injectable sleep (tests pass a recorder; default
+        :func:`time.sleep`).
+    seed:
+        Jitter RNG seed — deterministic backoff schedules in tests.
+    """
+
+    def __init__(self,
+                 sinks: Sequence[AlertSink] = (),
+                 registry: Optional[MetricsRegistry] = None,
+                 max_attempts: int = 3,
+                 backoff_base: float = 0.05,
+                 backoff_factor: float = 2.0,
+                 jitter: float = 0.1,
+                 dedup_window: int = 1024,
+                 dead_letter_path: str = "",
+                 sleep: Callable[[float], None] = time.sleep,
+                 seed: int = 0) -> None:
+        require(max_attempts >= 1, "max_attempts must be >= 1")
+        require(backoff_base >= 0.0, "backoff_base must be >= 0")
+        require(backoff_factor >= 1.0, "backoff_factor must be >= 1")
+        require(jitter >= 0.0, "jitter must be >= 0")
+        require(dedup_window >= 0, "dedup_window must be >= 0")
+        self.sinks: List[AlertSink] = list(sinks)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.max_attempts = int(max_attempts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_factor = float(backoff_factor)
+        self.jitter = float(jitter)
+        self.dedup_window = int(dedup_window)
+        self.dead_letter_path = str(dead_letter_path)
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._recent: "OrderedDict[str, None]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def _remember(self, key: str) -> bool:
+        """Record *key* in the dedup window; ``True`` iff it was new."""
+        if self.dedup_window == 0:
+            return True
+        with self._lock:
+            if key in self._recent:
+                self._recent.move_to_end(key)
+                return False
+            self._recent[key] = None
+            while len(self._recent) > self.dedup_window:
+                self._recent.popitem(last=False)
+            return True
+
+    def _backoff_seconds(self, attempt: int) -> float:
+        base = self.backoff_base * (self.backoff_factor ** attempt)
+        return base * (1.0 + self.jitter * self._rng.random())
+
+    def _dead_letter(self, sink: AlertSink, payload: Dict[str, object],
+                     errors: List[str]) -> None:
+        self.registry.counter(
+            "alerts_dead_lettered", {"sink": sink.name},
+            help="Alerts that exhausted their delivery retries").inc()
+        if not self.dead_letter_path:
+            return
+        record = {"sink": sink.name, "payload": payload, "errors": errors,
+                  "attempts": self.max_attempts}
+        directory = os.path.dirname(self.dead_letter_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.dead_letter_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+
+    def _deliver(self, sink: AlertSink, payload: Dict[str, object]) -> bool:
+        errors: List[str] = []
+        for attempt in range(self.max_attempts):
+            try:
+                sink.emit(payload)
+            except Exception as error:  # noqa: BLE001 - sink contract
+                errors.append(f"{type(error).__name__}: {error}")
+                if attempt + 1 < self.max_attempts:
+                    self.registry.counter(
+                        "alert_retries", {"sink": sink.name},
+                        help="Alert delivery retries").inc()
+                    self._sleep(self._backoff_seconds(attempt))
+            else:
+                self.registry.counter(
+                    "alerts_sent", {"sink": sink.name},
+                    help="Alerts delivered").inc()
+                return True
+        self._dead_letter(sink, payload, errors)
+        return False
+
+    # ------------------------------------------------------------------ #
+    def dispatch(self, event: AnomalyEvent,
+                 record: Optional[EventRecord] = None) -> bool:
+        """Alert every sink about *event*; ``True`` iff it was dispatched.
+
+        Returns ``False`` when the event key sat in the dedup window.  A
+        partially failed dispatch (some sinks delivered, some
+        dead-lettered) still counts as dispatched — per-sink outcomes are
+        in the metrics and the dead-letter file.
+        """
+        if record is None:
+            record = classify_event(event)
+        if not self._remember(record.key):
+            self.registry.counter(
+                "alerts_deduplicated",
+                help="Alerts suppressed by the dedup window").inc()
+            return False
+        payload = record.to_dict()
+        for sink in self.sinks:
+            self._deliver(sink, payload)
+        return True
+
+    def dispatch_many(self, events: Sequence[AnomalyEvent]) -> int:
+        """Dispatch a batch; returns how many were not deduplicated."""
+        return sum(1 for event in events if self.dispatch(event))
+
+    def flush(self) -> None:
+        """No-op placeholder for symmetry with the store (sinks flush per
+        emit); kept so the service shutdown sequence reads uniformly."""
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

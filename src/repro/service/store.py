@@ -1,0 +1,378 @@
+"""Durable anomaly-event store: sqlite behind a thread-safe wrapper.
+
+The store is the service's system of record: every event the pipeline
+closes is upserted here, keyed on the deterministic
+:func:`~repro.service.records.event_key` ``(label, start_bin, OD-set
+digest)``.  Idempotency is the load-bearing property — a re-delivered
+event (sink retry, checkpoint replay after a crash, a second coordinator
+racing the first) maps onto the same primary key and leaves the table
+unchanged, which is what makes a SIGTERM-interrupt-then-restart run end
+with the **byte-identical** event table of an uninterrupted run (the
+restart-parity guarantee of ``repro.streaming.checkpoint`` extended to
+disk).
+
+Rows are deliberately wall-clock-free: every column is a pure function of
+the event, so two runs over the same stream produce identical tables and
+:meth:`EventStore.table_digest` can assert it in one comparison.
+
+The schema is portable SQL (TEXT/INTEGER/REAL, named primary key,
+``INSERT ... ON CONFLICT DO UPDATE``) so the same statements run on
+postgres with only the placeholder style changed — the documented
+migration path once one sqlite file per service stops being enough.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.events import AnomalyEvent
+from repro.service.records import (EventRecord, classify_event, od_digest,
+                                   summarize_records)
+from repro.service.records import RunSummary
+from repro.utils.validation import require
+
+__all__ = ["EventStore", "StoredEvent", "SCHEMA_VERSION", "SCHEMA_STATEMENTS"]
+
+#: Bumped whenever the table layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Portable DDL — the postgres migration runs these verbatim (sqlite's
+#: TEXT/INTEGER/REAL map onto text/bigint/double precision).
+SCHEMA_STATEMENTS = (
+    """
+    CREATE TABLE IF NOT EXISTS schema_meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS events (
+        event_key     TEXT PRIMARY KEY,
+        traffic_label TEXT    NOT NULL,
+        start_bin     INTEGER NOT NULL,
+        end_bin       INTEGER NOT NULL,
+        duration_bins INTEGER NOT NULL,
+        od_flows      TEXT    NOT NULL,
+        od_set_digest TEXT    NOT NULL,
+        bins          TEXT    NOT NULL,
+        statistics    TEXT    NOT NULL,
+        severity      TEXT    NOT NULL,
+        confidence    REAL    NOT NULL,
+        summary       TEXT    NOT NULL
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS idx_events_start_bin ON events (start_bin)",
+    "CREATE INDEX IF NOT EXISTS idx_events_label ON events (traffic_label)",
+    "CREATE INDEX IF NOT EXISTS idx_events_severity ON events (severity)",
+)
+
+_UPSERT = """
+INSERT INTO events (event_key, traffic_label, start_bin, end_bin,
+                    duration_bins, od_flows, od_set_digest, bins,
+                    statistics, severity, confidence, summary)
+VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+ON CONFLICT (event_key) DO UPDATE SET
+    end_bin       = excluded.end_bin,
+    duration_bins = excluded.duration_bins,
+    od_flows      = excluded.od_flows,
+    od_set_digest = excluded.od_set_digest,
+    bins          = excluded.bins,
+    statistics    = excluded.statistics,
+    severity      = excluded.severity,
+    confidence    = excluded.confidence,
+    summary       = excluded.summary
+"""
+
+_COLUMNS = ("event_key", "traffic_label", "start_bin", "end_bin",
+            "duration_bins", "od_flows", "od_set_digest", "bins",
+            "statistics", "severity", "confidence", "summary")
+
+
+@dataclass(frozen=True)
+class StoredEvent:
+    """One row of the ``events`` table, decoded."""
+
+    event_key: str
+    traffic_label: str
+    start_bin: int
+    end_bin: int
+    duration_bins: int
+    od_flows: Tuple[int, ...]
+    od_set_digest: str
+    bins: Tuple[int, ...]
+    statistics: Tuple[str, ...]
+    severity: str
+    confidence: float
+    summary: str
+
+    def to_event(self) -> AnomalyEvent:
+        """Rebuild the detection-layer event this row was stored from."""
+        return AnomalyEvent(
+            traffic_label=self.traffic_label,
+            start_bin=self.start_bin,
+            end_bin=self.end_bin,
+            od_flows=frozenset(self.od_flows),
+            bins=self.bins,
+            statistics=frozenset(self.statistics),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "event_key": self.event_key,
+            "traffic_label": self.traffic_label,
+            "start_bin": self.start_bin,
+            "end_bin": self.end_bin,
+            "duration_bins": self.duration_bins,
+            "od_flows": list(self.od_flows),
+            "od_set_digest": self.od_set_digest,
+            "bins": list(self.bins),
+            "statistics": list(self.statistics),
+            "severity": self.severity,
+            "confidence": self.confidence,
+            "summary": self.summary,
+        }
+
+
+def _decode_row(row: Sequence) -> StoredEvent:
+    data = dict(zip(_COLUMNS, row))
+    return StoredEvent(
+        event_key=str(data["event_key"]),
+        traffic_label=str(data["traffic_label"]),
+        start_bin=int(data["start_bin"]),
+        end_bin=int(data["end_bin"]),
+        duration_bins=int(data["duration_bins"]),
+        od_flows=tuple(int(f) for f in json.loads(data["od_flows"])),
+        od_set_digest=str(data["od_set_digest"]),
+        bins=tuple(int(b) for b in json.loads(data["bins"])),
+        statistics=tuple(str(s) for s in json.loads(data["statistics"])),
+        severity=str(data["severity"]),
+        confidence=float(data["confidence"]),
+        summary=str(data["summary"]),
+    )
+
+
+class EventStore:
+    """Thread-safe, idempotent anomaly-event store over one sqlite file.
+
+    One connection (``check_same_thread=False``) guarded by a re-entrant
+    lock: the pipeline thread upserts while a status server thread reads,
+    and sqlite's serialized access plus the lock keep both consistent.
+    WAL journaling keeps readers unblocked by the writer where the
+    filesystem supports it (in-memory stores fall back silently).
+
+    Parameters
+    ----------
+    path:
+        Database file path, or ``":memory:"`` for an ephemeral store.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike] = ":memory:") -> None:
+        self._path = str(path)
+        self._lock = threading.RLock()
+        self._connection = sqlite3.connect(self._path,
+                                           check_same_thread=False)
+        with self._lock:
+            try:
+                self._connection.execute("PRAGMA journal_mode=WAL")
+            except sqlite3.DatabaseError:  # pragma: no cover - fs-specific
+                pass
+            for statement in SCHEMA_STATEMENTS:
+                self._connection.execute(statement)
+            self._connection.execute(
+                "INSERT INTO schema_meta (key, value) VALUES (?, ?) "
+                "ON CONFLICT (key) DO NOTHING",
+                ("schema_version", str(SCHEMA_VERSION)))
+            self._connection.commit()
+        stored = self.schema_version()
+        require(stored == SCHEMA_VERSION,
+                f"event store {self._path} has schema version {stored}, "
+                f"expected {SCHEMA_VERSION}")
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def add_event(self, event: AnomalyEvent,
+                  record: Optional[EventRecord] = None) -> bool:
+        """Upsert one event; return ``True`` iff the row is new.
+
+        *record* defaults to :func:`~repro.service.records.classify_event`
+        of the event; pass a precomputed one to avoid classifying twice.
+        """
+        if record is None:
+            record = classify_event(event)
+        row = (
+            record.key,
+            record.traffic_label,
+            record.start_bin,
+            record.end_bin,
+            record.duration_bins,
+            json.dumps(list(record.od_flows)),
+            od_digest(record.od_flows),
+            json.dumps([int(b) for b in event.bins]),
+            json.dumps(list(record.statistics)),
+            record.severity,
+            record.confidence,
+            record.summary,
+        )
+        with self._lock:
+            cursor = self._connection.execute(
+                "SELECT 1 FROM events WHERE event_key = ?", (record.key,))
+            existed = cursor.fetchone() is not None
+            self._connection.execute(_UPSERT, row)
+            self._connection.commit()
+        return not existed
+
+    def add_events(self, events: Iterable[AnomalyEvent]) -> List[AnomalyEvent]:
+        """Upsert a batch; return the sublist that created **new** rows.
+
+        The returned list is what downstream alerting should fire on: a
+        replayed batch after a crash-restart returns empty, so operators
+        are never re-paged for events the store already knows.
+        """
+        fresh: List[AnomalyEvent] = []
+        with self._lock:
+            for event in events:
+                if self.add_event(event):
+                    fresh.append(event)
+        return fresh
+
+    # ------------------------------------------------------------------ #
+    # querying
+    # ------------------------------------------------------------------ #
+    def query(self,
+              start_bin: Optional[int] = None,
+              end_bin: Optional[int] = None,
+              traffic_label: Optional[str] = None,
+              severity: Optional[str] = None,
+              min_confidence: Optional[float] = None,
+              limit: Optional[int] = None) -> List[StoredEvent]:
+        """Events intersecting ``[start_bin, end_bin)``, filtered, ordered.
+
+        Ordering is deterministic (``start_bin``, then ``event_key``), so
+        the same table always lists the same way.
+        """
+        clauses: List[str] = []
+        params: List[object] = []
+        if start_bin is not None:
+            clauses.append("end_bin >= ?")
+            params.append(int(start_bin))
+        if end_bin is not None:
+            clauses.append("start_bin < ?")
+            params.append(int(end_bin))
+        if traffic_label is not None:
+            clauses.append("traffic_label = ?")
+            params.append(str(traffic_label))
+        if severity is not None:
+            clauses.append("severity = ?")
+            params.append(str(severity))
+        if min_confidence is not None:
+            clauses.append("confidence >= ?")
+            params.append(float(min_confidence))
+        sql = f"SELECT {', '.join(_COLUMNS)} FROM events"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY start_bin, event_key"
+        if limit is not None:
+            require(limit >= 1, "limit must be >= 1 when given")
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        with self._lock:
+            rows = self._connection.execute(sql, params).fetchall()
+        return [_decode_row(row) for row in rows]
+
+    def recent(self, limit: int = 20) -> List[StoredEvent]:
+        """The *limit* latest events (by start bin, newest first)."""
+        require(limit >= 1, "limit must be >= 1")
+        with self._lock:
+            rows = self._connection.execute(
+                f"SELECT {', '.join(_COLUMNS)} FROM events "
+                f"ORDER BY start_bin DESC, event_key DESC LIMIT ?",
+                (int(limit),)).fetchall()
+        return [_decode_row(row) for row in rows]
+
+    def count(self) -> int:
+        """Total number of stored events."""
+        with self._lock:
+            return int(self._connection.execute(
+                "SELECT COUNT(*) FROM events").fetchone()[0])
+
+    def counts_by_label(self) -> Dict[str, int]:
+        """Stored-event counts per combination label (the service Table 1)."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT traffic_label, COUNT(*) FROM events "
+                "GROUP BY traffic_label").fetchall()
+        return {str(label): int(count) for label, count in rows}
+
+    def counts_by_severity(self) -> Dict[str, int]:
+        """Stored-event counts per severity tier."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT severity, COUNT(*) FROM events "
+                "GROUP BY severity").fetchall()
+        return {str(level): int(count) for level, count in rows}
+
+    def summary(self) -> RunSummary:
+        """Run-level roll-up of every stored record."""
+        return summarize_records(e.to_dict() for e in self.query())
+
+    def schema_version(self) -> int:
+        """The schema version recorded in the file."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT value FROM schema_meta WHERE key = ?",
+                ("schema_version",)).fetchone()
+        return int(row[0]) if row is not None else 0
+
+    # ------------------------------------------------------------------ #
+    # parity surface
+    # ------------------------------------------------------------------ #
+    def canonical_rows(self) -> List[Tuple]:
+        """Every row in deterministic order — the parity comparison unit."""
+        with self._lock:
+            return self._connection.execute(
+                f"SELECT {', '.join(_COLUMNS)} FROM events "
+                f"ORDER BY start_bin, event_key").fetchall()
+
+    def table_digest(self) -> str:
+        """SHA-256 over the canonical row dump.
+
+        Two stores hold the byte-identical event table iff their digests
+        match — the one-line assertion of the restart-parity guarantee.
+        """
+        payload = json.dumps(self.canonical_rows(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        """Commit any pending transaction (durability point)."""
+        with self._lock:
+            self._connection.commit()
+
+    def close(self) -> None:
+        """Commit and close the connection (idempotent)."""
+        with self._lock:
+            if self._connection is not None:
+                self._connection.commit()
+                self._connection.close()
+                self._connection = None
+
+    def __enter__(self) -> "EventStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def path(self) -> str:
+        """The database file path (``":memory:"`` for ephemeral stores)."""
+        return self._path

@@ -77,25 +77,64 @@ def save_checkpoint(detector: StreamingNetworkDetector,
     manifest paired with the wrong arrays file is rejected at load time by
     the recorded SHA-256 instead of silently resuming from corrupt state.
     """
+    # The lineage check must see the *original* object's run id: the
+    # hierarchical detector's to_network_detector() (inside the inner save)
+    # builds a fresh flat detector — and a fresh id — on every call.
+    run_id = getattr(detector, "run_id", None)
+    _require_same_lineage(Path(directory), run_id)
     telemetry = getattr(detector, "_telemetry", None)
     if telemetry is None:
-        return _save_checkpoint(detector, directory)
+        return _save_checkpoint(detector, directory, run_id)
     # Count first: the registry is serialized inside the save, so the
     # checkpoint (and a run restored from it) includes its own write.
     telemetry.registry.counter(
         "checkpoints", help="Checkpoints written").inc()
     with telemetry.span("checkpoint"):
-        path = _save_checkpoint(detector, directory)
+        path = _save_checkpoint(detector, directory, run_id)
     return path
 
 
+def _require_same_lineage(path: Path, run_id) -> None:
+    """Refuse to overwrite (and garbage-collect) a foreign checkpoint.
+
+    Two detectors pointed at one directory would otherwise destroy each
+    other silently: the stale-GC after a save unlinks every non-current
+    ``state-*.npz``, including the other run's arrays.  A manifest carrying
+    a different lineage ``run_id`` therefore aborts the save with a clear
+    error.  Manifests without a ``run_id`` (pre-lineage format) and
+    detectors without one (``run_id=None``) stay overwritable for
+    compatibility.
+    """
+    manifest_path = path / MANIFEST_FILENAME
+    if run_id is None or not manifest_path.is_file():
+        return
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        existing_id = existing.get("meta", {}).get("run_id")
+    except (OSError, json.JSONDecodeError, AttributeError):
+        # Unreadable manifest: nothing trustworthy to protect — the save
+        # replaces it atomically either way.
+        return
+    require(existing_id is None or existing_id == run_id,
+            f"checkpoint directory {path} holds a checkpoint from a "
+            f"different detector run ({existing_id!r}); refusing to "
+            f"overwrite it — use a separate directory per detector, or "
+            f"restore from this checkpoint to continue its run")
+
+
 def _save_checkpoint(detector: StreamingNetworkDetector,
-                     directory: Union[str, Path]) -> Path:
+                     directory: Union[str, Path],
+                     run_id=None) -> Path:
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
     if hasattr(detector, "to_network_detector"):
         detector = detector.to_network_detector()
     state = detector.state_dict()
+    if run_id is not None:
+        # The checkpoint's lineage is the *saving* object's, not the
+        # throwaway merged detector's (hierarchical saves).
+        state["meta"]["run_id"] = run_id
     arrays = state["arrays"]
 
     arrays_tmp = path / (ARRAYS_FILENAME_PREFIX + "incoming.npz.tmp")

@@ -34,6 +34,7 @@ single-process run with the identical remaining events.
 from __future__ import annotations
 
 import time
+import uuid
 from functools import reduce
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -196,6 +197,10 @@ class HierarchicalNetworkDetector:
             leaf._telemetry = self._telemetry
         self._leaf_end_bin = [0] * n_pops
         self._run_started: Optional[float] = None
+        # Lineage id for checkpoint-directory ownership: stable across the
+        # hierarchy's saves even though every save materializes a fresh
+        # merged flat detector (see repro.streaming.checkpoint).
+        self._run_id = uuid.uuid4().hex
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -204,6 +209,11 @@ class HierarchicalNetworkDetector:
     def config(self) -> StreamingConfig:
         """The streaming configuration."""
         return self._config
+
+    @property
+    def run_id(self) -> str:
+        """Lineage id stamped into this hierarchy's checkpoints."""
+        return self._run_id
 
     @property
     def n_pops(self) -> int:

@@ -567,6 +567,7 @@ def parallel_stream_detect(
     poll_seconds: Optional[float] = None,
     checkpoint_dir: Optional[Union[str, os.PathLike]] = None,
     checkpoint_every_chunks: Optional[int] = None,
+    on_events=None,
 ) -> StreamingReport:
     """Multi-process live diagnosis over an iterable of chunks.
 
@@ -606,6 +607,10 @@ def parallel_stream_detect(
         ordinary :func:`~repro.streaming.checkpoint.load_checkpoint`.
     checkpoint_every_chunks:
         Checkpoint cadence in chunks (requires *checkpoint_dir*).
+    on_events:
+        Optional event hand-off hook, called on the coordinator with every
+        batch of newly closed events (and the end-of-stream tail) — the
+        same contract as :func:`~repro.streaming.pipeline.stream_detect`.
 
     Returns
     -------
@@ -654,11 +659,11 @@ def parallel_stream_detect(
         pool = _ShardWorkerPool(config, workers, queue_depth, poll, context,
                                 slot_bytes)
         return _run_shard_mode(iterator, types, config, pool, checkpoint_dir,
-                               checkpoint_every_chunks)
+                               checkpoint_every_chunks, on_events=on_events)
     pool = _TypeWorkerPool(types, config,
                            n_workers if n_workers is not None else len(types),
                            queue_depth, poll, context, slot_bytes)
-    return _run_type_mode(iterator, types, config, pool)
+    return _run_type_mode(iterator, types, config, pool, on_events=on_events)
 
 
 def _finalize_runtime(report: StreamingReport, started: float,
@@ -676,7 +681,8 @@ def _finalize_runtime(report: StreamingReport, started: float,
 
 def _run_type_mode(iterator, types: List[TrafficType],
                    config: StreamingConfig,
-                   pool: _TypeWorkerPool) -> StreamingReport:
+                   pool: _TypeWorkerPool,
+                   on_events=None) -> StreamingReport:
     aggregator = OnlineEventAggregator()
     report = StreamingReport()
     telemetry = Telemetry.from_config(config)
@@ -697,12 +703,12 @@ def _run_type_mode(iterator, types: List[TrafficType],
             pool.broadcast((chunk_index, descriptor))
             next_to_fuse = _drain(pool, buffered, spans, types, aggregator,
                                   report, next_to_fuse, block=False,
-                                  telemetry=telemetry)
+                                  telemetry=telemetry, on_events=on_events)
         pool.send_stop()
         while next_to_fuse < n_chunks:
             next_to_fuse = _drain(pool, buffered, spans, types, aggregator,
                                   report, next_to_fuse, block=True,
-                                  telemetry=telemetry)
+                                  telemetry=telemetry, on_events=on_events)
         if telemetry is not None:
             # Fold every worker's registry into the coordinator's — the
             # same merge discipline as the moment algebra: counters and
@@ -713,7 +719,10 @@ def _run_type_mode(iterator, types: List[TrafficType],
     except BaseException:
         pool.shutdown(force=True)
         raise
-    report.events.extend(aggregator.flush())
+    tail = aggregator.flush()
+    report.events.extend(tail)
+    if on_events is not None and tail:
+        on_events(tail)
     _finalize_runtime(report, started, telemetry)
     if telemetry is not None:
         telemetry.write_snapshot()
@@ -731,6 +740,7 @@ def _drain(
     next_to_fuse: int,
     block: bool,
     telemetry=None,
+    on_events=None,
 ) -> int:
     """Collect available worker results; fuse every completed chunk in order."""
     while True:
@@ -748,8 +758,10 @@ def _drain(
                 # The coordinator's chunk clock ticks at fusion time (its
                 # only per-chunk work); workers sample their own traces.
                 telemetry.begin_chunk(next_to_fuse)
-            _fuse_chunk_results(results, span, aggregator, report,
-                                telemetry=telemetry)
+            closed = _fuse_chunk_results(results, span, aggregator, report,
+                                         telemetry=telemetry)
+            if on_events is not None and closed:
+                on_events(closed)
             if any(result.warmup for result in results.values()):
                 report.n_warmup_bins += span.n_bins
                 if telemetry is not None:
@@ -768,7 +780,8 @@ def _drain(
 
 def _run_shard_mode(iterator, types: List[TrafficType],
                     config: StreamingConfig, pool: _ShardWorkerPool,
-                    checkpoint_dir, checkpoint_every_chunks) -> StreamingReport:
+                    checkpoint_dir, checkpoint_every_chunks,
+                    on_events=None) -> StreamingReport:
     # The whole single-process pipeline — calibration cadence, detection,
     # identification, in-order fusion — runs unchanged inside this
     # coordinator-owned network detector; only the engines differ, farming
@@ -776,7 +789,8 @@ def _run_shard_mode(iterator, types: List[TrafficType],
     network = StreamingNetworkDetector(
         config, types,
         engine_factory=lambda t: _ShardScatterProxy(config.forgetting,
-                                                    t.value, pool))
+                                                    t.value, pool),
+        on_events=on_events)
     telemetry = network.telemetry
     if telemetry is not None:
         pool.bus.bind_telemetry(telemetry)

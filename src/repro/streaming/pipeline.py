@@ -25,6 +25,7 @@ Two driving modes:
 from __future__ import annotations
 
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -181,11 +182,21 @@ class StreamingNetworkDetector:
         config: StreamingConfig = StreamingConfig(),
         traffic_types: Optional[Sequence[TrafficType]] = None,
         engine_factory: Optional[Callable[[TrafficType], object]] = None,
+        on_events: Optional[Callable[[List[AnomalyEvent]], None]] = None,
     ) -> None:
         require(config.identify,
                 "event fusion needs identified OD flows; use a config with "
                 "identify=True (or drive StreamingSubspaceDetector directly)")
         self._config = config
+        # Lineage id of this run: survives checkpoint/restore, so a
+        # checkpoint directory can tell its own detector's saves apart from
+        # a foreign detector's (see repro.streaming.checkpoint).
+        self._run_id = uuid.uuid4().hex
+        # Event hand-off hook: called with every batch of newly closed
+        # events (process_chunk) and the end-of-stream tail (finish).
+        # Runtime wiring, deliberately not checkpointed — a restored run
+        # re-attaches its own hook.
+        self._on_events = on_events
         self._types: Optional[List[TrafficType]] = (
             _dedup_types(traffic_types) if traffic_types is not None else None
         )
@@ -224,6 +235,26 @@ class StreamingNetworkDetector:
     def telemetry(self) -> Optional[Telemetry]:
         """The observability bundle (``None`` unless ``config.telemetry``)."""
         return self._telemetry
+
+    @property
+    def run_id(self) -> str:
+        """Lineage id of this run (stable across checkpoint/restore)."""
+        return self._run_id
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`finish` has sealed the report."""
+        return self._finished
+
+    @property
+    def on_events(self) -> Optional[Callable[[List[AnomalyEvent]], None]]:
+        """The event hand-off hook (settable; ``None`` disables it)."""
+        return self._on_events
+
+    @on_events.setter
+    def on_events(self,
+                  hook: Optional[Callable[[List[AnomalyEvent]], None]]) -> None:
+        self._on_events = hook
 
     def detector(self, traffic_type: TrafficType) -> StreamingSubspaceDetector:
         """The per-type online detector (created on first chunk)."""
@@ -307,16 +338,21 @@ class StreamingNetworkDetector:
         self._update_runtime()
         if tel is not None:
             tel.maybe_write_snapshot(self._report.n_chunks_processed)
+        if self._on_events is not None and events:
+            self._on_events(events)
         return events
 
     def finish(self) -> StreamingReport:
         """Flush the aggregator at end of stream and return the report."""
         if not self._finished:
-            self._report.events.extend(self._aggregator.flush())
+            tail = self._aggregator.flush()
+            self._report.events.extend(tail)
             self._finished = True
             self._update_runtime()
             if self._telemetry is not None:
                 self._telemetry.write_snapshot()
+            if self._on_events is not None and tail:
+                self._on_events(tail)
         return self._report
 
     # ------------------------------------------------------------------ #
@@ -333,6 +369,7 @@ class StreamingNetworkDetector:
         """
         meta = {
             "config": self._config.to_dict(),
+            "run_id": self._run_id,
             "types": (None if self._types is None
                       else [t.value for t in self._types]),
             "finished": self._finished,
@@ -359,6 +396,10 @@ class StreamingNetworkDetector:
         config = StreamingConfig.from_dict(meta["config"])
         types = meta["types"]
         detector = cls(config, traffic_types=types)
+        # Adopt the checkpoint's lineage: a restored run *is* the same run,
+        # so it may keep overwriting the same checkpoint directory.  .get():
+        # pre-lineage checkpoints keep the fresh id.
+        detector._run_id = str(meta.get("run_id") or detector._run_id)
         for type_value, detector_meta in dict(meta["detectors"]).items():
             prefix = f"{type_value}__"
             detector._detectors[TrafficType(type_value)] = \
@@ -404,9 +445,16 @@ def stream_detect(
     chunks: Iterable[TrafficChunk],
     config: StreamingConfig = StreamingConfig(),
     traffic_types: Optional[Sequence[TrafficType]] = None,
+    on_events: Optional[Callable[[List[AnomalyEvent]], None]] = None,
 ) -> StreamingReport:
-    """Single-pass live diagnosis over an iterable of chunks."""
-    detector = StreamingNetworkDetector(config, traffic_types)
+    """Single-pass live diagnosis over an iterable of chunks.
+
+    *on_events*, when given, receives every batch of newly closed events as
+    soon as it can no longer change — the hand-off point for persistence
+    and alerting (see :mod:`repro.service`).
+    """
+    detector = StreamingNetworkDetector(config, traffic_types,
+                                        on_events=on_events)
     tel = detector.telemetry
     if tel is None:
         for chunk in chunks:

@@ -16,7 +16,9 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import asdict, dataclass, field
+import uuid
+import warnings
+from dataclasses import asdict, dataclass, field, fields as dataclass_fields
 from typing import Dict, List, Mapping, Optional
 
 from repro.telemetry.registry import MetricsRegistry
@@ -113,17 +115,47 @@ class HealthSnapshot:
     def from_dict(cls, data: Mapping[str, object]) -> "HealthSnapshot":
         fields = dict(data)
         fields.pop("version", None)
+        # Forward compatibility: a snapshot written by a newer
+        # SNAPSHOT_VERSION may carry fields this reader does not know.  An
+        # old status CLI pointed at a new run must keep rendering what it
+        # understands, not crash with a TypeError.
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = sorted(set(fields) - known)
+        if unknown:
+            warnings.warn(
+                f"health snapshot carries unknown fields {unknown} "
+                f"(written by a newer snapshot version?); ignoring them",
+                RuntimeWarning, stacklevel=2)
+            for name in unknown:
+                fields.pop(name)
         return cls(**fields)
 
     def write(self, path: str) -> None:
-        """Atomically replace *path* with this snapshot as JSON."""
+        """Atomically replace *path* with this snapshot as JSON.
+
+        The temp name is unique per write (pid + random suffix): two
+        processes snapshotting the same path — a coordinator and a leaf, or
+        two overlapping runs — must never rename each other's half-written
+        file.  The payload is fsynced before the rename, matching the
+        checkpoint module's durability discipline.
+        """
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, sort_keys=True)
-        os.replace(tmp_path, path)
+        tmp_path = f"{path}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            # Never leave a stray temp file behind a failed write.
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def read(cls, path: str) -> "HealthSnapshot":

@@ -1,0 +1,179 @@
+"""HTTP status-surface tests: every endpoint, on an ephemeral port."""
+
+import importlib.util
+import json
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.core.events import AnomalyEvent
+from repro.service import EventStore
+from repro.telemetry import HealthSnapshot, MetricsRegistry
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+
+
+def _load_tool(name):
+    spec = importlib.util.spec_from_file_location(name, TOOLS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+serve_status = _load_tool("serve_status")
+
+
+def _event(label="BFP", start=10, end=12, flows=(3, 1, 7)):
+    return AnomalyEvent(
+        traffic_label=label,
+        start_bin=start,
+        end_bin=end,
+        od_flows=frozenset(flows),
+        bins=tuple(range(start, end + 1)),
+        statistics=frozenset(("spe", "t2")),
+    )
+
+
+def _write_snapshot(path):
+    registry = MetricsRegistry()
+    registry.counter("bins_processed").inc(96)
+    registry.counter("chunks_processed").inc(2)
+    registry.counter("events", {"type": "BFP"}).inc()
+    registry.gauge("runtime_seconds").set(1.5)
+    HealthSnapshot.from_registry(registry).write(str(path))
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A bound server over a populated snapshot + store; yields its URL."""
+    snapshot_path = tmp_path / "health.json"
+    store_path = tmp_path / "events.sqlite"
+    _write_snapshot(snapshot_path)
+    with EventStore(store_path) as store:
+        store.add_events([
+            _event(label="B", start=0, end=1),
+            _event(label="BF", start=5, end=6),
+            _event(label="BFP", start=10, end=12),
+        ])
+    server = serve_status.make_server("127.0.0.1", 0, str(snapshot_path),
+                                      str(store_path))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.headers["Content-Type"], \
+            response.read().decode("utf-8")
+
+
+class TestEndpoints:
+    def test_index_lists_endpoints(self, served):
+        status, content_type, body = _get(served + "/")
+        assert status == 200
+        assert "json" in content_type
+        assert "/events" in json.loads(body)["endpoints"]
+
+    def test_health_returns_snapshot_json(self, served):
+        _, _, body = _get(served + "/health")
+        snapshot = json.loads(body)
+        assert snapshot["bins_processed"] == 96
+        assert snapshot["events_by_type"] == {"BFP": 1}
+
+    def test_status_renders_operator_table(self, served):
+        _, content_type, body = _get(served + "/status")
+        assert content_type.startswith("text/plain")
+        assert "bins processed" in body
+
+    def test_metrics_is_prometheus_text(self, served):
+        _, content_type, body = _get(served + "/metrics")
+        assert "version=0.0.4" in content_type
+        assert "repro_bins_processed_total 96" in body
+
+    def test_events_returns_rows(self, served):
+        _, _, body = _get(served + "/events")
+        payload = json.loads(body)
+        assert payload["n_returned"] == 3
+        assert [e["traffic_label"] for e in payload["events"]] \
+            == ["B", "BF", "BFP"]
+
+    def test_events_filters_apply(self, served):
+        _, _, body = _get(served + "/events?label=BF&limit=5")
+        payload = json.loads(body)
+        assert [e["traffic_label"] for e in payload["events"]] == ["BF"]
+        _, _, body = _get(served + "/events?start_bin=9")
+        assert json.loads(body)["n_returned"] == 1
+
+    def test_summary_includes_digest(self, served, tmp_path):
+        _, _, body = _get(served + "/summary")
+        payload = json.loads(body)
+        assert payload["count"] == 3
+        with EventStore(tmp_path / "events.sqlite") as store:
+            assert payload["table_digest"] == store.table_digest()
+
+    def test_unknown_route_404s(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(served + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_bad_query_400s(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(served + "/events?limit=banana")
+        assert excinfo.value.code == 400
+
+
+class TestDegradedModes:
+    def test_missing_snapshot_is_503_not_crash(self, tmp_path):
+        server = serve_status.make_server("127.0.0.1", 0,
+                                          str(tmp_path / "absent.json"), "")
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            for route in ("/health", "/status", "/metrics"):
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    _get(f"http://{host}:{port}{route}")
+                assert excinfo.value.code == 503
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"http://{host}:{port}/events")
+            assert excinfo.value.code == 503  # no store configured
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_torn_snapshot_is_503_and_recovers(self, tmp_path):
+        snapshot_path = tmp_path / "health.json"
+        snapshot_path.write_text('{"version": 1, "bins_')  # torn write
+        server = serve_status.make_server("127.0.0.1", 0, str(snapshot_path),
+                                          "")
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"http://{host}:{port}/health")
+            assert excinfo.value.code == 503
+            _write_snapshot(snapshot_path)  # the atomic writer catches up
+            status, _, _ = _get(f"http://{host}:{port}/health")
+            assert status == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestCli:
+    def test_requires_something_to_serve(self, capsys):
+        assert serve_status.main([]) == 2
+        assert "nothing to serve" in capsys.readouterr().err

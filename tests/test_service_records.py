@@ -1,0 +1,107 @@
+"""Deterministic service records: keys, classification, roll-ups."""
+
+import pytest
+
+from repro.core.events import AnomalyEvent
+from repro.service import (SEVERITY_LEVELS, EventRecord, classify_event,
+                           event_key, od_digest, summarize_records)
+
+
+def _event(label="BFP", start=10, end=12, flows=(3, 1, 7),
+           statistics=("spe", "t2")):
+    return AnomalyEvent(
+        traffic_label=label,
+        start_bin=start,
+        end_bin=end,
+        od_flows=frozenset(flows),
+        bins=tuple(range(start, end + 1)),
+        statistics=frozenset(statistics),
+    )
+
+
+class TestKeys:
+    def test_od_digest_is_order_insensitive(self):
+        assert od_digest([3, 1, 7]) == od_digest((7, 3, 1))
+        assert od_digest([3, 1, 7]) != od_digest([3, 1, 8])
+
+    def test_event_key_ignores_end_bin(self):
+        short = _event(end=12)
+        extended = _event(end=20)
+        assert event_key(short) == event_key(extended)
+
+    def test_event_key_separates_label_start_and_flows(self):
+        base = _event()
+        assert event_key(base) != event_key(_event(label="B"))
+        assert event_key(base) != event_key(_event(start=11))
+        assert event_key(base) != event_key(_event(flows=(1, 2)))
+
+
+class TestClassification:
+    def test_record_is_pure_function_of_event(self):
+        assert classify_event(_event()) == classify_event(_event())
+
+    def test_three_type_events_are_critical(self):
+        record = classify_event(_event(label="BFP"))
+        assert record.severity == "critical"
+
+    def test_single_type_short_events_are_info(self):
+        record = classify_event(_event(label="B", start=10, end=10,
+                                       flows=(1,), statistics=("spe",)))
+        assert record.severity == "info"
+        assert record.confidence == pytest.approx(0.50)
+
+    def test_corroboration_raises_confidence(self):
+        single = classify_event(_event(label="B"))
+        double = classify_event(_event(label="BF"))
+        triple = classify_event(_event(label="BFP"))
+        assert single.confidence < double.confidence < triple.confidence
+
+    def test_confidence_capped_and_bounded(self):
+        record = classify_event(_event(label="BFP", start=0, end=40,
+                                       flows=tuple(range(12))))
+        assert record.confidence <= 0.99
+        assert record.severity in SEVERITY_LEVELS
+
+    def test_summary_mentions_span_and_flows(self):
+        record = classify_event(_event(label="BF", start=10, end=12))
+        assert "BF" in record.summary
+        assert "10-12" in record.summary
+        assert "3 OD flows" in record.summary
+
+    def test_to_dict_is_json_friendly(self):
+        data = classify_event(_event()).to_dict()
+        assert data["key"] == event_key(_event())
+        assert isinstance(data["od_flows"], list)
+        assert data["od_flows"] == sorted(data["od_flows"])
+
+    def test_invalid_severity_rejected(self):
+        record = classify_event(_event())
+        with pytest.raises(ValueError):
+            EventRecord(**{**record.__dict__, "severity": "meltdown"})
+
+    def test_invalid_confidence_rejected(self):
+        record = classify_event(_event())
+        with pytest.raises(ValueError):
+            EventRecord(**{**record.__dict__, "confidence": 1.5})
+
+
+class TestRunSummary:
+    def test_empty_summary(self):
+        summary = summarize_records([])
+        assert summary.total_events == 0
+        assert summary.mean_confidence == 0.0
+        assert summary.max_end_bin is None
+
+    def test_folds_counts_and_confidence(self):
+        records = [classify_event(_event(label="B", start=1, end=2,
+                                         statistics=("spe",))).to_dict(),
+                   classify_event(_event(label="BFP", start=5,
+                                         end=9)).to_dict()]
+        summary = summarize_records(records)
+        assert summary.total_events == 2
+        assert summary.events_by_label["B"] == 1
+        assert summary.events_by_label["BFP"] == 1
+        assert summary.events_by_severity["critical"] == 1
+        assert summary.max_end_bin == 9
+        assert 0.0 < summary.mean_confidence <= 0.99
+        assert summary.to_dict()["total_events"] == 2

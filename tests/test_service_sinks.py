@@ -1,0 +1,217 @@
+"""Alert-delivery tests: retry/backoff/jitter, dedup, dead-letter, metrics."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.events import AnomalyEvent
+from repro.service import (AlertDispatcher, AlertSink, JsonLinesAlertSink,
+                           StdoutSink, WebhookSink, classify_event)
+from repro.telemetry import MetricsRegistry
+
+
+def _event(label="BFP", start=10, end=12, flows=(3, 1, 7)):
+    return AnomalyEvent(
+        traffic_label=label,
+        start_bin=start,
+        end_bin=end,
+        od_flows=frozenset(flows),
+        bins=tuple(range(start, end + 1)),
+        statistics=frozenset(("spe", "t2")),
+    )
+
+
+class RecordingSink(AlertSink):
+    """Delivers after a scripted number of failures; records payloads."""
+
+    name = "recording"
+
+    def __init__(self, fail_first=0):
+        self.fail_first = fail_first
+        self.attempts = 0
+        self.delivered = []
+        self.closed = False
+
+    def emit(self, payload):
+        self.attempts += 1
+        if self.attempts <= self.fail_first:
+            raise ConnectionError(f"scripted failure {self.attempts}")
+        self.delivered.append(payload)
+
+    def close(self):
+        self.closed = True
+
+
+class SleepRecorder:
+    def __init__(self):
+        self.sleeps = []
+
+    def __call__(self, seconds):
+        self.sleeps.append(seconds)
+
+
+class TestSinks:
+    def test_stdout_sink_writes_one_json_line(self):
+        stream = io.StringIO()
+        StdoutSink(stream).emit({"B": 2, "a": 1})
+        assert json.loads(stream.getvalue()) == {"a": 1, "B": 2}
+        assert stream.getvalue().count("\n") == 1
+
+    def test_jsonl_sink_appends_lines(self, tmp_path):
+        path = tmp_path / "alerts" / "out.jsonl"
+        sink = JsonLinesAlertSink(str(path))
+        sink.emit({"n": 1})
+        sink.emit({"n": 2})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["n"] for line in lines] == [1, 2]
+        sink.close()  # idempotent
+
+    def test_webhook_without_transport_raises(self):
+        with pytest.raises(RuntimeError, match="no transport"):
+            WebhookSink("http://example.invalid/hook").emit({"n": 1})
+
+    def test_webhook_uses_injected_transport(self):
+        posts = []
+        sink = WebhookSink("http://example.invalid/hook",
+                           transport=lambda url, body: posts.append(
+                               (url, body)))
+        sink.emit({"n": 1})
+        (url, body), = posts
+        assert url == "http://example.invalid/hook"
+        assert json.loads(body.decode()) == {"n": 1}
+
+    def test_webhook_needs_url(self):
+        with pytest.raises(ValueError):
+            WebhookSink("")
+
+
+class TestRetryAndBackoff:
+    def test_transient_failure_retries_then_delivers(self):
+        sink = RecordingSink(fail_first=2)
+        sleeper = SleepRecorder()
+        dispatcher = AlertDispatcher([sink], max_attempts=3, sleep=sleeper)
+        assert dispatcher.dispatch(_event()) is True
+        assert len(sink.delivered) == 1
+        assert len(sleeper.sleeps) == 2
+        registry = dispatcher.registry
+        assert registry.value("alert_retries", {"sink": "recording"}) == 2
+        assert registry.value("alerts_sent", {"sink": "recording"}) == 1
+
+    def test_backoff_grows_exponentially_with_bounded_jitter(self):
+        sink = RecordingSink(fail_first=3)
+        sleeper = SleepRecorder()
+        dispatcher = AlertDispatcher([sink], max_attempts=4, sleep=sleeper,
+                                     backoff_base=0.1, backoff_factor=2.0,
+                                     jitter=0.5, seed=7)
+        dispatcher.dispatch(_event())
+        assert len(sleeper.sleeps) == 3
+        for attempt, slept in enumerate(sleeper.sleeps):
+            base = 0.1 * 2.0 ** attempt
+            assert base <= slept <= base * 1.5
+        # Strictly growing despite jitter: factor 2 dominates jitter 1.5x.
+        assert sleeper.sleeps[0] < sleeper.sleeps[1] < sleeper.sleeps[2]
+
+    def test_seeded_jitter_is_reproducible(self):
+        def schedule():
+            sink = RecordingSink(fail_first=3)
+            sleeper = SleepRecorder()
+            AlertDispatcher([sink], max_attempts=4, sleep=sleeper,
+                            jitter=0.3, seed=42).dispatch(_event())
+            return sleeper.sleeps
+
+        assert schedule() == schedule()
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            AlertDispatcher(max_attempts=0)
+        with pytest.raises(ValueError):
+            AlertDispatcher(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            AlertDispatcher(jitter=-1.0)
+
+
+class TestDeadLetter:
+    def test_always_failing_sink_dead_letters(self, tmp_path):
+        dead = tmp_path / "dead.jsonl"
+        sink = RecordingSink(fail_first=99)
+        registry = MetricsRegistry()
+        dispatcher = AlertDispatcher([sink], registry=registry,
+                                     max_attempts=3, sleep=SleepRecorder(),
+                                     dead_letter_path=str(dead))
+        event = _event()
+        # Dispatched (the dedup window recorded it) but not delivered.
+        assert dispatcher.dispatch(event) is True
+        assert sink.delivered == []
+        assert sink.attempts == 3
+        (entry,) = [json.loads(line)
+                    for line in dead.read_text().splitlines()]
+        assert entry["sink"] == "recording"
+        assert entry["attempts"] == 3
+        assert len(entry["errors"]) == 3
+        assert entry["payload"]["key"] == classify_event(event).key
+        assert registry.value("alerts_dead_lettered",
+                              {"sink": "recording"}) == 1
+        assert registry.value("alerts_sent", {"sink": "recording"}) == 0
+
+    def test_without_dead_letter_path_only_counts(self, tmp_path):
+        sink = RecordingSink(fail_first=99)
+        dispatcher = AlertDispatcher([sink], max_attempts=2,
+                                     sleep=SleepRecorder())
+        dispatcher.dispatch(_event())
+        assert dispatcher.registry.value(
+            "alerts_dead_lettered", {"sink": "recording"}) == 1
+
+    def test_partial_failure_still_delivers_to_healthy_sinks(self, tmp_path):
+        healthy = RecordingSink()
+        broken = RecordingSink(fail_first=99)
+        broken.name = "broken"
+        dispatcher = AlertDispatcher([healthy, broken], max_attempts=2,
+                                     sleep=SleepRecorder(),
+                                     dead_letter_path=str(tmp_path / "d.jl"))
+        assert dispatcher.dispatch(_event()) is True
+        assert len(healthy.delivered) == 1
+        assert broken.delivered == []
+
+
+class TestDedup:
+    def test_same_event_alerts_once(self):
+        sink = RecordingSink()
+        dispatcher = AlertDispatcher([sink])
+        event = _event()
+        assert dispatcher.dispatch(event) is True
+        assert dispatcher.dispatch(event) is False
+        assert len(sink.delivered) == 1
+        assert dispatcher.registry.value("alerts_deduplicated") == 1
+
+    def test_window_evicts_least_recently_alerted(self):
+        sink = RecordingSink()
+        dispatcher = AlertDispatcher([sink], dedup_window=2)
+        first, second, third = (_event(start=s) for s in (1, 2, 3))
+        dispatcher.dispatch(first)
+        dispatcher.dispatch(second)
+        dispatcher.dispatch(third)  # evicts `first`
+        assert dispatcher.dispatch(first) is True
+        assert len(sink.delivered) == 4
+
+    def test_zero_window_disables_dedup(self):
+        sink = RecordingSink()
+        dispatcher = AlertDispatcher([sink], dedup_window=0)
+        event = _event()
+        assert dispatcher.dispatch(event) is True
+        assert dispatcher.dispatch(event) is True
+        assert len(sink.delivered) == 2
+
+    def test_dispatch_many_counts_undeduplicated(self):
+        sink = RecordingSink()
+        dispatcher = AlertDispatcher([sink])
+        events = [_event(start=1), _event(start=2), _event(start=1)]
+        assert dispatcher.dispatch_many(events) == 2
+
+    def test_close_closes_sinks(self):
+        sink = RecordingSink()
+        dispatcher = AlertDispatcher([sink])
+        dispatcher.flush()
+        dispatcher.close()
+        assert sink.closed is True

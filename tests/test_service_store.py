@@ -1,0 +1,176 @@
+"""Event-store tests: idempotent upserts, queries, parity, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.core.events import AnomalyEvent
+from repro.service import EventStore, classify_event, event_key
+from repro.service.store import SCHEMA_VERSION
+
+
+def _event(label="BFP", start=10, end=12, flows=(3, 1, 7),
+           statistics=("spe", "t2")):
+    return AnomalyEvent(
+        traffic_label=label,
+        start_bin=start,
+        end_bin=end,
+        od_flows=frozenset(flows),
+        bins=tuple(range(start, end + 1)),
+        statistics=frozenset(statistics),
+    )
+
+
+@pytest.fixture()
+def store():
+    with EventStore() as memory_store:
+        yield memory_store
+
+
+class TestUpserts:
+    def test_add_is_idempotent(self, store):
+        assert store.add_event(_event()) is True
+        assert store.add_event(_event()) is False
+        assert store.count() == 1
+
+    def test_reclosed_event_updates_in_place(self, store):
+        store.add_event(_event(end=12))
+        assert store.add_event(_event(end=20)) is False
+        assert store.count() == 1
+        (stored,) = store.query()
+        assert stored.end_bin == 20
+
+    def test_add_events_returns_only_fresh(self, store):
+        first = _event(label="B", statistics=("spe",))
+        second = _event(label="BF")
+        assert store.add_events([first, second]) == [first, second]
+        third = _event(label="BFP", start=99, end=99, flows=(2,))
+        assert store.add_events([first, third]) == [third]
+        assert store.count() == 3
+
+    def test_roundtrip_rebuilds_event(self, store):
+        event = _event()
+        store.add_event(event)
+        (stored,) = store.query()
+        assert stored.to_event() == event
+        assert stored.event_key == event_key(event)
+
+    def test_record_columns_match_classification(self, store):
+        event = _event()
+        store.add_event(event)
+        (stored,) = store.query()
+        record = classify_event(event)
+        assert stored.severity == record.severity
+        assert stored.confidence == record.confidence
+        assert stored.summary == record.summary
+
+
+class TestQueries:
+    @pytest.fixture()
+    def filled(self, store):
+        store.add_events([
+            _event(label="B", start=0, end=2, statistics=("spe",)),
+            _event(label="BF", start=10, end=11),
+            _event(label="BFP", start=20, end=26, flows=tuple(range(6))),
+        ])
+        return store
+
+    def test_window_uses_intersection_semantics(self, filled):
+        spanning = filled.query(start_bin=1, end_bin=15)
+        assert [e.traffic_label for e in spanning] == ["B", "BF"]
+        assert filled.query(start_bin=27) == []
+
+    def test_label_severity_and_confidence_filters(self, filled):
+        assert [e.traffic_label for e in filled.query(traffic_label="BF")] \
+            == ["BF"]
+        assert all(e.severity == "critical"
+                   for e in filled.query(severity="critical"))
+        high = filled.query(min_confidence=0.9)
+        assert all(e.confidence >= 0.9 for e in high)
+
+    def test_limit_and_deterministic_order(self, filled):
+        assert [e.start_bin for e in filled.query()] == [0, 10, 20]
+        assert len(filled.query(limit=2)) == 2
+        with pytest.raises(ValueError):
+            filled.query(limit=0)
+
+    def test_recent_is_newest_first(self, filled):
+        assert [e.start_bin for e in filled.recent(limit=2)] == [20, 10]
+
+    def test_counts_and_summary(self, filled):
+        assert filled.counts_by_label() == {"B": 1, "BF": 1, "BFP": 1}
+        assert sum(filled.counts_by_severity().values()) == 3
+        summary = filled.summary()
+        assert summary.total_events == 3
+        assert summary.max_end_bin == 26
+
+
+class TestParitySurface:
+    def test_same_content_same_digest(self):
+        events = [_event(label="B", statistics=("spe",)), _event(label="BF")]
+        with EventStore() as first, EventStore() as second:
+            first.add_events(events)
+            second.add_events(list(reversed(events)))  # insertion order
+            assert first.canonical_rows() == second.canonical_rows()
+            assert first.table_digest() == second.table_digest()
+
+    def test_different_content_different_digest(self):
+        with EventStore() as first, EventStore() as second:
+            first.add_event(_event())
+            second.add_event(_event(start=11))
+            assert first.table_digest() != second.table_digest()
+
+    def test_replay_leaves_digest_unchanged(self, store):
+        events = [_event(label="B", statistics=("spe",)), _event(label="BFP")]
+        store.add_events(events)
+        digest = store.table_digest()
+        assert store.add_events(events) == []
+        assert store.table_digest() == digest
+
+
+class TestLifecycle:
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "events.sqlite"
+        with EventStore(path) as store:
+            store.add_event(_event())
+            digest = store.table_digest()
+        with EventStore(path) as reopened:
+            assert reopened.count() == 1
+            assert reopened.table_digest() == digest
+            assert reopened.schema_version() == SCHEMA_VERSION
+
+    def test_close_is_idempotent(self):
+        store = EventStore()
+        store.close()
+        store.close()
+
+    def test_path_property(self, tmp_path):
+        path = tmp_path / "events.sqlite"
+        with EventStore(path) as store:
+            assert store.path == str(path)
+
+    def test_concurrent_writers_and_readers(self, tmp_path):
+        store = EventStore(tmp_path / "events.sqlite")
+        errors = []
+
+        def write(offset):
+            try:
+                for i in range(25):
+                    # Every thread upserts one shared event (contended key)
+                    # plus its own distinct events.
+                    store.add_event(_event())
+                    store.add_event(_event(start=1000 + offset * 100 + i,
+                                           end=1000 + offset * 100 + i))
+                    store.count()
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=write, args=(t,))
+                   for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert store.count() == 1 + 4 * 25
+        store.close()

@@ -240,3 +240,100 @@ class TestCheckpointErrors:
 
         restored = load_checkpoint(path)
         assert restored.report.n_bins_processed == bins_at_save
+
+
+class TestCheckpointLineage:
+    """A checkpoint directory belongs to one detector run: overwriting a
+    foreign run's checkpoint (and GCing its arrays) must be refused."""
+
+    def _trained(self, small_dataset, live_config, n_chunks=2):
+        detector = StreamingNetworkDetector(live_config)
+        for chunk in _chunks(small_dataset)[:n_chunks]:
+            detector.process_chunk(chunk)
+        return detector
+
+    def test_manifest_records_the_run_id(self, small_dataset, live_config,
+                                         tmp_path):
+        detector = self._trained(small_dataset, live_config)
+        path = save_checkpoint(detector, tmp_path / "ckpt")
+        manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+        assert manifest["meta"]["run_id"] == detector.run_id
+
+    def test_foreign_detector_is_refused(self, small_dataset, live_config,
+                                         tmp_path):
+        owner = self._trained(small_dataset, live_config)
+        save_checkpoint(owner, tmp_path / "ckpt")
+        arrays_before = sorted(
+            p.name for p in (tmp_path / "ckpt").glob("state-*.npz"))
+
+        intruder = self._trained(small_dataset, live_config)
+        with pytest.raises(ValueError, match="different detector run"):
+            save_checkpoint(intruder, tmp_path / "ckpt")
+        # The owner's checkpoint survived untouched and still loads.
+        arrays_after = sorted(
+            p.name for p in (tmp_path / "ckpt").glob("state-*.npz"))
+        assert arrays_after == arrays_before
+        assert load_checkpoint(tmp_path / "ckpt").run_id == owner.run_id
+
+    def test_same_detector_may_overwrite(self, small_dataset, live_config,
+                                         tmp_path):
+        chunks = _chunks(small_dataset)
+        detector = StreamingNetworkDetector(live_config)
+        detector.process_chunk(chunks[0])
+        save_checkpoint(detector, tmp_path / "ckpt")
+        detector.process_chunk(chunks[1])
+        save_checkpoint(detector, tmp_path / "ckpt")  # no refusal
+        restored = load_checkpoint(tmp_path / "ckpt")
+        assert restored.report.n_bins_processed == 2 * CHUNK
+
+    def test_restored_detector_continues_the_lineage(self, small_dataset,
+                                                     live_config, tmp_path):
+        chunks = _chunks(small_dataset)
+        original = self._trained(small_dataset, live_config)
+        save_checkpoint(original, tmp_path / "ckpt")
+
+        restored = StreamingNetworkDetector.restore(tmp_path / "ckpt")
+        assert restored.run_id == original.run_id
+        restored.process_chunk(chunks[2])
+        save_checkpoint(restored, tmp_path / "ckpt")  # same run: allowed
+
+    def test_legacy_manifest_without_run_id_stays_overwritable(
+            self, small_dataset, live_config, tmp_path):
+        owner = self._trained(small_dataset, live_config)
+        path = save_checkpoint(owner, tmp_path / "ckpt")
+        manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+        del manifest["meta"]["run_id"]  # pre-lineage format
+        (path / MANIFEST_FILENAME).write_text(json.dumps(manifest))
+
+        other = self._trained(small_dataset, live_config)
+        save_checkpoint(other, path)  # compatibility: no refusal
+        assert load_checkpoint(path).run_id == other.run_id
+
+    def test_unreadable_manifest_is_overwritable(self, small_dataset,
+                                                 live_config, tmp_path):
+        (tmp_path / "ckpt").mkdir()
+        (tmp_path / "ckpt" / MANIFEST_FILENAME).write_text("{corrupt")
+        detector = self._trained(small_dataset, live_config)
+        save_checkpoint(detector, tmp_path / "ckpt")
+        assert load_checkpoint(tmp_path / "ckpt").run_id == detector.run_id
+
+    def test_hierarchical_saves_keep_one_lineage(self, small_dataset,
+                                                 live_config, tmp_path):
+        """Every hierarchical save goes through a throwaway merged flat
+        detector; the checkpoint must carry the hierarchy's own stable id,
+        so its repeated saves pass the lineage check."""
+        from repro.streaming.hierarchy import HierarchicalNetworkDetector
+
+        chunks = _chunks(small_dataset)
+        hierarchy = HierarchicalNetworkDetector(live_config, n_pops=2)
+        hierarchy.process_chunk(chunks[0])
+        path = save_checkpoint(hierarchy, tmp_path / "ckpt")
+        manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+        assert manifest["meta"]["run_id"] == hierarchy.run_id
+
+        hierarchy.process_chunk(chunks[1])
+        save_checkpoint(hierarchy, path)  # same hierarchy: allowed
+
+        foreign = self._trained(small_dataset, live_config, n_chunks=1)
+        with pytest.raises(ValueError, match="different detector run"):
+            save_checkpoint(foreign, path)

@@ -332,3 +332,82 @@ class TestTelemetryFacade:
         telemetry.maybe_write_snapshot(4)
         assert HealthSnapshot.read(str(tmp_path
                                        / "health.json")).bins_processed == 7
+
+
+class TestSnapshotWriteRaces:
+    """Regression tests: the snapshot writer must tolerate concurrency."""
+
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("bins_processed").inc(7)
+        registry.gauge("runtime_seconds").set(1.0)
+        return HealthSnapshot.from_registry(registry)
+
+    def test_concurrent_writers_never_tear_the_file(self, tmp_path):
+        """Two processes snapshotting one path used to race on a single
+        fixed temp name; unique temp names make every rename whole."""
+        import threading
+
+        path = tmp_path / "health.json"
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(30):
+                    self._snapshot().write(str(path))
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        def reader():
+            try:
+                for _ in range(60):
+                    try:
+                        HealthSnapshot.read(str(path))
+                    except FileNotFoundError:
+                        pass  # before the first write lands
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads.append(threading.Thread(target=reader))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert HealthSnapshot.read(str(path)).bins_processed == 7
+        assert list(tmp_path.glob("*.tmp")) == []  # nothing left behind
+
+    def test_failed_write_cleans_its_temp_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "health.json"
+        snapshot = self._snapshot()
+        monkeypatch.setattr(json, "dump",
+                            lambda *a, **k: (_ for _ in ()).throw(
+                                OSError("disk full")))
+        with pytest.raises(OSError):
+            snapshot.write(str(path))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_forward_versioned_snapshot_loads_with_warning(self, tmp_path):
+        """A snapshot written by a newer version may carry unknown fields;
+        an old reader must warn and render what it knows — not crash."""
+        path = tmp_path / "health.json"
+        self._snapshot().write(str(path))
+        data = json.loads(path.read_text())
+        data["version"] = 99
+        data["hyperdrive_engaged"] = True
+        data["flux_capacitance"] = {"gigawatts": 1.21}
+        path.write_text(json.dumps(data))
+        with pytest.warns(RuntimeWarning, match="unknown fields"):
+            loaded = HealthSnapshot.read(str(path))
+        assert loaded.bins_processed == 7
+        assert not hasattr(loaded, "hyperdrive_engaged")
+
+    def test_known_fields_do_not_warn(self, tmp_path):
+        import warnings
+
+        path = tmp_path / "health.json"
+        self._snapshot().write(str(path))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            HealthSnapshot.read(str(path))

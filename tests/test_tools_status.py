@@ -1,0 +1,70 @@
+"""Regression tests for the ``tools/status.py`` CLI.
+
+The --watch loop must survive a torn concurrent read of the snapshot file
+(the writer replaces it atomically, so a JSONDecodeError is transient) —
+it reports and retries instead of crashing.
+"""
+
+import importlib.util
+from pathlib import Path
+
+from repro.telemetry import HealthSnapshot, MetricsRegistry
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+
+spec = importlib.util.spec_from_file_location("status", TOOLS / "status.py")
+status = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(status)
+
+
+def _write_snapshot(path):
+    registry = MetricsRegistry()
+    registry.counter("bins_processed").inc(12)
+    registry.gauge("runtime_seconds").set(2.0)
+    HealthSnapshot.from_registry(registry).write(str(path))
+
+
+class TestRender:
+    def test_valid_snapshot_renders_table(self, tmp_path, capsys):
+        path = tmp_path / "health.json"
+        _write_snapshot(path)
+        assert status.main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "bins processed" in out
+        assert "12" in out
+
+    def test_prometheus_mode(self, tmp_path, capsys):
+        path = tmp_path / "health.json"
+        _write_snapshot(path)
+        assert status.main([str(path), "--prometheus"]) == 0
+        assert "repro_bins_processed_total 12" in capsys.readouterr().out
+
+    def test_missing_snapshot_reports(self, tmp_path, capsys):
+        assert status.main([str(tmp_path / "absent.json")]) == 1
+        assert "no snapshot" in capsys.readouterr().err
+
+
+class TestTornReads:
+    def test_truncated_json_reports_and_returns(self, tmp_path, capsys):
+        """A torn concurrent read must not raise — --watch keeps polling."""
+        path = tmp_path / "health.json"
+        path.write_text('{"version": 1, "bins_processed"')
+        assert status.main([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "unreadable snapshot" in err
+        assert "retrying" in err
+
+    def test_wrong_shape_json_reports_and_returns(self, tmp_path, capsys):
+        path = tmp_path / "health.json"
+        path.write_text('{"version": 1}')  # parses, but fields are missing
+        assert status.main([str(path)]) == 1
+        assert "unreadable snapshot" in capsys.readouterr().err
+
+    def test_recovers_once_writer_catches_up(self, tmp_path, capsys):
+        path = tmp_path / "health.json"
+        path.write_text("{")
+        assert status.main([str(path)]) == 1
+        _write_snapshot(path)  # the atomic replace lands a whole file
+        capsys.readouterr()
+        assert status.main([str(path)]) == 0
+        assert "bins processed" in capsys.readouterr().out

@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Serve a run's health snapshot and event store over read-only HTTP.
+
+A thin ``http.server`` wrapper around the artifacts a detection service
+leaves on disk — no write path, no authentication, meant for localhost or
+a trusted network segment:
+
+    python tools/serve_status.py --snapshot health.json \\
+        --store events.sqlite --port 8321
+
+Endpoints:
+
+* ``/health``   — the latest health snapshot, as JSON;
+* ``/status``   — the snapshot rendered as the operator table (text);
+* ``/metrics``  — Prometheus text exposition of the snapshot's registry;
+* ``/events``   — recent stored events as JSON
+  (``?limit=N&severity=...&label=...&min_confidence=...``);
+* ``/summary``  — run-level roll-up of the store (counts, digest);
+* ``/``         — endpoint index.
+
+Run with ``PYTHONPATH=src`` from the repo root (or an installed package).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+_INDEX = {
+    "endpoints": {
+        "/health": "latest health snapshot (JSON)",
+        "/status": "snapshot rendered as the operator table (text)",
+        "/metrics": "Prometheus text exposition of the snapshot registry",
+        "/events": "stored events (JSON); "
+                   "?limit=N&severity=...&label=...&min_confidence=...",
+        "/summary": "run-level roll-up of the event store (JSON)",
+    }
+}
+
+
+def _first(query, name, cast, default=None):
+    """First query-string value of *name* cast via *cast* (or *default*)."""
+    values = query.get(name)
+    if not values:
+        return default
+    return cast(values[0])
+
+
+def make_server(host: str, port: int,
+                snapshot_path: str = "",
+                store_path: str = "") -> ThreadingHTTPServer:
+    """Build the status server (bind only; call ``serve_forever`` to run).
+
+    *port* may be ``0`` to bind an ephemeral port (tests); the bound
+    address is on ``server.server_address``.  Either artifact path may be
+    empty — its endpoints then answer 503 instead of failing to start, so
+    the server can come up before the service's first snapshot/event.
+    """
+    from repro.service.store import EventStore
+    from repro.telemetry import (HealthSnapshot, prometheus_exposition,
+                                 render_status_table)
+
+    class StatusHandler(BaseHTTPRequestHandler):
+        server_version = "repro-status/1"
+
+        # ------------------------------------------------------------ #
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            pass  # quiet by default; the CLI prints the bind address once
+
+        def _respond(self, status: int, content_type: str,
+                     body: bytes) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _json(self, payload, status: int = 200) -> None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self._respond(status, "application/json; charset=utf-8", body)
+
+        def _text(self, text: str, status: int = 200,
+                  content_type: str = "text/plain; charset=utf-8") -> None:
+            self._respond(status, content_type, text.encode("utf-8"))
+
+        def _error(self, status: int, message: str) -> None:
+            self._json({"error": message}, status=status)
+
+        # ------------------------------------------------------------ #
+        def _snapshot(self):
+            if not snapshot_path:
+                self._error(503, "no snapshot path configured")
+                return None
+            try:
+                return HealthSnapshot.read(snapshot_path)
+            except FileNotFoundError:
+                self._error(503, f"no snapshot at {snapshot_path} yet")
+            except (json.JSONDecodeError, KeyError, TypeError) as error:
+                # Torn concurrent read: the writer replaces atomically, so
+                # the next poll will see a whole file.
+                self._error(503, f"snapshot momentarily unreadable "
+                                 f"({type(error).__name__}); retry")
+            return None
+
+        def _store(self):
+            if not store_path:
+                self._error(503, "no event-store path configured")
+                return None
+            try:
+                return EventStore(store_path)
+            except Exception as error:  # noqa: BLE001 - surface as 503
+                self._error(503, f"event store unreadable "
+                                 f"({type(error).__name__}: {error})")
+                return None
+
+        # ------------------------------------------------------------ #
+        def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
+            parsed = urlparse(self.path)
+            route = parsed.path.rstrip("/") or "/"
+            query = parse_qs(parsed.query)
+            try:
+                if route == "/":
+                    self._json(_INDEX)
+                elif route == "/health":
+                    snapshot = self._snapshot()
+                    if snapshot is not None:
+                        self._json(snapshot.to_dict())
+                elif route == "/status":
+                    snapshot = self._snapshot()
+                    if snapshot is not None:
+                        self._text(render_status_table(snapshot))
+                elif route == "/metrics":
+                    snapshot = self._snapshot()
+                    if snapshot is not None:
+                        self._text(
+                            prometheus_exposition(snapshot.registry()),
+                            content_type="text/plain; version=0.0.4; "
+                                         "charset=utf-8")
+                elif route == "/events":
+                    store = self._store()
+                    if store is not None:
+                        with store:
+                            events = store.query(
+                                start_bin=_first(query, "start_bin", int),
+                                end_bin=_first(query, "end_bin", int),
+                                traffic_label=_first(query, "label", str),
+                                severity=_first(query, "severity", str),
+                                min_confidence=_first(
+                                    query, "min_confidence", float),
+                                limit=_first(query, "limit", int, 100))
+                            self._json({
+                                "events": [e.to_dict() for e in events],
+                                "n_returned": len(events),
+                            })
+                elif route == "/summary":
+                    store = self._store()
+                    if store is not None:
+                        with store:
+                            self._json({
+                                "summary": store.summary().to_dict(),
+                                "count": store.count(),
+                                "table_digest": store.table_digest(),
+                            })
+                else:
+                    self._error(404, f"unknown endpoint {route!r}")
+            except BrokenPipeError:  # pragma: no cover - client went away
+                pass
+            except (ValueError, TypeError) as error:
+                self._error(400, f"bad request: {error}")
+
+    return ThreadingHTTPServer((host, port), StatusHandler)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321)
+    parser.add_argument("--snapshot", default="",
+                        help="health snapshot JSON written by the run "
+                             "(StreamingConfig.telemetry_snapshot_path)")
+    parser.add_argument("--store", default="",
+                        help="sqlite event-store path written by the "
+                             "detection service")
+    args = parser.parse_args(argv)
+
+    if not args.snapshot and not args.store:
+        print("error: nothing to serve — pass --snapshot and/or --store",
+              file=sys.stderr)
+        return 2
+    try:
+        server = make_server(args.host, args.port, args.snapshot, args.store)
+    except ImportError:
+        print("error: cannot import repro — run with PYTHONPATH=src from "
+              "the repo root", file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    print(f"serving status on http://{host}:{port}/ "
+          f"(snapshot={args.snapshot or '-'} store={args.store or '-'})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""End-to-end service smoke test: SIGTERM, restart, byte-identical table.
+
+Drives the real CLI (``python -m repro.service``) as a subprocess, the way
+an init system would:
+
+1. start the service over a throttled synthetic feed;
+2. SIGTERM it mid-stream and require a clean exit (code 0, interrupted
+   run, checkpoint on disk);
+3. restart it against the same store + checkpoint and let it finish;
+4. run an uninterrupted reference service on a fresh store and require the
+   two stores' ``table_digest`` to match **byte for byte**.
+
+Exit code 0 iff every phase held.  Used by the ``service-smoke`` CI job:
+
+    PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+CHUNK_SIZE = 48
+DAYS = 3
+SEED = 7
+
+
+def _cli_args(store, checkpoint=None, chunk_sleep=0.0):
+    args = [sys.executable, "-m", "repro.service",
+            "--store", store,
+            "--days", str(DAYS),
+            "--chunk-size", str(CHUNK_SIZE),
+            "--seed", str(SEED)]
+    if checkpoint is not None:
+        args += ["--checkpoint", checkpoint]
+    if chunk_sleep > 0:
+        args += ["--chunk-sleep", str(chunk_sleep)]
+    return args
+
+
+def _final_json(stdout: str) -> dict:
+    """The service's last stdout line is its result summary."""
+    lines = [line for line in stdout.splitlines() if line.strip()]
+    if not lines:
+        raise AssertionError("service produced no stdout")
+    return json.loads(lines[-1])
+
+
+def _run(args, env) -> dict:
+    completed = subprocess.run(args, env=env, capture_output=True, text=True,
+                               timeout=300)
+    if completed.returncode != 0:
+        raise AssertionError(
+            f"service exited {completed.returncode}\n"
+            f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}")
+    return _final_json(completed.stdout)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--sigterm-after", type=float, default=2.5,
+                        metavar="SECONDS",
+                        help="how long to let the throttled service run "
+                             "before SIGTERM")
+    parser.add_argument("--chunk-sleep", type=float, default=0.25,
+                        metavar="SECONDS",
+                        help="throttle of the interrupted phase (makes the "
+                             "SIGTERM land mid-stream deterministically)")
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as workdir:
+        store = os.path.join(workdir, "events.sqlite")
+        checkpoint = os.path.join(workdir, "ckpt")
+        reference_store = os.path.join(workdir, "reference.sqlite")
+
+        # --- phase 1: SIGTERM mid-stream, clean exit ------------------ #
+        print(f"[1/3] starting service (throttle "
+              f"{args.chunk_sleep}s/chunk), SIGTERM in "
+              f"{args.sigterm_after}s ...", flush=True)
+        process = subprocess.Popen(
+            _cli_args(store, checkpoint, chunk_sleep=args.chunk_sleep),
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        try:
+            time.sleep(args.sigterm_after)
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=300)
+        except BaseException:
+            process.kill()
+            raise
+        if process.returncode != 0:
+            print(f"FAIL: SIGTERMed service exited "
+                  f"{process.returncode}, expected 0\nstdout:\n{stdout}\n"
+                  f"stderr:\n{stderr}", file=sys.stderr)
+            return 1
+        interrupted = _final_json(stdout)
+        if not interrupted["interrupted"]:
+            print("FAIL: the run finished before the SIGTERM landed — "
+                  "raise --chunk-sleep or lower --sigterm-after",
+                  file=sys.stderr)
+            return 1
+        print(f"      clean exit 0 after "
+              f"{interrupted['n_bins_processed']} bins, "
+              f"{interrupted['store_count']} events stored", flush=True)
+
+        # --- phase 2: restart from the checkpoint, run to completion - #
+        print("[2/3] restarting from the checkpoint ...", flush=True)
+        resumed = _run(_cli_args(store, checkpoint), env)
+        if resumed["interrupted"]:
+            print("FAIL: the restarted run did not finish", file=sys.stderr)
+            return 1
+        if resumed["n_bins_processed"] <= interrupted["n_bins_processed"]:
+            print("FAIL: the restart did not resume past the interruption",
+                  file=sys.stderr)
+            return 1
+
+        # --- phase 3: uninterrupted reference, digest comparison ------ #
+        print("[3/3] uninterrupted reference run ...", flush=True)
+        reference = _run(_cli_args(reference_store), env)
+        if resumed["table_digest"] != reference["table_digest"]:
+            print(f"FAIL: event tables diverged\n"
+                  f"  interrupted+restarted: {resumed['table_digest']} "
+                  f"({resumed['store_count']} events)\n"
+                  f"  uninterrupted:         {reference['table_digest']} "
+                  f"({reference['store_count']} events)", file=sys.stderr)
+            return 1
+        print(f"PASS: byte-identical event table across SIGTERM + restart "
+              f"({reference['store_count']} events, digest "
+              f"{reference['table_digest'][:16]}...)", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

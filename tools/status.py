@@ -15,6 +15,7 @@ Run with ``PYTHONPATH=src`` from the repo root (or an installed package).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -44,6 +45,15 @@ def main(argv=None) -> int:
         except FileNotFoundError:
             print(f"error: no snapshot at {args.snapshot} (is the run "
                   f"writing one?)", file=sys.stderr)
+            return 1
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            # A truncated or concurrently-written file must not kill a
+            # --watch loop: report it and let the next refresh retry (the
+            # writer replaces the file atomically, so the torn read is
+            # transient).
+            print(f"error: unreadable snapshot at {args.snapshot} "
+                  f"({type(error).__name__}: {error}); retrying",
+                  file=sys.stderr)
             return 1
         if args.prometheus:
             sys.stdout.write(prometheus_exposition(snapshot.registry()))
