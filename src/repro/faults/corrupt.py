@@ -1,0 +1,81 @@
+"""Torn-write and bit-rot simulation against checkpoint directories.
+
+:func:`corrupt_checkpoint` damages the **newest** checkpoint generation
+the way real storage does — a truncated file from a crash mid-write, or
+flipped bits from silent corruption — so tests can assert that
+``load_checkpoint(..., fallback=True)`` walks back to the previous
+verified generation and quarantines (never deletes) the damaged files.
+Deterministic under a fixed seed: the same seed flips the same bits.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+from typing import List, Union
+
+from repro.streaming.checkpoint import MANIFEST_FILENAME
+from repro.utils.validation import require
+
+__all__ = ["corrupt_checkpoint"]
+
+
+def _newest_arrays_file(path: Path) -> Path:
+    """The arrays file referenced by the current manifest."""
+    manifest_path = path / MANIFEST_FILENAME
+    require(manifest_path.exists(),
+            f"no checkpoint manifest in {path} to corrupt")
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    arrays_path = path / str(manifest.get("arrays_file"))
+    require(arrays_path.exists(),
+            f"checkpoint arrays file {arrays_path} missing")
+    return arrays_path
+
+
+def corrupt_checkpoint(directory: Union[str, Path],
+                       mode: str = "truncate",
+                       seed: int = 0,
+                       n_bits: int = 16,
+                       target: str = "arrays") -> List[str]:
+    """Damage the newest checkpoint generation; return the victim paths.
+
+    Parameters
+    ----------
+    directory:
+        The checkpoint directory (as passed to ``save_checkpoint``).
+    mode:
+        ``"truncate"`` cuts the victim to half its length (torn write);
+        ``"bitflip"`` flips *n_bits* seeded-random bits in place (bit
+        rot).  Both leave the file present but failing verification.
+    seed:
+        RNG seed of the bit-flip positions — same seed, same damage.
+    n_bits:
+        How many bits ``"bitflip"`` flips.
+    target:
+        ``"arrays"`` (default) damages the npz payload the manifest's
+        digest covers; ``"manifest"`` damages ``manifest.json`` itself —
+        the torn-top-level-write case.
+    """
+    require(mode in ("truncate", "bitflip"),
+            "mode must be 'truncate' or 'bitflip'")
+    require(target in ("arrays", "manifest"),
+            "target must be 'arrays' or 'manifest'")
+    require(n_bits >= 1, "n_bits must be >= 1")
+    path = Path(directory)
+    victim = (path / MANIFEST_FILENAME if target == "manifest"
+              else _newest_arrays_file(path))
+    payload = victim.read_bytes()
+    require(len(payload) >= 2, f"{victim} too small to corrupt")
+    if mode == "truncate":
+        damaged = payload[:len(payload) // 2]
+    else:
+        rng = random.Random(seed)
+        mutable = bytearray(payload)
+        for position in rng.sample(range(len(mutable) * 8),
+                                   min(n_bits, len(mutable) * 8)):
+            mutable[position // 8] ^= 1 << (position % 8)
+        damaged = bytes(mutable)
+    victim.write_bytes(damaged)
+    return [str(victim)]

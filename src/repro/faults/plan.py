@@ -1,0 +1,158 @@
+"""Scripted fault schedules on the coordinator's chunk clock.
+
+A :class:`FaultPlan` is a list of :class:`FaultInjection`\\ s keyed by
+global chunk index.  The plan compiles to the two-argument
+``fault_hook(chunk_index, pool)`` that the multi-process drivers call
+immediately before feeding each chunk, so an injection lands at a
+deterministic stream position regardless of scheduling noise.  Each
+injection fires exactly once — the plan remembers what it already did,
+which is what keeps a :class:`~repro.streaming.parallel.WorkerSupervisor`
+restart (same plan object, replayed chunk indices) from re-killing the
+worker it just resurrected.
+"""
+
+from __future__ import annotations
+
+import random
+import time as time_module
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.utils.validation import require
+
+__all__ = ["FaultInjection", "FaultPlan"]
+
+#: Injection kinds understood by :meth:`FaultPlan.hook`.
+KIND_KILL_WORKER = "kill_worker"
+KIND_STALL = "stall"
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """One scheduled fault: *kind* at global chunk *at_chunk*."""
+
+    kind: str
+    at_chunk: int
+    worker: int = 0
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        require(self.kind in (KIND_KILL_WORKER, KIND_STALL),
+                f"unknown fault kind {self.kind!r}")
+        require(self.at_chunk >= 0, "at_chunk must be >= 0")
+        require(self.worker >= 0, "worker must be >= 0")
+        require(self.seconds >= 0.0, "seconds must be >= 0")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic, replay-safe schedule of runtime faults.
+
+    Build one with the fluent helpers and hand :attr:`hook` to a driver::
+
+        plan = FaultPlan().kill_worker(at_chunk=8, worker=0)
+        supervisor = WorkerSupervisor(..., fault_hook=plan.hook)
+
+    ``sleep`` is injectable so stall faults are testable without
+    wall-clock waits.
+    """
+
+    injections: List[FaultInjection] = field(default_factory=list)
+    sleep: Callable[[float], None] = time_module.sleep
+
+    def __post_init__(self) -> None:
+        self._fired: set = set()
+
+    # ------------------------------------------------------------------ #
+    # builders
+    # ------------------------------------------------------------------ #
+    def kill_worker(self, at_chunk: int, worker: int = 0) -> "FaultPlan":
+        """SIGKILL worker *worker* just before chunk *at_chunk* is fed."""
+        self.injections.append(FaultInjection(
+            kind=KIND_KILL_WORKER, at_chunk=int(at_chunk),
+            worker=int(worker)))
+        return self
+
+    def stall(self, at_chunk: int, seconds: float) -> "FaultPlan":
+        """Block the coordinator's feed loop for *seconds* at *at_chunk*.
+
+        Models a writer stall on the shared-memory bus: downstream
+        readers drain the ring and then wait, which is exactly the
+        backpressure path the bus is supposed to survive.
+        """
+        self.injections.append(FaultInjection(
+            kind=KIND_STALL, at_chunk=int(at_chunk),
+            seconds=float(seconds)))
+        return self
+
+    @classmethod
+    def random_kills(cls, seed: int, n_chunks: int, n_workers: int,
+                     n_kills: int = 1,
+                     first_chunk: int = 1) -> "FaultPlan":
+        """A seeded plan of *n_kills* worker kills at random positions.
+
+        Same seed, same schedule — chaos sweeps stay reproducible.  Kill
+        chunks are drawn without replacement from
+        ``[first_chunk, n_chunks)``.
+        """
+        require(n_chunks > first_chunk,
+                "need at least one chunk after first_chunk")
+        require(n_workers >= 1, "n_workers must be >= 1")
+        rng = random.Random(seed)
+        span = range(int(first_chunk), int(n_chunks))
+        n_kills = min(int(n_kills), len(span))
+        plan = cls()
+        for at_chunk in sorted(rng.sample(list(span), n_kills)):
+            plan.kill_worker(at_chunk=at_chunk,
+                             worker=rng.randrange(n_workers))
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    @property
+    def fired(self) -> int:
+        """How many injections have fired so far."""
+        return len(self._fired)
+
+    def pending(self) -> List[FaultInjection]:
+        """Injections that have not fired yet, in schedule order."""
+        return [injection for index, injection in enumerate(self.injections)
+                if index not in self._fired]
+
+    def hook(self, chunk_index: int, pool) -> None:
+        """The ``fault_hook`` callable: fire everything due at this chunk.
+
+        *pool* is the driver's worker pool (``pool.processes`` holds the
+        live :class:`multiprocessing.Process` objects).  Injections whose
+        chunk has passed also fire — a restart that resumes past the
+        scheduled chunk must not silently skip the fault.
+        """
+        for index, injection in enumerate(self.injections):
+            if index in self._fired or chunk_index < injection.at_chunk:
+                continue
+            self._fired.add(index)
+            if injection.kind == KIND_KILL_WORKER:
+                processes = getattr(pool, "processes", [])
+                if injection.worker < len(processes):
+                    victim = processes[injection.worker]
+                    victim.kill()
+                    victim.join()
+            elif injection.kind == KIND_STALL:
+                self.sleep(injection.seconds)
+
+    def reset(self) -> None:
+        """Forget what fired — reuse the same schedule for a fresh run."""
+        self._fired.clear()
+
+    def describe(self) -> List[str]:
+        """Human-readable schedule (for logs and the chaos example)."""
+        lines = []
+        for injection in self.injections:
+            if injection.kind == KIND_KILL_WORKER:
+                lines.append(f"chunk {injection.at_chunk}: kill worker "
+                             f"{injection.worker}")
+            else:
+                lines.append(f"chunk {injection.at_chunk}: stall feed "
+                             f"{injection.seconds:.3f}s")
+        return lines

@@ -1,0 +1,30 @@
+"""Always-failing alert sink: the chaos probe for the delivery policy.
+
+:class:`FailingSink` raises on every ``emit``, optionally after
+recording the payload, so tests can drive the dispatcher's full
+retry → backoff → dead-letter path and assert that a run whose alert
+channel is down still completes with its event store intact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.service.sinks import AlertSink
+
+__all__ = ["FailingSink"]
+
+
+class FailingSink(AlertSink):
+    """An alert sink whose delivery always fails (retryably)."""
+
+    name = "failing"
+
+    def __init__(self, error_message: str = "injected sink failure") -> None:
+        self.error_message = str(error_message)
+        #: Payloads the dispatcher attempted (one per attempt, in order).
+        self.attempted: List[Dict[str, object]] = []
+
+    def emit(self, payload: Dict[str, object]) -> None:
+        self.attempted.append(payload)
+        raise ConnectionError(self.error_message)

@@ -36,7 +36,6 @@ import sys
 import threading
 import time
 from dataclasses import dataclass
-from pathlib import Path
 from typing import Iterable, List, Optional, Sequence
 
 from repro.core.events import AnomalyEvent
@@ -45,7 +44,8 @@ from repro.service.records import classify_event
 from repro.service.sinks import (AlertDispatcher, JsonLinesAlertSink,
                                  StdoutSink)
 from repro.service.store import EventStore
-from repro.streaming.checkpoint import MANIFEST_FILENAME, save_checkpoint
+from repro.streaming.checkpoint import (has_checkpoint, load_checkpoint,
+                                        save_checkpoint)
 from repro.streaming.config import StreamingConfig
 from repro.streaming.pipeline import (StreamingNetworkDetector,
                                       StreamingReport)
@@ -130,10 +130,15 @@ class DetectionService:
         self._events_stored = 0
         self._events_duplicate = 0
 
+        restore_registry = MetricsRegistry()
         if (self._checkpoint_dir is not None
-                and (Path(self._checkpoint_dir) / MANIFEST_FILENAME).is_file()):
-            self._detector = StreamingNetworkDetector.restore(
-                self._checkpoint_dir)
+                and has_checkpoint(self._checkpoint_dir)):
+            # Fallback restore: a torn or bit-rotted newest generation is
+            # quarantined and the previous verified one is loaded instead
+            # of killing the service at startup.
+            self._detector = load_checkpoint(
+                self._checkpoint_dir, fallback=True,
+                registry=restore_registry)
         else:
             self._detector = StreamingNetworkDetector(
                 config, traffic_types=traffic_types)
@@ -143,6 +148,9 @@ class DetectionService:
             telemetry.registry if telemetry is not None
             else (dispatcher.registry if dispatcher is not None
                   else MetricsRegistry()))
+        # Fold restore-time fallback/quarantine counters into the
+        # service's registry so the health surface reports them.
+        self.registry.merge(restore_registry)
         if dispatcher is not None and telemetry is not None:
             # One registry for the whole service: alert-outcome counters
             # land next to the pipeline's, and the periodic health

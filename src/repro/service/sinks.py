@@ -2,8 +2,9 @@
 
 An alert sink is anything with a ``name`` and an ``emit(payload)`` that
 raises on failure — stdout for interactive runs, a JSON-lines file for
-log shippers, a webhook stub whose HTTP transport is injected (the repo
-is network-free; production swaps in ``urllib.request`` in one line).
+log shippers, a webhook that POSTs the alert as JSON over
+``urllib.request`` (stdlib only; the transport stays injectable so
+tests swap in recorders and failure modes without a network).
 
 :class:`AlertDispatcher` is the delivery policy around them, mirroring
 how production notifiers behave:
@@ -37,6 +38,8 @@ import random
 import sys
 import threading
 import time
+import urllib.error
+import urllib.request
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -106,30 +109,49 @@ class JsonLinesAlertSink(AlertSink):
 
 
 class WebhookSink(AlertSink):
-    """POST-a-JSON-document webhook, with the transport injected.
+    """POST-a-JSON-document webhook over stdlib ``urllib.request``.
 
-    The repo carries no network dependency, so the default transport
-    refuses with a clear error (and the alert dead-letters — the correct
-    offline behavior).  Production injects a two-argument callable
-    ``transport(url, body_bytes)`` that performs the POST and raises on a
-    non-2xx response; tests inject recorders and failure modes.
+    The default transport POSTs the payload with
+    ``Content-Type: application/json``, a bounded ``timeout``, and treats
+    any non-2xx status as a delivery failure (raises, so the dispatcher's
+    retry/dead-letter machinery engages).  The transport stays an
+    injectable two-argument callable ``transport(url, body_bytes)`` —
+    tests inject recorders and failure modes without opening sockets.
     """
 
     name = "webhook"
 
     def __init__(self, url: str,
-                 transport: Optional[Callable[[str, bytes], None]] = None
-                 ) -> None:
+                 transport: Optional[Callable[[str, bytes], None]] = None,
+                 timeout: float = 5.0) -> None:
         require(bool(url), "webhook sink needs a non-empty url")
+        require(timeout > 0.0, "webhook timeout must be > 0")
         self.url = str(url)
-        self._transport = transport
+        self.timeout = float(timeout)
+        self._transport = (transport if transport is not None
+                           else self._urllib_transport)
+
+    def _urllib_transport(self, url: str, body: bytes) -> None:
+        request = urllib.request.Request(
+            url, data=body, method="POST",
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                status = getattr(response, "status", response.getcode())
+                if not 200 <= int(status) < 300:
+                    raise RuntimeError(
+                        f"webhook POST to {url} returned HTTP {status}")
+        except urllib.error.HTTPError as error:
+            raise RuntimeError(
+                f"webhook POST to {url} returned HTTP {error.code}"
+            ) from error
+        except urllib.error.URLError as error:
+            raise RuntimeError(
+                f"webhook POST to {url} failed: {error.reason}") from error
 
     def emit(self, payload: Dict[str, object]) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        if self._transport is None:
-            raise RuntimeError(
-                f"webhook sink has no transport configured for {self.url} "
-                f"(inject transport=... to enable delivery)")
         self._transport(self.url, body)
 
 
@@ -157,6 +179,12 @@ class AlertDispatcher:
     dead_letter_path:
         JSON-lines file collecting alerts that exhausted their retries
         (empty: exhausted alerts are only counted).
+    dead_letter_max_bytes:
+        Size cap for the dead-letter file.  When an append would find the
+        file at or past the cap, the current file is rotated to
+        ``<path>.1`` (replacing any previous ``.1``) before the append,
+        and ``dead_letter_rotations`` is incremented.  ``0`` disables
+        rotation (unbounded file).
     sleep:
         Injectable sleep (tests pass a recorder; default
         :func:`time.sleep`).
@@ -173,6 +201,7 @@ class AlertDispatcher:
                  jitter: float = 0.1,
                  dedup_window: int = 1024,
                  dead_letter_path: str = "",
+                 dead_letter_max_bytes: int = 1_048_576,
                  sleep: Callable[[float], None] = time.sleep,
                  seed: int = 0) -> None:
         require(max_attempts >= 1, "max_attempts must be >= 1")
@@ -180,6 +209,8 @@ class AlertDispatcher:
         require(backoff_factor >= 1.0, "backoff_factor must be >= 1")
         require(jitter >= 0.0, "jitter must be >= 0")
         require(dedup_window >= 0, "dedup_window must be >= 0")
+        require(dead_letter_max_bytes >= 0,
+                "dead_letter_max_bytes must be >= 0")
         self.sinks: List[AlertSink] = list(sinks)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.max_attempts = int(max_attempts)
@@ -188,6 +219,7 @@ class AlertDispatcher:
         self.jitter = float(jitter)
         self.dedup_window = int(dedup_window)
         self.dead_letter_path = str(dead_letter_path)
+        self.dead_letter_max_bytes = int(dead_letter_max_bytes)
         self._sleep = sleep
         self._rng = random.Random(seed)
         self._recent: "OrderedDict[str, None]" = OrderedDict()
@@ -223,9 +255,25 @@ class AlertDispatcher:
         directory = os.path.dirname(self.dead_letter_path)
         if directory:
             os.makedirs(directory, exist_ok=True)
+        self._maybe_rotate_dead_letter()
         with open(self.dead_letter_path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True,
                                     separators=(",", ":")) + "\n")
+
+    def _maybe_rotate_dead_letter(self) -> None:
+        """Rotate ``dead_letter_path`` to ``.1`` once it reaches the cap."""
+        if self.dead_letter_max_bytes == 0:
+            return
+        try:
+            size = os.path.getsize(self.dead_letter_path)
+        except OSError:
+            return
+        if size < self.dead_letter_max_bytes:
+            return
+        os.replace(self.dead_letter_path, self.dead_letter_path + ".1")
+        self.registry.counter(
+            "dead_letter_rotations",
+            help="Dead-letter file rotations (size cap reached)").inc()
 
     def _deliver(self, sink: AlertSink, payload: Dict[str, object]) -> bool:
         errors: List[str] = []

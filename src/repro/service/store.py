@@ -28,8 +28,12 @@ import json
 import os
 import sqlite3
 import threading
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple, TypeVar, Union)
+
+_T = TypeVar("_T")
 
 from repro.core.events import AnomalyEvent
 from repro.service.records import (EventRecord, classify_event, od_digest,
@@ -166,18 +170,51 @@ class EventStore:
     WAL journaling keeps readers unblocked by the writer where the
     filesystem supports it (in-memory stores fall back silently).
 
+    A second process writing the same file (a racing coordinator, an
+    operator's ad-hoc query) can surface as ``sqlite3.OperationalError:
+    database is locked``.  Two layers absorb it: sqlite's own
+    ``busy_timeout`` makes the engine wait for the lock in-kernel, and
+    the write path retries a bounded number of times with exponential
+    backoff on top (counted in :attr:`lock_retry_count`) before letting
+    the error propagate.
+
     Parameters
     ----------
     path:
         Database file path, or ``":memory:"`` for an ephemeral store.
+    busy_timeout_ms:
+        sqlite ``PRAGMA busy_timeout`` in milliseconds (0 disables).
+    lock_retries:
+        Extra application-level retries when a statement still reports
+        ``database is locked`` after the busy timeout.
+    lock_backoff:
+        Sleep before the first locked-retry, seconds (doubles per retry).
+    sleep:
+        Injectable sleep for the locked-retry backoff (tests pass a
+        recorder).
     """
 
-    def __init__(self, path: Union[str, os.PathLike] = ":memory:") -> None:
+    def __init__(self, path: Union[str, os.PathLike] = ":memory:",
+                 busy_timeout_ms: int = 5000,
+                 lock_retries: int = 5,
+                 lock_backoff: float = 0.05,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        require(busy_timeout_ms >= 0, "busy_timeout_ms must be >= 0")
+        require(lock_retries >= 0, "lock_retries must be >= 0")
+        require(lock_backoff >= 0.0, "lock_backoff must be >= 0")
         self._path = str(path)
         self._lock = threading.RLock()
+        self.busy_timeout_ms = int(busy_timeout_ms)
+        self.lock_retries = int(lock_retries)
+        self.lock_backoff = float(lock_backoff)
+        self._sleep = sleep
+        #: How many locked-database retries the store has performed.
+        self.lock_retry_count = 0
         self._connection = sqlite3.connect(self._path,
                                            check_same_thread=False)
         with self._lock:
+            self._connection.execute(
+                f"PRAGMA busy_timeout={self.busy_timeout_ms}")
             try:
                 self._connection.execute("PRAGMA journal_mode=WAL")
             except sqlite3.DatabaseError:  # pragma: no cover - fs-specific
@@ -193,6 +230,29 @@ class EventStore:
         require(stored == SCHEMA_VERSION,
                 f"event store {self._path} has schema version {stored}, "
                 f"expected {SCHEMA_VERSION}")
+
+    # ------------------------------------------------------------------ #
+    # locked-database retry
+    # ------------------------------------------------------------------ #
+    def _with_lock_retry(self, operation: Callable[[], _T]) -> _T:
+        """Run *operation*, retrying ``database is locked`` errors.
+
+        Other :class:`sqlite3.OperationalError`\\ s propagate immediately;
+        a locked database is retried up to :attr:`lock_retries` times with
+        doubling backoff, then the final error propagates.
+        """
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except sqlite3.OperationalError as error:
+                if "locked" not in str(error).lower():
+                    raise
+                if attempt >= self.lock_retries:
+                    raise
+                self.lock_retry_count += 1
+                self._sleep(self.lock_backoff * (2.0 ** attempt))
+                attempt += 1
 
     # ------------------------------------------------------------------ #
     # writing
@@ -220,13 +280,16 @@ class EventStore:
             record.confidence,
             record.summary,
         )
-        with self._lock:
+        def write() -> bool:
             cursor = self._connection.execute(
                 "SELECT 1 FROM events WHERE event_key = ?", (record.key,))
             existed = cursor.fetchone() is not None
             self._connection.execute(_UPSERT, row)
             self._connection.commit()
-        return not existed
+            return not existed
+
+        with self._lock:
+            return self._with_lock_retry(write)
 
     def add_events(self, events: Iterable[AnomalyEvent]) -> List[AnomalyEvent]:
         """Upsert a batch; return the sublist that created **new** rows.
@@ -356,7 +419,7 @@ class EventStore:
     def flush(self) -> None:
         """Commit any pending transaction (durability point)."""
         with self._lock:
-            self._connection.commit()
+            self._with_lock_retry(self._connection.commit)
 
     def close(self) -> None:
         """Commit and close the connection (idempotent)."""

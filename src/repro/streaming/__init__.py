@@ -95,11 +95,12 @@ from repro.streaming.pipeline import (
 )
 from repro.streaming.checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
+    has_checkpoint,
     load_checkpoint,
     save_checkpoint,
 )
 from repro.streaming.hierarchy import HierarchicalNetworkDetector
-from repro.streaming.parallel import parallel_stream_detect
+from repro.streaming.parallel import WorkerSupervisor, parallel_stream_detect
 
 __all__ = [
     "AdaptiveControlLimits",
@@ -137,6 +138,8 @@ __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "save_checkpoint",
     "load_checkpoint",
+    "has_checkpoint",
     "HierarchicalNetworkDetector",
     "parallel_stream_detect",
+    "WorkerSupervisor",
 ]

@@ -115,6 +115,17 @@ class StreamingConfig:
         blocked feed/drain waits before re-checking worker health.  Worker
         *death* wakes the driver immediately through its process sentinel
         regardless of this value (see :mod:`repro.streaming.parallel`).
+    on_bad_chunk:
+        Malformed-chunk policy of the network detector.  A chunk is
+        malformed when any traffic type's matrix contains non-finite
+        values (NaN/Inf) or its column count disagrees with the stream's
+        established OD-flow dimension.  ``"raise"`` (the default) raises
+        a :class:`ValueError` naming the chunk, traffic type, and defect;
+        ``"quarantine"`` counts the chunk (``bad_chunks`` metric,
+        ``report.n_bad_chunks``) and skips it, keeping the model and
+        aggregator untouched — ingestion-side glitches (a collector
+        emitting NaNs, a truncated export) degrade coverage instead of
+        killing the run.
     n_pops:
         Default leaf count of the hierarchical detector
         (:class:`~repro.streaming.hierarchy.HierarchicalNetworkDetector`):
@@ -166,6 +177,7 @@ class StreamingConfig:
     adaptive_max_drift: float = 0.05
     adaptive_block_bins: int = 32
     adaptive_freeze_factor: float = 4.0
+    on_bad_chunk: str = "raise"
     parallel_mode: str = "type"
     bus_slots: int = 8
     poll_seconds: float = 1.0
@@ -206,6 +218,8 @@ class StreamingConfig:
                 "adaptive_block_bins must be >= 1")
         require(self.adaptive_freeze_factor > 1.0,
                 "adaptive_freeze_factor must be > 1")
+        require(self.on_bad_chunk in ("raise", "quarantine"),
+                "on_bad_chunk must be 'raise' or 'quarantine'")
         require(self.parallel_mode in ("type", "shard"),
                 "parallel_mode must be 'type' or 'shard'")
         require(self.bus_slots >= 2, "bus_slots must be >= 2")

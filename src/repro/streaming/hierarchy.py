@@ -75,28 +75,38 @@ class _MergedEngine:
     """
 
     def __init__(self, leaves: Sequence[StreamingNetworkDetector],
-                 traffic_type: TrafficType, forgetting: float) -> None:
+                 traffic_type: TrafficType, forgetting: float,
+                 quarantined: Optional[set] = None) -> None:
         self._leaves = list(leaves)
         self._type = TrafficType(traffic_type)
         self._forgetting = forgetting
+        # Shared (by reference) with the owning hierarchy: leaves whose pop
+        # index is in this set are excluded from the fold, so a quarantined
+        # leaf's stale moments stop shaping the global model until it is
+        # reintegrated — at which point the exact merge folds everything it
+        # ingested (including while quarantined) back in.
+        self._quarantined = quarantined if quarantined is not None else set()
         self._cached: Optional[OnlinePCA] = None
-        self._cache_key: Optional[Tuple[int, ...]] = None
+        self._cache_key: Optional[Tuple] = None
 
-    def _leaf_engines(self) -> List:
+    def _leaf_engines(self) -> List[Tuple[int, object]]:
         engines = []
-        for leaf in self._leaves:
+        for index, leaf in enumerate(self._leaves):
+            if index in self._quarantined:
+                continue
             detector = leaf._detectors.get(self._type)
             if detector is not None:
-                engines.append(detector.engine)
+                engines.append((index, detector.engine))
         return engines
 
     def merged(self):
-        """The folded engine, rebuilt only when a leaf saw new data."""
+        """The folded engine, rebuilt when a leaf saw new data or the
+        quarantine set changed."""
         engines = self._leaf_engines()
-        key = tuple(engine._version for engine in engines)
+        key = tuple((index, engine._version) for index, engine in engines)
         if self._cached is None or key != self._cache_key:
             flat = [engine.merged() if isinstance(engine, ShardedOnlinePCA)
-                    else engine for engine in engines]
+                    else engine for _, engine in engines]
             if not flat:
                 self._cached = OnlinePCA(forgetting=self._forgetting)
             else:
@@ -170,9 +180,12 @@ class HierarchicalNetworkDetector:
 
     def __init__(self, config: StreamingConfig = StreamingConfig(),
                  n_pops: Optional[int] = None,
-                 traffic_types: Optional[Sequence[TrafficType]] = None) -> None:
+                 traffic_types: Optional[Sequence[TrafficType]] = None,
+                 leaf_deadline_bins: Optional[int] = None) -> None:
         n_pops = config.n_pops if n_pops is None else n_pops
         require(n_pops >= 1, "n_pops must be >= 1")
+        require(leaf_deadline_bins is None or leaf_deadline_bins >= 1,
+                "leaf_deadline_bins must be >= 1 when given")
         require(config.forgetting == 1.0,
                 "hierarchical aggregation requires forgetting == 1.0 (the "
                 "parallel-moments merge is only order-free without decay, "
@@ -196,6 +209,12 @@ class HierarchicalNetworkDetector:
         for leaf in self._leaves:
             leaf._telemetry = self._telemetry
         self._leaf_end_bin = [0] * n_pops
+        # Leaf quarantine: pops in this set stopped producing (missed the
+        # watermark deadline, crashed, or were quarantined by the operator)
+        # and are excluded from every _MergedEngine fold until reintegrated.
+        self._quarantined: set = set()
+        self._leaf_deadline_bins = (None if leaf_deadline_bins is None
+                                    else int(leaf_deadline_bins))
         self._run_started: Optional[float] = None
         # Lineage id for checkpoint-directory ownership: stable across the
         # hierarchy's saves even though every save materializes a fresh
@@ -229,6 +248,77 @@ class HierarchicalNetworkDetector:
         """The ingestion detector of one PoP."""
         return self._leaves[pop]
 
+    # ------------------------------------------------------------------ #
+    # leaf quarantine
+    # ------------------------------------------------------------------ #
+    @property
+    def quarantined_pops(self) -> frozenset:
+        """Indices of the currently quarantined leaves."""
+        return frozenset(self._quarantined)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of leaves contributing to the global model (0..1]."""
+        return (len(self._leaves) - len(self._quarantined)) / len(self._leaves)
+
+    def quarantine_leaf(self, pop: int) -> None:
+        """Exclude one leaf from the global model until it returns.
+
+        Global detection continues over the healthy leaves: the next
+        :class:`_MergedEngine` refresh folds only their moments, and the
+        ``hierarchy_coverage`` gauge drops to match.  The leaf's own
+        ingested state is untouched — :meth:`reintegrate_leaf` (or a chunk
+        arriving for this pop) folds everything back via the exact merge.
+        """
+        require(0 <= pop < len(self._leaves),
+                f"pop must lie in [0, {len(self._leaves)})")
+        if pop in self._quarantined:
+            return
+        self._quarantined.add(pop)
+        if self._telemetry is not None:
+            self._telemetry.registry.counter(
+                "leaf_quarantines",
+                help="Leaves quarantined (silent or crashed PoPs)").inc()
+        self._record_coverage()
+
+    def reintegrate_leaf(self, pop: int) -> None:
+        """Fold a returned leaf back into the global model (exact merge)."""
+        require(0 <= pop < len(self._leaves),
+                f"pop must lie in [0, {len(self._leaves)})")
+        if pop not in self._quarantined:
+            return
+        self._quarantined.discard(pop)
+        if self._telemetry is not None:
+            self._telemetry.registry.counter(
+                "leaf_reintegrations",
+                help="Quarantined leaves folded back into the global "
+                "model").inc()
+        self._record_coverage()
+
+    def _record_coverage(self) -> None:
+        if self._telemetry is None:
+            return
+        registry = self._telemetry.registry
+        registry.gauge(
+            "quarantined_leaves",
+            help="Leaves currently excluded from the global model").set(
+                float(len(self._quarantined)))
+        registry.gauge(
+            "hierarchy_coverage",
+            help="Fraction of leaves contributing to the global model").set(
+                self.coverage)
+
+    def _enforce_leaf_deadline(self) -> None:
+        """Auto-quarantine leaves that fell past the watermark deadline."""
+        if self._leaf_deadline_bins is None:
+            return
+        watermark = max(self._leaf_end_bin)
+        for pop, end_bin in enumerate(self._leaf_end_bin):
+            if pop in self._quarantined:
+                continue
+            if watermark - end_bin > self._leaf_deadline_bins:
+                self.quarantine_leaf(pop)
+
     def global_detector(self, traffic_type: TrafficType) -> StreamingSubspaceDetector:
         """The global (merged-engine) detector of one traffic type."""
         return self._global[TrafficType(traffic_type)]
@@ -250,7 +340,8 @@ class HierarchicalNetworkDetector:
         detector = self._global.get(traffic_type)
         if detector is None:
             engine = _MergedEngine(self._leaves, traffic_type,
-                                   self._config.forgetting)
+                                   self._config.forgetting,
+                                   quarantined=self._quarantined)
             detector = StreamingSubspaceDetector(self._config, engine=engine)
             if self._telemetry is not None:
                 detector.bind_telemetry(self._telemetry,
@@ -290,8 +381,12 @@ class HierarchicalNetworkDetector:
         if tel is not None:
             tel.begin_chunk(self._chunk_index)
         types = self._types_for(chunk)
+        if pop in self._quarantined:
+            # The leaf produced again: fold its state back (exact merge).
+            self.reintegrate_leaf(pop)
         self._leaves[pop].ingest_chunk(chunk)
         self._leaf_end_bin[pop] = max(self._leaf_end_bin[pop], chunk.end_bin)
+        self._enforce_leaf_deadline()
 
         results: Dict[TrafficType, ChunkDetections] = {}
         for traffic_type in types:
@@ -324,6 +419,7 @@ class HierarchicalNetworkDetector:
                     "hierarchy_leaf_lag_bins", {"pop": str(index)},
                     help="Bins between the global watermark and this "
                     "PoP's last ingested chunk").set(watermark - end_bin)
+            self._record_coverage()
             tel.end_chunk()
             self._update_runtime()
             tel.maybe_write_snapshot(self._report.n_chunks_processed)

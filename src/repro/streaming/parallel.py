@@ -46,10 +46,12 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import queue as queue_module
+import random
 import time
 import traceback
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, \
+    Tuple, Union
 
 import numpy as np
 
@@ -65,12 +67,12 @@ from repro.streaming.pipeline import (
     _dedup_types,
     _fuse_chunk_results,
 )
-from repro.streaming.sharding import ShardWorkerMoments
+from repro.streaming.sharding import ShardWorkerMoments, partition_columns
 from repro.streaming.sources import TrafficChunk
-from repro.telemetry import Telemetry
+from repro.telemetry import MetricsRegistry, Telemetry
 from repro.utils.validation import require
 
-__all__ = ["parallel_stream_detect"]
+__all__ = ["parallel_stream_detect", "WorkerSupervisor"]
 
 #: Sentinel telling a worker its input stream ended.
 _STOP = None
@@ -184,11 +186,22 @@ def _type_worker(worker_index: int, config: StreamingConfig,
 
 
 def _shard_worker(shard_index: int, n_shards: int, config: StreamingConfig,
-                  bus_handle, in_queue, out_queue) -> None:
-    """Maintain this worker's column shard of every per-type engine."""
+                  bus_handle, in_queue, out_queue, seed=None) -> None:
+    """Maintain this worker's column shard of every per-type engine.
+
+    *seed* (restart path) maps each type to its checkpointed moments —
+    scalar meta, full mean, and this shard's scatter row block — so a
+    worker spawned by a supervisor restart resumes exactly where the last
+    good checkpoint left off.
+    """
     label = f"shard-{shard_index}"
     reader = ChunkBusReader(bus_handle)
     engines: Dict[str, ShardWorkerMoments] = {}
+    if seed:
+        for type_value, payload in seed.items():
+            engines[type_value] = ShardWorkerMoments.from_seed(
+                shard_index, n_shards, config.forgetting,
+                payload["meta"], payload["mean"], payload["block"])
     telemetry = Telemetry.from_config(config, worker=label)
     last_chunk = None
     n_chunks = 0
@@ -464,13 +477,14 @@ class _ShardWorkerPool(_PoolBase):
 
     def __init__(self, config: StreamingConfig, n_workers: int,
                  queue_depth: int, poll_seconds: float, context,
-                 slot_bytes: int) -> None:
+                 slot_bytes: int, seeds: Optional[List[Dict]] = None) -> None:
         super().__init__(n_workers, queue_depth, poll_seconds, context,
                          slot_bytes, config.bus_slots)
         self._collect_id = 0
         handle = self.bus.handle()
         self._spawn(context, _shard_worker, [
-            (i, n_workers, config, handle, self.in_queues[i], self.out_queue)
+            (i, n_workers, config, handle, self.in_queues[i], self.out_queue,
+             seeds[i] if seeds is not None else None)
             for i in range(n_workers)
         ])
 
@@ -568,6 +582,8 @@ def parallel_stream_detect(
     checkpoint_dir: Optional[Union[str, os.PathLike]] = None,
     checkpoint_every_chunks: Optional[int] = None,
     on_events=None,
+    resume_from: Optional[StreamingNetworkDetector] = None,
+    fault_hook: Optional[Callable[[int, "_PoolBase"], None]] = None,
 ) -> StreamingReport:
     """Multi-process live diagnosis over an iterable of chunks.
 
@@ -611,6 +627,20 @@ def parallel_stream_detect(
         Optional event hand-off hook, called on the coordinator with every
         batch of newly closed events (and the end-of-stream tail) — the
         same contract as :func:`~repro.streaming.pipeline.stream_detect`.
+    resume_from:
+        Shard mode only: a restored flat
+        :class:`~repro.streaming.pipeline.StreamingNetworkDetector` (from
+        :func:`~repro.streaming.checkpoint.load_checkpoint`) whose state
+        seeds the coordinator *and* every shard worker, so the run
+        continues the checkpointed trajectory exactly.  *chunks* must then
+        be the stream suffix starting at the checkpoint's resume bin —
+        this is the :class:`WorkerSupervisor` restart path.
+    fault_hook:
+        Test-only injection point: called as ``fault_hook(chunk_index,
+        pool)`` before each chunk is published (*chunk_index* is
+        stream-global, counting any resumed prefix).  The seeded chaos
+        harness (:mod:`repro.faults`) uses it to kill workers or stall the
+        writer deterministically; production runs leave it ``None``.
 
     Returns
     -------
@@ -637,6 +667,9 @@ def parallel_stream_detect(
             "shard-parallel workers maintain the exact scatter; use "
             "mode='type' for low-rank engines (or compress after the run "
             "via compress_engine)")
+    require(resume_from is None or mode == "shard",
+            "resume_from requires mode='shard' (type mode keeps detector "
+            "state in the workers and replays from the stream start)")
 
     iterator = iter(chunks)
     try:
@@ -656,14 +689,19 @@ def parallel_stream_detect(
     if mode == "shard":
         workers = (n_workers if n_workers is not None
                    else max(2, os.cpu_count() or 1))
+        seeds = (None if resume_from is None
+                 else _shard_seeds(resume_from, types, workers))
         pool = _ShardWorkerPool(config, workers, queue_depth, poll, context,
-                                slot_bytes)
+                                slot_bytes, seeds=seeds)
         return _run_shard_mode(iterator, types, config, pool, checkpoint_dir,
-                               checkpoint_every_chunks, on_events=on_events)
+                               checkpoint_every_chunks, on_events=on_events,
+                               resume_from=resume_from,
+                               fault_hook=fault_hook)
     pool = _TypeWorkerPool(types, config,
                            n_workers if n_workers is not None else len(types),
                            queue_depth, poll, context, slot_bytes)
-    return _run_type_mode(iterator, types, config, pool, on_events=on_events)
+    return _run_type_mode(iterator, types, config, pool, on_events=on_events,
+                          fault_hook=fault_hook)
 
 
 def _finalize_runtime(report: StreamingReport, started: float,
@@ -682,7 +720,7 @@ def _finalize_runtime(report: StreamingReport, started: float,
 def _run_type_mode(iterator, types: List[TrafficType],
                    config: StreamingConfig,
                    pool: _TypeWorkerPool,
-                   on_events=None) -> StreamingReport:
+                   on_events=None, fault_hook=None) -> StreamingReport:
     aggregator = OnlineEventAggregator()
     report = StreamingReport()
     telemetry = Telemetry.from_config(config)
@@ -695,6 +733,8 @@ def _run_type_mode(iterator, types: List[TrafficType],
     started = time.perf_counter()
     try:
         for chunk_index, chunk in enumerate(iterator):
+            if fault_hook is not None:
+                fault_hook(chunk_index, pool)
             narrowed = _restricted_chunk(chunk, types)
             spans[chunk_index] = _ChunkSpan(narrowed.start_bin,
                                             narrowed.n_bins)
@@ -778,24 +818,99 @@ def _drain(
             return next_to_fuse
 
 
+def _flat_engine(engine):
+    """A restored per-type engine as flat ``OnlinePCA`` moments."""
+    return engine.merged() if hasattr(engine, "merged") else engine
+
+
+def _shard_seeds(restored: StreamingNetworkDetector,
+                 types: List[TrafficType],
+                 n_workers: int) -> List[Dict]:
+    """Per-worker seed payloads cut from a restored flat checkpoint.
+
+    Worker ``i`` receives, for every type the checkpoint covers, the flat
+    engine's scalar meta + full mean and the ``partition_columns`` row
+    block it owns — the same partition the live workers maintain, so the
+    reassembled scatter continues the checkpointed one bit-for-bit.
+    """
+    seeds: List[Dict] = [{} for _ in range(n_workers)]
+    for traffic_type in types:
+        try:
+            detector = restored.detector(traffic_type)
+        except KeyError:
+            continue
+        engine = _flat_engine(detector.engine)
+        if engine.n_features is None:
+            continue
+        state = engine.state_dict()
+        mean = state["arrays"]["mean"]
+        scatter = state["arrays"]["scatter"]
+        partition = partition_columns(mean.size, n_workers)
+        for i in range(n_workers):
+            columns = (partition[i] if i < len(partition)
+                       else np.empty(0, dtype=int))
+            seeds[i][traffic_type.value] = {
+                "meta": state["meta"], "mean": mean,
+                "block": scatter[columns, :]}
+    return seeds
+
+
+def _adopt_scatter_proxies(network: StreamingNetworkDetector,
+                           config: StreamingConfig,
+                           types: List[TrafficType],
+                           pool: _ShardWorkerPool) -> None:
+    """Swap a restored network's flat engines for coordinator proxies.
+
+    The proxy adopts the flat engine's scalars (mean, weights, bin count);
+    its scatter rows already live in the freshly seeded shard workers, so
+    the next collect barrier assembles exactly the checkpointed matrix.
+    """
+    for traffic_type in types:
+        try:
+            detector = network.detector(traffic_type)
+        except KeyError:
+            continue
+        flat = _flat_engine(detector.engine)
+        proxy = _ShardScatterProxy(config.forgetting, traffic_type.value,
+                                   pool)
+        if flat.n_features is not None:
+            proxy._n_features = flat.n_features
+            proxy._mean = np.array(flat.mean, dtype=float)
+        proxy._weight_sum = flat.weight_sum
+        proxy._weight_sq_sum = flat.weight_sq_sum
+        proxy._n_bins_seen = flat.n_bins_seen
+        detector._engine = proxy
+
+
 def _run_shard_mode(iterator, types: List[TrafficType],
                     config: StreamingConfig, pool: _ShardWorkerPool,
                     checkpoint_dir, checkpoint_every_chunks,
-                    on_events=None) -> StreamingReport:
+                    on_events=None, resume_from=None,
+                    fault_hook=None) -> StreamingReport:
     # The whole single-process pipeline — calibration cadence, detection,
     # identification, in-order fusion — runs unchanged inside this
     # coordinator-owned network detector; only the engines differ, farming
     # the scatter out to the shard workers.
-    network = StreamingNetworkDetector(
-        config, types,
-        engine_factory=lambda t: _ShardScatterProxy(config.forgetting,
-                                                    t.value, pool),
-        on_events=on_events)
+    if resume_from is not None:
+        network = resume_from
+        _adopt_scatter_proxies(network, config, types, pool)
+        network.on_events = on_events
+        network._engine_factory = lambda t: _ShardScatterProxy(
+            config.forgetting, t.value, pool)
+    else:
+        network = StreamingNetworkDetector(
+            config, types,
+            engine_factory=lambda t: _ShardScatterProxy(config.forgetting,
+                                                        t.value, pool),
+            on_events=on_events)
+    chunk_offset = network.report.n_chunks_processed
     telemetry = network.telemetry
     if telemetry is not None:
         pool.bus.bind_telemetry(telemetry)
     try:
         for chunk_index, chunk in enumerate(iterator):
+            if fault_hook is not None:
+                fault_hook(chunk_offset + chunk_index, pool)
             narrowed = _restricted_chunk(chunk, types)
             if telemetry is not None:
                 # The coordinator owns this chunk's trace; process_chunk
@@ -827,3 +942,161 @@ def _run_shard_mode(iterator, types: List[TrafficType],
         pool.shutdown(force=True)
         raise
     return network.finish()
+
+
+# --------------------------------------------------------------------- #
+# supervision
+# --------------------------------------------------------------------- #
+class WorkerSupervisor:
+    """Restart a parallel run from its last good checkpoint on worker death.
+
+    The distributed drivers are fail-fast by construction: a dead worker
+    raises :class:`RuntimeError` and tears the whole attempt down (a shard
+    worker's scatter row block dies with its process, so the attempt — not
+    the single worker — is the recoverable unit).  This supervisor wraps
+    :func:`parallel_stream_detect` in a bounded restart loop:
+
+    * on failure it sleeps an exponential backoff with seeded jitter (the
+      same discipline as the alert dispatcher's retry policy), reloads the
+      newest checkpoint generation that verifies
+      (:func:`~repro.streaming.checkpoint.load_checkpoint` with
+      ``fallback=True``), and replays the stream suffix from the
+      checkpoint's resume bin through *source_factory*;
+    * restored shard workers are **seeded** with their checkpointed
+      scatter row blocks at spawn, so the resumed run continues the exact
+      numerical trajectory — the final report (whose prefix rides inside
+      the checkpoint) is identical to an undisturbed run's, the invariant
+      ``tests/test_chaos.py`` enforces;
+    * once *max_restarts* is exhausted the original fail-fast
+      :class:`RuntimeError` escalates to the caller.
+
+    In ``mode="type"`` there are no mid-stream checkpoints (detector state
+    lives inside the workers), so every restart replays from the stream
+    start — correct, just slower; downstream sinks absorb the re-emitted
+    events through the idempotent event store.
+
+    Restart activity is visible in :attr:`registry` (and therefore in
+    :class:`~repro.telemetry.health.HealthSnapshot` /
+    ``prometheus_exposition``): the ``worker_restarts`` counter, the
+    ``degraded`` gauge (1 once any restart happened), and the
+    ``checkpoint_fallbacks`` / ``checkpoints_quarantined`` counters of the
+    fallback loads.
+
+    Parameters
+    ----------
+    config, traffic_types, n_workers, queue_depth, mp_context, mode,
+    poll_seconds, checkpoint_dir, checkpoint_every_chunks, on_events:
+        Forwarded to :func:`parallel_stream_detect` on every attempt.
+    source_factory:
+        ``source_factory(resume_bin) -> Iterable[TrafficChunk]`` — the
+        resumable chunk source: must yield the stream suffix whose first
+        chunk starts at *resume_bin* (``0`` on the first attempt; a
+        :class:`~repro.streaming.sources.ChunkedSeriesSource` over
+        ``series.window(resume_bin, ...)`` is the canonical shape).
+    max_restarts:
+        Restart budget; ``0`` reproduces the bare fail-fast behavior.
+    backoff_base, backoff_factor, jitter, sleep, seed:
+        The retry discipline: restart ``k`` (0-based) sleeps
+        ``backoff_base * backoff_factor**k``, scaled by ``1 + jitter *
+        U[0, 1)`` from a dedicated ``random.Random(seed)``; *sleep* is
+        injectable so tests run instantly and deterministically.
+    registry:
+        Optional :class:`~repro.telemetry.MetricsRegistry` to count into;
+        a fresh one is created (and exposed as :attr:`registry`) if omitted.
+    fault_hook:
+        Forwarded to :func:`parallel_stream_detect` — the chaos harness's
+        deterministic injection point.
+    """
+
+    def __init__(self, config: StreamingConfig, source_factory,
+                 traffic_types: Optional[Sequence[TrafficType]] = None,
+                 n_workers: Optional[int] = None, queue_depth: int = 4,
+                 mp_context: Optional[str] = None, mode: Optional[str] = None,
+                 poll_seconds: Optional[float] = None,
+                 checkpoint_dir: Optional[Union[str, os.PathLike]] = None,
+                 checkpoint_every_chunks: Optional[int] = None,
+                 on_events=None, max_restarts: int = 3,
+                 backoff_base: float = 0.05, backoff_factor: float = 2.0,
+                 jitter: float = 0.1, sleep=time.sleep, seed: int = 0,
+                 registry: Optional[MetricsRegistry] = None,
+                 fault_hook=None) -> None:
+        require(max_restarts >= 0, "max_restarts must be >= 0")
+        require(backoff_base >= 0.0, "backoff_base must be >= 0")
+        require(backoff_factor >= 1.0, "backoff_factor must be >= 1")
+        require(jitter >= 0.0, "jitter must be >= 0")
+        self._config = config
+        self._source_factory = source_factory
+        self._traffic_types = traffic_types
+        self._n_workers = n_workers
+        self._queue_depth = queue_depth
+        self._mp_context = mp_context
+        self._mode = config.parallel_mode if mode is None else mode
+        self._poll_seconds = poll_seconds
+        self._checkpoint_dir = checkpoint_dir
+        self._checkpoint_every_chunks = checkpoint_every_chunks
+        self._on_events = on_events
+        self._max_restarts = int(max_restarts)
+        self._backoff_base = float(backoff_base)
+        self._backoff_factor = float(backoff_factor)
+        self._jitter = float(jitter)
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._fault_hook = fault_hook
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.restarts = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def degraded(self) -> bool:
+        """Whether any attempt has failed (the run recovered at least once)."""
+        return self.restarts > 0
+
+    def _backoff_seconds(self, attempt: int) -> float:
+        scale = 1.0 + self._jitter * self._rng.random()
+        return self._backoff_base * (self._backoff_factor ** attempt) * scale
+
+    def _record_restart(self) -> None:
+        self.restarts += 1
+        self.registry.counter(
+            "worker_restarts",
+            help="Supervised attempts restarted after a worker death").inc()
+        self.registry.gauge(
+            "degraded",
+            help="1 once any supervised restart happened").set(1.0)
+
+    def _resume_state(self):
+        """(restored detector or None, resume bin) for the next attempt."""
+        from repro.streaming.checkpoint import has_checkpoint, load_checkpoint
+        if self._mode != "shard" or self._checkpoint_dir is None or \
+                not has_checkpoint(self._checkpoint_dir):
+            return None, 0
+        restored = load_checkpoint(self._checkpoint_dir, fallback=True,
+                                   registry=self.registry)
+        return restored, restored.report.n_bins_processed
+
+    def run(self) -> StreamingReport:
+        """Drive the stream to completion, restarting on worker failures."""
+        while True:
+            restored, resume_bin = self._resume_state()
+            try:
+                return parallel_stream_detect(
+                    self._source_factory(resume_bin), self._config,
+                    traffic_types=self._traffic_types,
+                    n_workers=self._n_workers,
+                    queue_depth=self._queue_depth,
+                    mp_context=self._mp_context, mode=self._mode,
+                    poll_seconds=self._poll_seconds,
+                    checkpoint_dir=self._checkpoint_dir,
+                    checkpoint_every_chunks=self._checkpoint_every_chunks,
+                    on_events=self._on_events, resume_from=restored,
+                    fault_hook=self._fault_hook)
+            except RuntimeError:
+                # Worker death (or a forwarded worker traceback).  Config
+                # errors raise ValueError before any worker starts and are
+                # never retried.
+                if self.restarts >= self._max_restarts:
+                    raise
+                delay = self._backoff_seconds(self.restarts)
+                self._record_restart()
+                if delay > 0.0:
+                    self._sleep(delay)

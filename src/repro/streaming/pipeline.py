@@ -69,6 +69,9 @@ class StreamingReport:
     n_bins_processed: int = 0
     n_chunks_processed: int = 0
     n_warmup_bins: int = 0
+    # Malformed chunks skipped under on_bad_chunk="quarantine" (bad chunks
+    # under "raise" never reach the report — the run dies instead).
+    n_bad_chunks: int = 0
     # Wall-clock throughput, maintained by the drivers as chunks flow (a
     # restored run keeps accumulating on top of the checkpointed value).
     # Excluded from evaluation.report_parity: two runs producing identical
@@ -96,6 +99,7 @@ class StreamingReport:
             "n_bins_processed": self.n_bins_processed,
             "n_chunks_processed": self.n_chunks_processed,
             "n_warmup_bins": self.n_warmup_bins,
+            "n_bad_chunks": self.n_bad_chunks,
             "runtime_seconds": self.runtime_seconds,
             "bins_per_second": self.bins_per_second,
         }
@@ -112,6 +116,8 @@ class StreamingReport:
             n_bins_processed=int(data["n_bins_processed"]),
             n_chunks_processed=int(data["n_chunks_processed"]),
             n_warmup_bins=int(data["n_warmup_bins"]),
+            # .get(): checkpoints written before bad-chunk tracking existed.
+            n_bad_chunks=int(data.get("n_bad_chunks", 0)),
             # .get(): checkpoints written before the runtime fields existed
             # restore with zeros rather than KeyError.
             runtime_seconds=float(data.get("runtime_seconds", 0.0)),
@@ -206,6 +212,9 @@ class StreamingNetworkDetector:
         # detection, fusion — runs through this class unchanged.
         self._engine_factory = engine_factory
         self._detectors: Dict[TrafficType, StreamingSubspaceDetector] = {}
+        # OD-flow column count established by the first chunk; later chunks
+        # disagreeing with it are malformed (on_bad_chunk policy applies).
+        self._n_features: Optional[int] = None
         self._aggregator = OnlineEventAggregator()
         self._report = StreamingReport()
         self._finished = False
@@ -280,6 +289,55 @@ class StreamingNetworkDetector:
             self._detectors[traffic_type] = detector
         return detector
 
+    def _chunk_error(self, chunk: TrafficChunk) -> Optional[str]:
+        """Describe what is malformed about *chunk*, or ``None`` if clean.
+
+        Checks every traffic type's matrix for non-finite values and for a
+        column count disagreeing with the stream's established OD-flow
+        dimension (learned from the first chunk).
+        """
+        for traffic_type in self._types_for(chunk):
+            matrix = np.asarray(chunk.matrix(traffic_type))
+            if matrix.ndim != 2:
+                return (f"chunk at bin {chunk.start_bin}: "
+                        f"{traffic_type.value} matrix is "
+                        f"{matrix.ndim}-dimensional, expected 2")
+            if self._n_features is None:
+                self._n_features = int(matrix.shape[1])
+            elif matrix.shape[1] != self._n_features:
+                return (f"chunk at bin {chunk.start_bin}: "
+                        f"{traffic_type.value} matrix has {matrix.shape[1]} "
+                        f"columns, expected {self._n_features} OD flows")
+            if not np.isfinite(matrix).all():
+                n_bad = int(matrix.size - np.isfinite(matrix).sum())
+                return (f"chunk at bin {chunk.start_bin}: "
+                        f"{traffic_type.value} matrix contains {n_bad} "
+                        f"non-finite value(s) (NaN/Inf)")
+        return None
+
+    def _reject_bad_chunk(self, chunk: TrafficChunk) -> bool:
+        """Apply the ``on_bad_chunk`` policy; ``True`` iff chunk is skipped.
+
+        ``"raise"`` turns the defect into a :class:`ValueError`;
+        ``"quarantine"`` counts it (``bad_chunks`` metric,
+        ``report.n_bad_chunks``) and tells the caller to drop the chunk
+        without touching the model or the aggregator watermark.
+        """
+        error = self._chunk_error(chunk)
+        if error is None:
+            return False
+        if self._config.on_bad_chunk == "raise":
+            raise ValueError(
+                f"malformed traffic chunk: {error} "
+                f"(set on_bad_chunk='quarantine' to count and skip instead)")
+        self._report.n_bad_chunks += 1
+        if self._telemetry is not None:
+            self._telemetry.registry.counter(
+                "bad_chunks",
+                help="Malformed chunks skipped under "
+                "on_bad_chunk='quarantine'").inc()
+        return True
+
     def _update_runtime(self) -> None:
         """Refresh the report's wall-clock throughput fields in place."""
         if self._run_started is None:
@@ -306,6 +364,8 @@ class StreamingNetworkDetector:
         require(not self._finished, "detector already finished")
         if self._run_started is None:
             self._run_started = time.perf_counter()
+        if self._reject_bad_chunk(chunk):
+            return
         for traffic_type in self._types_for(chunk):
             self._detector_for(traffic_type).ingest(chunk.matrix(traffic_type))
 
@@ -314,6 +374,8 @@ class StreamingNetworkDetector:
         require(not self._finished, "detector already finished")
         if self._run_started is None:
             self._run_started = time.perf_counter()
+        if self._reject_bad_chunk(chunk):
+            return []
         tel = self._telemetry
         # Drivers that time their own "ingest" stage open the chunk's trace
         # before handing the chunk over; only start one here if they didn't.

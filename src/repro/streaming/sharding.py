@@ -273,6 +273,31 @@ class ShardWorkerMoments(_MomentTracker):
                    else np.empty(0, dtype=int))
         self._shard = _ColumnShard(columns, n_features)
 
+    @classmethod
+    def from_seed(cls, shard_index: int, n_shards: int, forgetting: float,
+                  meta: Mapping, mean: np.ndarray,
+                  block: np.ndarray) -> "ShardWorkerMoments":
+        """A worker tracker resumed from checkpointed flat moments.
+
+        *meta* are the flat engine's scalars (``_scalar_state`` output),
+        *mean* its full length-``p`` mean, and *block* the
+        ``|cols| x p`` scatter rows this shard owns under
+        :func:`partition_columns` — the supervisor's restart path seeds
+        replacement workers with exactly the state the dead ones carried
+        at the last good checkpoint.
+        """
+        engine = cls(shard_index, n_shards, forgetting)
+        mean = np.array(mean, dtype=float)
+        engine._n_features = mean.size
+        engine._mean = mean
+        engine._initialize_scatter(mean.size)
+        block = np.array(block, dtype=float)
+        require(block.shape == engine._shard.block.shape,
+                "seed block shape does not match this shard's column count")
+        engine._shard.block = block
+        engine._restore_scalars(meta)
+        return engine
+
     def _apply_scatter_update(self, centered: np.ndarray,
                               weights: Optional[np.ndarray],
                               delta: np.ndarray, decay: float,

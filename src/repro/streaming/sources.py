@@ -24,7 +24,7 @@ from typing import Iterator, List, Mapping, Optional
 import numpy as np
 
 from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
-from repro.utils.validation import ensure_2d, require
+from repro.utils.validation import require
 
 __all__ = ["TrafficChunk", "ChunkedSeriesSource", "AsyncChunkSource",
            "chunk_series"]
@@ -47,7 +47,15 @@ class TrafficChunk:
         shape = None
         coerced = {}
         for traffic_type, matrix in self.matrices.items():
-            array = ensure_2d(matrix, f"matrices[{TrafficType(traffic_type).value}]")
+            name = f"matrices[{TrafficType(traffic_type).value}]"
+            # Shape-only coercion: a chunk is a wire format and may carry a
+            # collector's malformed payload (NaN/Inf cells).  Whether that
+            # kills the run or is quarantined is the *detector's* policy
+            # (StreamingConfig.on_bad_chunk), not the container's.
+            array = np.asarray(matrix, dtype=float)
+            require(array.ndim == 2,
+                    f"{name} must be 2-dimensional, got ndim={array.ndim}")
+            require(array.size > 0, f"{name} must be non-empty")
             if shape is None:
                 shape = array.shape
             require(array.shape == shape,

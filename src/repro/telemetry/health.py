@@ -45,6 +45,16 @@ class HealthSnapshot:
     workers: Dict[str, int] = field(default_factory=dict)
     stage_seconds: Dict[str, Dict[str, float]] = field(default_factory=dict)
     metrics: Dict[str, object] = field(default_factory=dict)
+    # Fault-tolerance surface (defaults keep pre-existing snapshots
+    # loading): supervised-worker restarts, checkpoint fallback activity,
+    # hierarchy leaf quarantine, and malformed-chunk skips.
+    worker_restarts: int = 0
+    degraded: bool = False
+    checkpoint_fallbacks: int = 0
+    checkpoints_quarantined: int = 0
+    quarantined_leaves: int = 0
+    coverage: float = 1.0
+    bad_chunks: int = 0
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -85,6 +95,8 @@ class HealthSnapshot:
             dict(labels_key).get("worker", ""): int(metric.value)
             for labels_key, metric in registry.labeled("worker_chunks").items()
         }
+        # Coverage defaults to full when the run has no hierarchy gauge.
+        coverage = registry.value("hierarchy_coverage", default=1.0)
         return cls(
             created_unix=(time.time() if created_unix is None
                           else float(created_unix)),
@@ -101,6 +113,14 @@ class HealthSnapshot:
             workers=workers,
             stage_seconds=stage_summary,
             metrics=registry.to_dict(),
+            worker_restarts=int(registry.value("worker_restarts")),
+            degraded=bool(registry.value("degraded")),
+            checkpoint_fallbacks=int(registry.value("checkpoint_fallbacks")),
+            checkpoints_quarantined=int(
+                registry.value("checkpoints_quarantined")),
+            quarantined_leaves=int(registry.value("quarantined_leaves")),
+            coverage=float(coverage),
+            bad_chunks=int(registry.value("bad_chunks")),
         )
 
     def registry(self) -> MetricsRegistry:
@@ -190,6 +210,23 @@ def render_status_table(snapshot: HealthSnapshot) -> str:
         f"recalibrations     {snapshot.recalibrations}"
         f"  ({snapshot.recalibration_seconds:.3f}s total)",
     ]
+    faults = (snapshot.worker_restarts or snapshot.degraded
+              or snapshot.checkpoint_fallbacks
+              or snapshot.checkpoints_quarantined
+              or snapshot.quarantined_leaves or snapshot.bad_chunks
+              or snapshot.coverage < 1.0)
+    if faults:
+        lines += [
+            "",
+            f"degraded           "
+            f"{'yes' if snapshot.degraded else 'no'}",
+            f"worker restarts    {snapshot.worker_restarts}",
+            f"ckpt fallbacks     {snapshot.checkpoint_fallbacks}"
+            f"  ({snapshot.checkpoints_quarantined} files quarantined)",
+            f"leaf coverage      {snapshot.coverage:.2f}"
+            f"  ({snapshot.quarantined_leaves} leaves quarantined)",
+            f"bad chunks         {snapshot.bad_chunks}",
+        ]
     if snapshot.events_by_type:
         lines.append("")
         lines.extend(_rows_to_table(

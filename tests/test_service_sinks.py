@@ -68,9 +68,63 @@ class TestSinks:
         assert [json.loads(line)["n"] for line in lines] == [1, 2]
         sink.close()  # idempotent
 
-    def test_webhook_without_transport_raises(self):
-        with pytest.raises(RuntimeError, match="no transport"):
+    def test_webhook_default_transport_posts_json(self, monkeypatch):
+        seen = {}
+
+        class FakeResponse:
+            status = 200
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def getcode(self):
+                return self.status
+
+        def fake_urlopen(request, timeout=None):
+            seen["url"] = request.full_url
+            seen["method"] = request.get_method()
+            seen["body"] = request.data
+            seen["content_type"] = request.get_header("Content-type")
+            seen["timeout"] = timeout
+            return FakeResponse()
+
+        monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+        sink = WebhookSink("http://example.invalid/hook", timeout=2.5)
+        sink.emit({"n": 1})
+        assert seen["url"] == "http://example.invalid/hook"
+        assert seen["method"] == "POST"
+        assert json.loads(seen["body"].decode()) == {"n": 1}
+        assert seen["content_type"] == "application/json"
+        assert seen["timeout"] == 2.5
+
+    def test_webhook_non_2xx_raises_retryable_error(self, monkeypatch):
+        import urllib.error
+
+        def fake_urlopen(request, timeout=None):
+            raise urllib.error.HTTPError(
+                request.full_url, 503, "unavailable", hdrs=None, fp=None)
+
+        monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+        with pytest.raises(RuntimeError, match="HTTP 503"):
             WebhookSink("http://example.invalid/hook").emit({"n": 1})
+
+    def test_webhook_connection_failure_raises_retryable_error(
+            self, monkeypatch):
+        import urllib.error
+
+        def fake_urlopen(request, timeout=None):
+            raise urllib.error.URLError("connection refused")
+
+        monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+        with pytest.raises(RuntimeError, match="failed"):
+            WebhookSink("http://example.invalid/hook").emit({"n": 1})
+
+    def test_webhook_rejects_bad_timeout(self):
+        with pytest.raises(ValueError):
+            WebhookSink("http://example.invalid/hook", timeout=0.0)
 
     def test_webhook_uses_injected_transport(self):
         posts = []
@@ -162,6 +216,41 @@ class TestDeadLetter:
         dispatcher.dispatch(_event())
         assert dispatcher.registry.value(
             "alerts_dead_lettered", {"sink": "recording"}) == 1
+
+    def test_dead_letter_rotates_at_size_cap(self, tmp_path):
+        dead = tmp_path / "dead.jsonl"
+        sink = RecordingSink(fail_first=99)
+        registry = MetricsRegistry()
+        dispatcher = AlertDispatcher([sink], registry=registry,
+                                     max_attempts=1, sleep=SleepRecorder(),
+                                     dead_letter_path=str(dead),
+                                     dead_letter_max_bytes=200)
+        for start in range(1, 6):
+            dispatcher.dispatch(_event(start=start, end=start + 1))
+        rotated = tmp_path / "dead.jsonl.1"
+        assert rotated.exists()
+        assert registry.value("dead_letter_rotations") >= 1
+        lines = (dead.read_text().splitlines()
+                 + rotated.read_text().splitlines())
+        for line in lines:
+            assert json.loads(line)["sink"] == "recording"
+        # The newest record always survives in the live file.
+        newest = json.loads(dead.read_text().splitlines()[-1])
+        assert newest["payload"]["start_bin"] == 5
+        # The live file stays within cap + one record's worth of slack.
+        assert dead.stat().st_size <= 200 + max(len(li) + 1 for li in lines)
+
+    def test_dead_letter_rotation_disabled_with_zero_cap(self, tmp_path):
+        dead = tmp_path / "dead.jsonl"
+        sink = RecordingSink(fail_first=99)
+        dispatcher = AlertDispatcher([sink], max_attempts=1,
+                                     sleep=SleepRecorder(),
+                                     dead_letter_path=str(dead),
+                                     dead_letter_max_bytes=0)
+        for start in range(1, 6):
+            dispatcher.dispatch(_event(start=start, end=start + 1))
+        assert not (tmp_path / "dead.jsonl.1").exists()
+        assert len(dead.read_text().splitlines()) == 5
 
     def test_partial_failure_still_delivers_to_healthy_sinks(self, tmp_path):
         healthy = RecordingSink()

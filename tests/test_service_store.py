@@ -174,3 +174,73 @@ class TestLifecycle:
         assert errors == []
         assert store.count() == 1 + 4 * 25
         store.close()
+
+
+class _LockedConnection:
+    """Delegating connection proxy that fails the first *n* executes."""
+
+    def __init__(self, real, fail_first):
+        self._real = real
+        self._fail_remaining = fail_first
+        self.failures_raised = 0
+
+    def execute(self, *args, **kwargs):
+        if self._fail_remaining > 0:
+            self._fail_remaining -= 1
+            self.failures_raised += 1
+            import sqlite3
+            raise sqlite3.OperationalError("database is locked")
+        return self._real.execute(*args, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+class TestLockedRetry:
+    def test_busy_timeout_pragma_applied(self, tmp_path):
+        with EventStore(tmp_path / "e.sqlite",
+                        busy_timeout_ms=1234) as store:
+            (value,) = store._connection.execute(
+                "PRAGMA busy_timeout").fetchone()
+            assert value == 1234
+
+    def test_locked_write_retries_then_succeeds(self, tmp_path):
+        sleeps = []
+        store = EventStore(tmp_path / "e.sqlite", lock_retries=3,
+                           lock_backoff=0.01, sleep=sleeps.append)
+        proxy = _LockedConnection(store._connection, fail_first=2)
+        store._connection = proxy
+        assert store.add_event(_event()) is True
+        assert proxy.failures_raised == 2
+        assert store.lock_retry_count == 2
+        assert sleeps == [0.01, 0.02]
+        store._connection = proxy._real
+        assert store.count() == 1
+        store.close()
+
+    def test_locked_write_exhausts_retries(self, tmp_path):
+        import sqlite3
+        sleeps = []
+        store = EventStore(tmp_path / "e.sqlite", lock_retries=2,
+                           lock_backoff=0.0, sleep=sleeps.append)
+        proxy = _LockedConnection(store._connection, fail_first=99)
+        store._connection = proxy
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            store.add_event(_event())
+        assert store.lock_retry_count == 2
+        assert len(sleeps) == 2
+        store._connection = proxy._real
+        store.close()
+
+    def test_other_operational_errors_propagate_immediately(self, store):
+        import sqlite3
+        with pytest.raises(sqlite3.OperationalError, match="syntax"):
+            store._with_lock_retry(lambda: store._connection.execute(
+                "NOT VALID SQL"))
+        assert store.lock_retry_count == 0
+
+    def test_invalid_retry_policy_rejected(self):
+        with pytest.raises(ValueError):
+            EventStore(busy_timeout_ms=-1)
+        with pytest.raises(ValueError):
+            EventStore(lock_retries=-1)

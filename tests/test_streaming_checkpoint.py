@@ -25,7 +25,12 @@ from repro.streaming import (
     save_checkpoint,
     stream_detect,
 )
-from repro.streaming.checkpoint import ARRAYS_FILENAME_PREFIX, MANIFEST_FILENAME
+from repro.streaming import has_checkpoint
+from repro.streaming.checkpoint import (ARRAYS_FILENAME_PREFIX,
+                                        MANIFEST_FILENAME,
+                                        QUARANTINE_DIRNAME,
+                                        newest_generation)
+from repro.telemetry import MetricsRegistry
 
 CHUNK = 48
 
@@ -337,3 +342,118 @@ class TestCheckpointLineage:
         foreign = self._trained(small_dataset, live_config, n_chunks=1)
         with pytest.raises(ValueError, match="different detector run"):
             save_checkpoint(foreign, path)
+
+
+class TestGenerationsAndFallback:
+    """Fallback chains: keep N verified generations, walk back past rot."""
+
+    def _save_n(self, dataset, config, directory, n_saves,
+                keep_generations=3):
+        detector = StreamingNetworkDetector(config)
+        chunks = _chunks(dataset)
+        per_save = max(1, len(chunks) // (n_saves + 1))
+        for index, chunk in enumerate(chunks[:n_saves * per_save], start=1):
+            detector.process_chunk(chunk)
+            if index % per_save == 0:
+                save_checkpoint(detector, directory,
+                                keep_generations=keep_generations)
+        return detector
+
+    def test_save_keeps_last_n_generations(self, small_dataset, live_config,
+                                           tmp_path):
+        directory = tmp_path / "ckpt"
+        self._save_n(small_dataset, live_config, directory, n_saves=5,
+                     keep_generations=3)
+        generation_manifests = sorted(directory.glob("manifest-*.json"))
+        assert len(generation_manifests) == 3
+        assert newest_generation(directory) == 5
+        # Each retained generation's arrays file is still on disk; no
+        # orphaned npz files from dropped generations linger.
+        referenced = {
+            json.loads(path.read_text())["arrays_file"]
+            for path in generation_manifests}
+        on_disk = {path.name
+                   for path in directory.glob(ARRAYS_FILENAME_PREFIX + "*")}
+        assert referenced <= on_disk
+        assert len(on_disk) <= 3
+
+    def test_fallback_restores_previous_generation(self, small_dataset,
+                                                   live_config, tmp_path):
+        directory = tmp_path / "ckpt"
+        self._save_n(small_dataset, live_config, directory, n_saves=3)
+        newest = json.loads(
+            (directory / MANIFEST_FILENAME).read_text())
+        # Bit-rot the newest arrays payload.
+        victim = directory / newest["arrays_file"]
+        payload = bytearray(victim.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        victim.write_bytes(bytes(payload))
+
+        with pytest.raises(ValueError):
+            load_checkpoint(directory)  # strict load still fails fast
+        registry = MetricsRegistry()
+        restored = load_checkpoint(directory, fallback=True,
+                                   registry=registry)
+        assert (restored.report.n_bins_processed
+                < newest["meta"]["report"]["n_bins_processed"])
+        assert registry.value("checkpoint_fallbacks") == 1
+        assert registry.value("checkpoints_quarantined") >= 1
+
+    def test_fallback_quarantines_instead_of_deleting(self, small_dataset,
+                                                      live_config, tmp_path):
+        directory = tmp_path / "ckpt"
+        self._save_n(small_dataset, live_config, directory, n_saves=2)
+        manifest = json.loads((directory / MANIFEST_FILENAME).read_text())
+        victim = directory / manifest["arrays_file"]
+        original_bytes = victim.read_bytes()
+        victim.write_bytes(original_bytes[:len(original_bytes) // 2])
+        load_checkpoint(directory, fallback=True)
+        quarantine = directory / QUARANTINE_DIRNAME
+        quarantined = list(quarantine.iterdir())
+        assert quarantined, "corrupt files must be preserved in quarantine"
+        assert any(manifest["arrays_file"] in path.name
+                   for path in quarantined)
+        # Subsequent saves ignore the quarantine directory entirely.
+        detector = load_checkpoint(directory, fallback=True)
+        save_checkpoint(detector, directory)
+        assert set(quarantine.iterdir()) == set(quarantined)
+
+    def test_fallback_with_everything_corrupt_raises(self, small_dataset,
+                                                     live_config, tmp_path):
+        directory = tmp_path / "ckpt"
+        self._save_n(small_dataset, live_config, directory, n_saves=2)
+        for manifest_path in list(directory.glob("manifest*.json")):
+            manifest_path.write_text("{ torn", encoding="utf-8")
+        with pytest.raises(ValueError, match="every candidate failed"):
+            load_checkpoint(directory, fallback=True)
+
+    def test_restored_generation_resumes_with_parity(self, small_dataset,
+                                                     live_config, tmp_path,
+                                                     uninterrupted):
+        directory = tmp_path / "ckpt"
+        chunks = _chunks(small_dataset)
+        detector = StreamingNetworkDetector(live_config)
+        for index, chunk in enumerate(chunks, start=1):
+            detector.process_chunk(chunk)
+            if index == 4 or index == 6:
+                save_checkpoint(detector, directory)
+            if index == 7:
+                break
+        manifest = json.loads((directory / MANIFEST_FILENAME).read_text())
+        victim = directory / manifest["arrays_file"]
+        victim.write_bytes(victim.read_bytes()[: victim.stat().st_size // 2])
+        restored = load_checkpoint(directory, fallback=True)
+        assert restored.report.n_chunks_processed == 4
+        for chunk in chunks[4:]:
+            restored.process_chunk(chunk)
+        report = restored.finish()
+        assert event_parity(uninterrupted.events, report.events).exact
+
+    def test_has_checkpoint(self, small_dataset, live_config, tmp_path):
+        directory = tmp_path / "ckpt"
+        assert has_checkpoint(directory) is False
+        self._save_n(small_dataset, live_config, directory, n_saves=1)
+        assert has_checkpoint(directory) is True
+        # A directory holding only generation manifests still counts.
+        (directory / MANIFEST_FILENAME).unlink()
+        assert has_checkpoint(directory) is True

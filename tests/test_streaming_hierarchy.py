@@ -159,3 +159,77 @@ class TestHierarchyValidation:
         merged = detector.global_detector(TrafficType.BYTES).engine
         with pytest.raises(NotImplementedError, match="merged view"):
             merged.partial_fit(chunk.matrix(TrafficType.BYTES))
+
+
+class TestLeafQuarantine:
+    def test_explicit_quarantine_and_reintegration(self, small_dataset,
+                                                   live_config):
+        detector = HierarchicalNetworkDetector(live_config, n_pops=3)
+        assert detector.coverage == 1.0
+        assert detector.quarantined_pops == frozenset()
+        detector.quarantine_leaf(2)
+        detector.quarantine_leaf(2)  # idempotent
+        assert detector.quarantined_pops == frozenset({2})
+        assert detector.coverage == pytest.approx(2.0 / 3.0)
+        detector.reintegrate_leaf(2)
+        detector.reintegrate_leaf(2)  # idempotent
+        assert detector.quarantined_pops == frozenset()
+        assert detector.coverage == 1.0
+        with pytest.raises(ValueError):
+            detector.quarantine_leaf(3)
+        with pytest.raises(ValueError):
+            detector.reintegrate_leaf(-1)
+
+    def test_deadline_validation(self, live_config):
+        with pytest.raises(ValueError):
+            HierarchicalNetworkDetector(live_config, n_pops=2,
+                                        leaf_deadline_bins=0)
+
+    def test_watermark_deadline_auto_quarantines(self, small_dataset,
+                                                 live_config):
+        chunks = list(chunk_series(small_dataset.series, CHUNK))
+        detector = HierarchicalNetworkDetector(
+            live_config, n_pops=2, leaf_deadline_bins=CHUNK)
+        # Both pops healthy for two rounds...
+        detector.process_chunk(chunks[0], pop=0)
+        detector.process_chunk(chunks[1], pop=1)
+        assert detector.quarantined_pops == frozenset()
+        # ...then pop 1 goes silent; once the watermark runs more than
+        # leaf_deadline_bins ahead of its last chunk it is quarantined.
+        detector.process_chunk(chunks[2], pop=0)
+        detector.process_chunk(chunks[3], pop=0)
+        assert detector.quarantined_pops == frozenset({1})
+        assert detector.coverage == 0.5
+        # The silent pop producing again reintegrates it automatically.
+        detector.process_chunk(chunks[4], pop=1)
+        assert detector.quarantined_pops == frozenset()
+        assert detector.coverage == 1.0
+
+    def test_quarantined_leaf_excluded_from_global_model(self, small_dataset,
+                                                         live_config):
+        chunks = list(chunk_series(small_dataset.series, CHUNK))
+        healthy = [c for i, c in enumerate(chunks) if i % 2 == 0]
+        flat_over_healthy = stream_detect(iter(healthy), live_config)
+        hierarchy = HierarchicalNetworkDetector(
+            live_config, n_pops=2, leaf_deadline_bins=2 * CHUNK)
+        for chunk in healthy:
+            hierarchy.process_chunk(chunk, pop=0)
+        report = hierarchy.finish()
+        parity = event_parity(flat_over_healthy.events, report.events)
+        assert parity.exact, parity.to_dict()
+
+    def test_quarantine_counters_in_registry(self, small_dataset):
+        config = StreamingConfig(min_train_bins=128,
+                                 recalibrate_every_bins=32, telemetry=True)
+        detector = HierarchicalNetworkDetector(config, n_pops=2)
+        for chunk in list(chunk_series(small_dataset.series, CHUNK))[:2]:
+            detector.process_chunk(chunk)
+        detector.quarantine_leaf(1)
+        registry = detector.telemetry.registry
+        assert registry.value("leaf_quarantines") == 1
+        assert registry.value("quarantined_leaves") == 1.0
+        assert registry.value("hierarchy_coverage") == 0.5
+        detector.reintegrate_leaf(1)
+        assert registry.value("leaf_reintegrations") == 1
+        assert registry.value("quarantined_leaves") == 0.0
+        assert registry.value("hierarchy_coverage") == 1.0

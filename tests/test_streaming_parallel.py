@@ -302,3 +302,119 @@ class TestParallelEdgeCases:
                            match="streaming worker failed") as excinfo:
             parallel_stream_detect([chunk], live_config)
         assert "last-processed chunk none" in str(excinfo.value)
+
+
+class TestWorkerSupervisor:
+    def test_policy_validation(self, live_config):
+        from repro.streaming import WorkerSupervisor
+        factory = lambda resume_bin: iter(())  # noqa: E731
+        with pytest.raises(ValueError):
+            WorkerSupervisor(live_config, factory, max_restarts=-1)
+        with pytest.raises(ValueError):
+            WorkerSupervisor(live_config, factory, backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            WorkerSupervisor(live_config, factory, jitter=-0.1)
+
+    def test_backoff_schedule_is_seeded_and_exponential(self, live_config):
+        from repro.streaming import WorkerSupervisor
+
+        def schedule(seed):
+            supervisor = WorkerSupervisor(
+                live_config, lambda resume_bin: iter(()),
+                backoff_base=0.1, backoff_factor=2.0, jitter=0.5, seed=seed)
+            return [supervisor._backoff_seconds(k) for k in range(4)]
+
+        first = schedule(42)
+        assert first == schedule(42)
+        assert first != schedule(43)
+        for attempt, delay in enumerate(first):
+            base = 0.1 * 2.0 ** attempt
+            assert base <= delay <= base * 1.5
+        assert first[0] < first[1] < first[2] < first[3]
+
+    def test_zero_budget_reproduces_fail_fast(self, small_dataset,
+                                              live_config, tmp_path):
+        from repro.faults import FaultPlan
+        from repro.streaming import WorkerSupervisor
+        config = dataclasses.replace(live_config, parallel_mode="shard")
+        series = small_dataset.series
+
+        def factory(resume_bin):
+            if resume_bin >= series.n_bins:
+                return iter(())
+            return chunk_series(series.window(resume_bin, series.n_bins),
+                                CHUNK, start_bin=resume_bin)
+
+        plan = FaultPlan().kill_worker(at_chunk=3, worker=0)
+        supervisor = WorkerSupervisor(
+            config, factory, n_workers=2, checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_every_chunks=2, max_restarts=0,
+            sleep=lambda seconds: None, fault_hook=plan.hook)
+        with pytest.raises(RuntimeError):
+            supervisor.run()
+        assert supervisor.restarts == 0
+        assert supervisor.degraded is False
+
+    def test_type_mode_restart_replays_from_start(self, small_dataset,
+                                                  live_config,
+                                                  baseline_report):
+        from repro.faults import FaultPlan
+        from repro.streaming import WorkerSupervisor
+        series = small_dataset.series
+
+        def factory(resume_bin):
+            assert resume_bin == 0  # no type-mode checkpoints: full replay
+            return chunk_series(series, CHUNK)
+
+        plan = FaultPlan().kill_worker(at_chunk=3, worker=0)
+        supervisor = WorkerSupervisor(
+            live_config, factory, n_workers=2, mode="type", max_restarts=1,
+            backoff_base=0.0, sleep=lambda seconds: None,
+            fault_hook=plan.hook)
+        report = supervisor.run()
+        assert supervisor.restarts == 1
+        parity = event_parity(baseline_report.events, report.events)
+        assert parity.exact, parity.to_dict()
+
+
+class TestShardWorkerSeeding:
+    def test_from_seed_reconstructs_the_shard_block(self):
+        from repro.streaming import ShardWorkerMoments, partition_columns
+        from repro.streaming.online_pca import OnlinePCA
+        rng = np.random.default_rng(5)
+        data = rng.gamma(4.0, 25.0, size=(64, 10))
+        flat = OnlinePCA()
+        flat.partial_fit(data)
+        state = flat.state_dict()
+        scatter = state["arrays"]["scatter"]
+        mean = state["arrays"]["mean"]
+        n_shards = 3
+        for shard_index, columns in enumerate(
+                partition_columns(mean.size, n_shards)):
+            block = scatter[columns, :]
+            engine = ShardWorkerMoments.from_seed(
+                shard_index, n_shards, 1.0, state["meta"], mean, block)
+            np.testing.assert_array_equal(engine._shard.block, block)
+            np.testing.assert_array_equal(engine._mean, mean)
+            assert engine._weight_sum == flat._weight_sum
+            assert engine._n_bins_seen == flat._n_bins_seen
+            # Continuing the stream from the seed matches a worker that
+            # saw the whole stream from the start.
+            more = rng.gamma(4.0, 25.0, size=(32, 10))
+            engine.partial_fit(more)
+            scratch = ShardWorkerMoments(shard_index, n_shards)
+            scratch.partial_fit(data)
+            scratch.partial_fit(more)
+            np.testing.assert_allclose(engine._shard.block,
+                                       scratch._shard.block, rtol=1e-12)
+
+    def test_from_seed_rejects_wrong_block_shape(self):
+        from repro.streaming import ShardWorkerMoments
+        from repro.streaming.online_pca import OnlinePCA
+        flat = OnlinePCA()
+        flat.partial_fit(np.random.default_rng(0).gamma(4.0, 25.0, size=(16, 10)))
+        state = flat.state_dict()
+        with pytest.raises(ValueError):
+            ShardWorkerMoments.from_seed(
+                0, 2, 1.0, state["meta"], state["arrays"]["mean"],
+                state["arrays"]["scatter"])  # full scatter, not the block
