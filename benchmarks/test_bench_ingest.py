@@ -1,0 +1,176 @@
+"""Benchmark E12 — bulk flow-record ingestion: CSV → chunks vs detection.
+
+The ingestion plane is fast enough exactly when the parser/binner emits
+OD-matrix bins faster than the 3-type detection pipeline consumes them —
+then a service fed from flow-record exports is detection-bound, not
+ingest-bound.  This benchmark measures, on one synthetic Abilene day
+(288 bins, p = 121, ~46k flow records):
+
+* **ingest throughput** — ``FlowCsvSource`` end to end (vectorized CSV
+  parse → PoP resolve → watermark binning), in bins/sec and records/sec;
+* **detect throughput** — single-process ``stream_detect`` over the same
+  day, in bins/sec;
+* **ingest_vs_detect_speedup** — the ratio the gate guards (≥ the floor
+  on machines with at least ``MIN_CORES_FOR_GATE`` cores;
+  ``BENCH_INGEST_MIN_SPEEDUP`` overrides, ``BENCH_INGEST_NO_GATE=1``
+  downgrades the gate to recorded-only numbers).
+
+Round-trip parity (export → parse → bin ≡ in-memory aggregation, byte
+for byte, identical events) is asserted unconditionally — a fast parser
+that changes the bits is worthless.  Every run writes
+``benchmarks/artifacts/bench_ingest.json`` for the perf trajectory.
+"""
+
+import json
+import os
+
+from conftest import (
+    BENCHMARK_SEED,
+    artifact_path,
+    best_of,
+    run_once,
+    trajectory_floor,
+)
+
+from repro.datasets import DatasetConfig, generate_abilene_dataset
+from repro.ingest import (
+    FlowCsvSource,
+    IngestConfig,
+    export_series_records,
+    round_trip_check,
+)
+from repro.streaming import ChunkedSeriesSource, StreamingConfig, stream_detect
+from repro.topology import abilene_topology
+
+#: Chunk size (bins) of the simulated live feed, as in the streaming bench.
+CHUNK_BINS = 32
+#: Recalibration cadence (bins) of the detection pipeline.
+RECALIBRATE_BINS = 96
+#: Warmup bins before detection starts.
+WARMUP_BINS = 128
+#: Flow records synthesized per (bin, OD pair) cell of the export.
+FLOWS_PER_CELL = 2
+#: Fallback floor on ingest-vs-detect: the parser must at least keep up.
+MIN_INGEST_SPEEDUP = 1.0
+#: The speedup gate needs an unloaded multi-core box; below this the
+#: numbers are recorded but the assertion is skipped (parity always runs).
+MIN_CORES_FOR_GATE = 4
+#: Bins of the (smaller) round-trip parity proof.
+PARITY_BINS = 192
+
+
+def test_ingest_outruns_detection_and_round_trips(benchmark, tmp_path):
+    """CSV ingest sustains more bins/sec than detection; bits identical."""
+    network = abilene_topology()
+    dataset = generate_abilene_dataset(DatasetConfig(weeks=1.0 / 7.0),
+                                       seed=BENCHMARK_SEED)
+    series = dataset.series
+    csv_path = str(tmp_path / "flows_day.csv")
+    records = export_series_records(series, network, csv_path,
+                                    seed=BENCHMARK_SEED,
+                                    max_flows_per_cell=FLOWS_PER_CELL)
+
+    cores = os.cpu_count() or 1
+    parse_workers = 1 if cores < MIN_CORES_FOR_GATE else 4
+    ingest_config = IngestConfig(
+        chunk_size=CHUNK_BINS,
+        bin_seconds=series.binning.bin_seconds,
+        start_seconds=series.binning.start_seconds,
+        n_bins=series.n_bins,
+        parse_workers=parse_workers,
+    )
+    source = FlowCsvSource(csv_path, network=network, config=ingest_config)
+    detect_config = StreamingConfig(min_train_bins=WARMUP_BINS,
+                                    recalibrate_every_bins=RECALIBRATE_BINS)
+
+    def run_ingest():
+        chunks = list(source)
+        return chunks, source.stats
+
+    def run_detect():
+        return stream_detect(ChunkedSeriesSource(series, CHUNK_BINS),
+                             detect_config)
+
+    ingest_time, (chunks, ingest_stats) = best_of(3, run_ingest)
+    detect_time, report = best_of(2, run_detect)
+    run_once(benchmark, run_ingest)
+
+    bins = series.n_bins
+    assert sum(c.n_bins for c in chunks) == bins
+    ingest_bins_per_sec = bins / ingest_time
+    detect_bins_per_sec = bins / detect_time
+    records_per_sec = ingest_stats.parse.records / ingest_time
+    speedup = ingest_bins_per_sec / detect_bins_per_sec
+
+    # The parity proof rides along on a smaller window so the benchmark
+    # stays in the tens of seconds; it is never gated off.
+    parity = round_trip_check(
+        series.window(0, PARITY_BINS), network,
+        str(tmp_path / "flows_parity.csv"), seed=BENCHMARK_SEED,
+        max_flows_per_cell=FLOWS_PER_CELL,
+        streaming_config=StreamingConfig(min_train_bins=96,
+                                         recalibrate_every_bins=48))
+
+    min_speedup = float(os.environ.get(
+        "BENCH_INGEST_MIN_SPEEDUP",
+        trajectory_floor("bench_ingest", "ingest_vs_detect_speedup",
+                         MIN_INGEST_SPEEDUP)))
+    gate_enforced = (cores >= MIN_CORES_FOR_GATE
+                     and not os.environ.get("BENCH_INGEST_NO_GATE"))
+
+    record = {
+        "benchmark": "bench_ingest",
+        "n_bins": bins,
+        "n_od_pairs": series.n_od_pairs,
+        "n_records": len(records),
+        "chunk_bins": CHUNK_BINS,
+        "parse_workers": parse_workers,
+        "cpu_count": cores,
+        "ingest_bins_per_sec": round(ingest_bins_per_sec, 1),
+        "ingest_records_per_sec": round(records_per_sec, 1),
+        "detect_bins_per_sec": round(detect_bins_per_sec, 1),
+        "ingest_vs_detect_speedup": round(speedup, 3),
+        "n_events": report.n_events,
+        "parity": {
+            "matrices_identical": parity.matrices_identical,
+            "events_identical": parity.events_identical,
+            "max_abs_difference": parity.max_abs_difference,
+            "n_records_exported": parity.n_records_exported,
+            "n_direct_events": parity.n_direct_events,
+            "n_ingest_events": parity.n_ingest_events,
+        },
+        "gate": {
+            "min_speedup": min_speedup,
+            "min_cores": MIN_CORES_FOR_GATE,
+            "enforced": gate_enforced,
+        },
+    }
+    # Written BEFORE any assert: when a gate fails, the artifact holding
+    # the evidence must still exist (CI uploads it with if: always()).
+    artifact = artifact_path("bench_ingest.json")
+    artifact.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    benchmark.extra_info.update(
+        {k: v for k, v in record.items() if isinstance(v, (int, float))})
+    print(f"\ningest over {bins} bins / {len(records):,} records on {cores} "
+          f"core(s): parse+bin {ingest_time:.2f}s "
+          f"({ingest_bins_per_sec:,.0f} bins/s, {records_per_sec:,.0f} "
+          f"records/s, workers={parse_workers}), detect {detect_time:.2f}s "
+          f"({detect_bins_per_sec:,.0f} bins/s), "
+          f"ingest-vs-detect {speedup:.2f}x; BENCH artifact: {artifact}")
+
+    # The repo's core guarantee — never disabled by BENCH_INGEST_NO_GATE.
+    assert parity.ok, record["parity"]
+    assert parity.max_abs_difference == 0.0
+
+    if gate_enforced:
+        assert speedup >= min_speedup, (
+            f"ingest ({ingest_bins_per_sec:,.0f} bins/s) fell behind "
+            f"detection ({detect_bins_per_sec:,.0f} bins/s): "
+            f"{speedup:.2f}x is below the {min_speedup}x floor on a "
+            f"{cores}-core machine")
+    else:
+        print(f"ingest speedup gate not enforced (cores={cores}, "
+              f"BENCH_INGEST_NO_GATE="
+              f"{os.environ.get('BENCH_INGEST_NO_GATE', '')!r}); "
+              f"parity still verified")

@@ -26,6 +26,7 @@ from repro.datasets import DatasetConfig, generate_abilene_dataset
 from repro.evaluation import event_parity
 from repro.faults import FaultPlan, corrupt_checkpoint
 from repro.streaming import (
+    ChunkedSeriesSource,
     StreamingConfig,
     StreamingNetworkDetector,
     WorkerSupervisor,
@@ -41,15 +42,6 @@ CHUNK = 48
 SEED = 11
 
 
-def source_factory(series):
-    def factory(resume_bin):
-        if resume_bin >= series.n_bins:
-            return iter(())
-        return chunk_series(series.window(resume_bin, series.n_bins),
-                            CHUNK, start_bin=resume_bin)
-    return factory
-
-
 def main() -> None:
     dataset = generate_abilene_dataset(DatasetConfig(weeks=2.0 / 7.0),
                                        seed=SEED)
@@ -61,8 +53,8 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     config = StreamingConfig(min_train_bins=128, recalibrate_every_bins=32,
                              parallel_mode="shard")
-    factory = source_factory(series)
-    baseline = parallel_stream_detect(factory(0), config, n_workers=2)
+    source = ChunkedSeriesSource(series, CHUNK)
+    baseline = parallel_stream_detect(source, config, n_workers=2)
     print(f"undisturbed run:   {baseline.n_events} events")
 
     plan = FaultPlan().kill_worker(at_chunk=8, worker=0)
@@ -70,7 +62,7 @@ def main() -> None:
     registry = MetricsRegistry()
     with tempfile.TemporaryDirectory() as tmp:
         supervisor = WorkerSupervisor(
-            config, factory, n_workers=2,
+            config, source, n_workers=2,
             checkpoint_dir=Path(tmp) / "ckpt", checkpoint_every_chunks=3,
             max_restarts=2, registry=registry, fault_hook=plan.hook)
         report = supervisor.run()

@@ -28,7 +28,7 @@ import signal
 import tempfile
 from pathlib import Path
 
-from repro.datasets.streaming import synthetic_chunk_stream
+from repro.datasets.streaming import SyntheticChunkSource
 from repro.datasets.synthetic import DatasetConfig
 from repro.service import AlertDispatcher, DetectionService, EventStore, JsonLinesAlertSink
 from repro.streaming import StreamingConfig
@@ -41,7 +41,7 @@ CONFIG = StreamingConfig(min_train_bins=256, recalibrate_every_bins=48)
 
 def feed():
     """The deterministic synthetic Abilene feed (DAYS one-day blocks)."""
-    return synthetic_chunk_stream(
+    return SyntheticChunkSource(
         chunk_size=CHUNK,
         block_config=DatasetConfig(weeks=1.0 / 7.0),
         seed=SEED,
@@ -87,8 +87,9 @@ def main() -> None:
     resumed = DetectionService(store=store, dispatcher=dispatcher,
                                checkpoint_dir=workdir / "ckpt")
     print(f"restart resumes at bin {resumed.resume_bin}")
-    suffix = (c for c in feed() if c.start_bin >= resumed.resume_bin)
-    final = resumed.run(suffix)
+    # run() positions any resumable ChunkSource at resume_bin itself —
+    # the restarted service is handed the *full* feed.
+    final = resumed.run(feed())
     print(f"finished: {store.count()} events total "
           f"({final.events_stored} new after the restart)")
 

@@ -21,7 +21,8 @@ Run with::
 import itertools
 
 from repro.core import detect_network_anomalies
-from repro.datasets import DatasetConfig, generate_abilene_dataset, synthetic_chunk_stream
+from repro.datasets import DatasetConfig, generate_abilene_dataset
+from repro.datasets.streaming import SyntheticChunkSource
 from repro.evaluation import event_parity
 from repro.flows.timeseries import TrafficType
 from repro.streaming import (
@@ -56,8 +57,8 @@ def main() -> None:
         recalibrate_every_bins=32,
     )
     detector = StreamingNetworkDetector(live_config)
-    feed = synthetic_chunk_stream(chunk_size=32, seed=3,
-                                  block_config=DatasetConfig(weeks=1.0 / 7.0))
+    feed = SyntheticChunkSource(chunk_size=32, seed=3,
+                                block_config=DatasetConfig(weeks=1.0 / 7.0))
     for chunk in itertools.islice(feed, 18):  # consume 576 bins = 2 days
         closed = detector.process_chunk(chunk)
         for event in closed:

@@ -14,6 +14,15 @@ measurement pipeline, a synthetic traffic and anomaly generator, the
 dominant-attribute anomaly classifier, per-flow baseline detectors, and an
 evaluation harness that regenerates every table and figure of the paper.
 
+The curated public surface re-exported here covers the two pipelines:
+
+* **batch** — :func:`detect_network_anomalies` over a
+  :class:`TrafficMatrixSeries`;
+* **streaming** — any :class:`ChunkSource` (synthetic
+  :class:`SyntheticChunkSource`, in-memory :class:`ChunkedSeriesSource`,
+  on-disk :class:`FlowCsvSource`) fed to :func:`stream_detect` or wrapped
+  in a durable :class:`DetectionService`.
+
 Quickstart
 ----------
 >>> from repro.datasets import generate_abilene_dataset, DatasetConfig
@@ -33,14 +42,34 @@ from repro.core import (
     SubspaceModel,
     detect_network_anomalies,
 )
-from repro.datasets import DatasetConfig, SyntheticDataset, generate_abilene_dataset
+from repro.datasets import (
+    DatasetConfig,
+    SyntheticChunkSource,
+    SyntheticDataset,
+    generate_abilene_dataset,
+)
 from repro.flows import TrafficMatrixSeries, TrafficType
+from repro.ingest import FlowCsvSource, IngestConfig, round_trip_check
+from repro.service import DetectionService
+from repro.streaming import (
+    ChunkSource,
+    ChunkedSeriesSource,
+    StreamingConfig,
+    StreamingReport,
+    TrafficChunk,
+    as_chunk_source,
+    load_checkpoint,
+    parallel_stream_detect,
+    save_checkpoint,
+    stream_detect,
+)
 from repro.topology import abilene_topology
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # batch pipeline
     "EigenflowDecomposition",
     "SubspaceModel",
     "SubspaceDetector",
@@ -48,10 +77,28 @@ __all__ = [
     "AnomalyEvent",
     "NetworkAnomalyReport",
     "detect_network_anomalies",
+    # data model
     "TrafficMatrixSeries",
     "TrafficType",
     "abilene_topology",
     "DatasetConfig",
     "SyntheticDataset",
     "generate_abilene_dataset",
+    # chunk sources
+    "TrafficChunk",
+    "ChunkSource",
+    "as_chunk_source",
+    "ChunkedSeriesSource",
+    "SyntheticChunkSource",
+    "FlowCsvSource",
+    "IngestConfig",
+    "round_trip_check",
+    # streaming pipeline
+    "StreamingConfig",
+    "StreamingReport",
+    "stream_detect",
+    "parallel_stream_detect",
+    "save_checkpoint",
+    "load_checkpoint",
+    "DetectionService",
 ]

@@ -17,7 +17,7 @@ from repro.datasets.synthetic import (
     generate_drifting_dataset,
     small_scenario,
 )
-from repro.datasets.streaming import synthetic_chunk_stream
+from repro.datasets.streaming import SyntheticChunkSource, synthetic_chunk_stream
 
 __all__ = [
     "DatasetConfig",
@@ -25,5 +25,6 @@ __all__ = [
     "generate_abilene_dataset",
     "generate_drifting_dataset",
     "small_scenario",
+    "SyntheticChunkSource",
     "synthetic_chunk_stream",
 ]

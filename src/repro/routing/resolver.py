@@ -212,3 +212,23 @@ class PoPResolver:
     def router_configs(self) -> Dict[str, RouterConfig]:
         """Router configurations used for ingress resolution."""
         return dict(self._configs)
+
+    @property
+    def router_pop_map(self) -> Dict[str, str]:
+        """Router name → PoP name map (the live dict; treat as read-only).
+
+        Bulk consumers (:mod:`repro.ingest`) resolve ingress for whole
+        record batches against this map instead of calling
+        :meth:`resolve_ingress` per record.
+        """
+        return self._router_pop
+
+    @property
+    def ingress_table(self) -> PrefixTable[str]:
+        """Source-address → PoP prefix table (the resolver's fallback)."""
+        return self._ingress_table
+
+    @property
+    def anonymized_bits(self) -> int:
+        """Destination-address bits zeroed before egress lookup."""
+        return self._anonymized_bits

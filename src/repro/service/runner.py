@@ -21,20 +21,22 @@ losing or duplicating a single event:
   uninterrupted run's (``EventStore.table_digest``).
 
 The module is also the service CLI (``python -m repro.service``): a
-synthetic Abilene feed, store/checkpoint/alert paths, optional telemetry
-snapshotting — the process the CI smoke job SIGTERMs and restarts.
+synthetic Abilene feed (or, with ``--ingest-csv``, on-disk flow-record
+exports parsed by :mod:`repro.ingest`), store/checkpoint/alert paths,
+optional telemetry snapshotting — the process the CI smoke job SIGTERMs
+and restarts.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
-import itertools
 import json
 import signal
 import sys
 import threading
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
@@ -49,7 +51,8 @@ from repro.streaming.checkpoint import (has_checkpoint, load_checkpoint,
 from repro.streaming.config import StreamingConfig
 from repro.streaming.pipeline import (StreamingNetworkDetector,
                                       StreamingReport)
-from repro.streaming.sources import TrafficChunk
+from repro.streaming.sources import (IterableChunkSource, TrafficChunk,
+                                     as_chunk_source)
 from repro.telemetry import MetricsRegistry
 from repro.utils.validation import require
 
@@ -235,21 +238,45 @@ class DetectionService:
         if self._checkpoint_dir is not None:
             save_checkpoint(self._detector, self._checkpoint_dir)
 
-    def run(self, chunks: Iterable[TrafficChunk]) -> ServiceResult:
-        """Consume *chunks* until exhaustion or a stop signal.
+    def run(self, source=None,
+            chunks: Optional[Iterable[TrafficChunk]] = None) -> ServiceResult:
+        """Consume *source* until exhaustion or a stop signal.
+
+        *source* is anything :func:`~repro.streaming.sources.as_chunk_source`
+        accepts.  A source with real suffix replay (every provided
+        :class:`~repro.streaming.sources.ChunkSource`) is positioned
+        automatically at :attr:`resume_bin` via ``source.resume(...)``, so
+        callers hand the service the **full** stream; a plain iterable must
+        already be the correctly aligned suffix (the pre-protocol contract —
+        the alignment check below still enforces it).  The ``chunks=``
+        keyword is a deprecated alias for *source*.
 
         Graceful-shutdown sequence on a stop: finish the in-flight chunk,
         write a checkpoint, flush the store and the sinks, return.  On a
         clean end of stream the aggregator tail is flushed through the
         same persistence path, then the final checkpoint is written.
         """
+        if chunks is not None:
+            require(source is None, "pass either source= or chunks=, not both")
+            warnings.warn(
+                "the chunks= keyword is deprecated; pass the stream as "
+                "source= (any ChunkSource or iterable of chunks)",
+                DeprecationWarning, stacklevel=2)
+            source = chunks
+        require(source is not None, "source is required")
+        source = as_chunk_source(source)
         self._events_stored = 0
         self._events_duplicate = 0
         interrupted = False
         try:
             if not self._detector.finished:
                 expected = self.resume_bin
-                for n_chunks, chunk in enumerate(chunks, start=1):
+                if expected and not isinstance(source, IterableChunkSource):
+                    # Replayable sources are positioned here; bare iterables
+                    # keep the old contract (caller feeds the suffix) and
+                    # are only checked for alignment.
+                    source = source.resume(expected)
+                for n_chunks, chunk in enumerate(source, start=1):
                     require(chunk.start_bin == expected,
                             f"resume misalignment: expected a chunk "
                             f"starting at bin {expected}, got "
@@ -293,32 +320,49 @@ class DetectionService:
 # --------------------------------------------------------------------- #
 # CLI
 # --------------------------------------------------------------------- #
-def _synthetic_suffix(chunk_size: int, days: int, seed: int,
-                      resume_bin: int) -> Iterable[TrafficChunk]:
-    """The synthetic Abilene stream from *resume_bin* on.
+def _synthetic_source(chunk_size: int, days: int, seed: int):
+    """The full synthetic Abilene stream as a resumable ``ChunkSource``.
 
-    The generator is deterministic in ``(seed, block index)`` and the
-    service stops only at chunk boundaries, so dropping the already
-    processed prefix reproduces the exact remaining chunks.
+    The generator is deterministic in ``(seed, block index)``, so
+    ``resume(bin)`` — which :meth:`DetectionService.run` calls with the
+    checkpoint's resume bin — reproduces the exact remaining chunks.
     """
-    from repro.datasets.streaming import synthetic_chunk_stream
+    from repro.datasets.streaming import SyntheticChunkSource
     from repro.datasets.synthetic import DatasetConfig
 
-    stream = synthetic_chunk_stream(
+    return SyntheticChunkSource(
         chunk_size=chunk_size,
         block_config=DatasetConfig(weeks=1.0 / 7.0),
         seed=seed,
         max_blocks=days,
     )
-    return itertools.dropwhile(lambda c: c.end_bin <= resume_bin, stream)
 
 
-def _throttled(chunks: Iterable[TrafficChunk],
-               seconds: float) -> Iterable[TrafficChunk]:
-    for chunk in chunks:
-        yield chunk
-        if seconds > 0:
-            time.sleep(seconds)
+def _ingest_source(paths: Sequence[str], chunk_size: int):
+    """A ``ChunkSource`` parsing on-disk CSV flow-record export(s)."""
+    from repro.ingest import FlowCsvSource, IngestConfig
+    from repro.topology.abilene import abilene_topology
+
+    return FlowCsvSource(list(paths), network=abilene_topology(),
+                         config=IngestConfig(chunk_size=chunk_size))
+
+
+class _ThrottledSource:
+    """Pace a source between chunks without losing its ``resume``."""
+
+    def __init__(self, source, seconds: float) -> None:
+        self._source = source
+        self._seconds = float(seconds)
+
+    def __iter__(self):
+        for chunk in self._source:
+            yield chunk
+            if self._seconds > 0:
+                time.sleep(self._seconds)
+
+    def resume(self, start_bin: int) -> "_ThrottledSource":
+        return _ThrottledSource(self._source.resume(start_bin),
+                                self._seconds)
 
 
 def main(argv=None) -> int:
@@ -337,6 +381,12 @@ def main(argv=None) -> int:
     parser.add_argument("--days", type=int, default=7,
                         help="length of the synthetic feed in days "
                              "(default: the Abilene week)")
+    parser.add_argument("--ingest-csv", nargs="+", default=None,
+                        metavar="PATH",
+                        help="feed the service from CSV flow-record "
+                             "export(s) (parsed and binned by "
+                             "repro.ingest) instead of the synthetic "
+                             "generator; --days/--seed are then ignored")
     parser.add_argument("--chunk-size", type=int, default=48,
                         help="timebins per chunk")
     parser.add_argument("--seed", type=int, default=0,
@@ -382,15 +432,16 @@ def main(argv=None) -> int:
         checkpoint_every_chunks=args.checkpoint_every_chunks)
     service.install_signal_handlers()
 
-    resume_bin = service.resume_bin
-    chunks = _synthetic_suffix(args.chunk_size, args.days, args.seed,
-                               resume_bin)
+    if args.ingest_csv:
+        source = _ingest_source(args.ingest_csv, args.chunk_size)
+    else:
+        source = _synthetic_source(args.chunk_size, args.days, args.seed)
     if args.chunk_sleep > 0:
-        chunks = _throttled(chunks, args.chunk_sleep)
+        source = _ThrottledSource(source, args.chunk_sleep)
 
     print(f"service: store={args.store} checkpoint={args.checkpoint} "
-          f"resume_bin={resume_bin}", flush=True)
-    result = service.run(chunks)
+          f"resume_bin={service.resume_bin}", flush=True)
+    result = service.run(source)
     print(json.dumps({"table_digest": store.table_digest(),
                       "store_count": store.count(),
                       **result.to_dict()}, sort_keys=True), flush=True)

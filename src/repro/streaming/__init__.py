@@ -82,8 +82,12 @@ from repro.streaming.detector import (
 )
 from repro.streaming.sources import (
     AsyncChunkSource,
+    ChunkSource,
     ChunkedSeriesSource,
+    FactoryChunkSource,
+    IterableChunkSource,
     TrafficChunk,
+    as_chunk_source,
     chunk_series,
 )
 from repro.streaming.aggregator import OnlineEventAggregator
@@ -127,6 +131,10 @@ __all__ = [
     "make_engine",
     "make_limits_policy",
     "TrafficChunk",
+    "ChunkSource",
+    "IterableChunkSource",
+    "FactoryChunkSource",
+    "as_chunk_source",
     "ChunkedSeriesSource",
     "AsyncChunkSource",
     "chunk_series",

@@ -49,6 +49,7 @@ import queue as queue_module
 import random
 import time
 import traceback
+import warnings
 from collections import deque
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, \
     Tuple, Union
@@ -64,11 +65,16 @@ from repro.streaming.online_pca import OnlinePCA, _MomentTracker
 from repro.streaming.pipeline import (
     StreamingNetworkDetector,
     StreamingReport,
+    _coalesce_source,
     _dedup_types,
     _fuse_chunk_results,
 )
 from repro.streaming.sharding import ShardWorkerMoments, partition_columns
-from repro.streaming.sources import TrafficChunk
+from repro.streaming.sources import (
+    FactoryChunkSource,
+    TrafficChunk,
+    as_chunk_source,
+)
 from repro.telemetry import MetricsRegistry, Telemetry
 from repro.utils.validation import require
 
@@ -571,7 +577,7 @@ class _ShardScatterProxy(_MomentTracker):
 # drivers
 # --------------------------------------------------------------------- #
 def parallel_stream_detect(
-    chunks: Iterable[TrafficChunk],
+    source=None,
     config: StreamingConfig = StreamingConfig(),
     traffic_types: Optional[Sequence[TrafficType]] = None,
     n_workers: Optional[int] = None,
@@ -584,15 +590,19 @@ def parallel_stream_detect(
     on_events=None,
     resume_from: Optional[StreamingNetworkDetector] = None,
     fault_hook: Optional[Callable[[int, "_PoolBase"], None]] = None,
+    chunks: Optional[Iterable[TrafficChunk]] = None,
 ) -> StreamingReport:
-    """Multi-process live diagnosis over an iterable of chunks.
+    """Multi-process live diagnosis over a chunk source.
 
     Parameters
     ----------
-    chunks:
-        The chunk stream (consumed once, in order).  Chunks may shrink over
+    source:
+        The chunk stream — anything
+        :func:`~repro.streaming.sources.as_chunk_source` accepts
+        (consumed once, in order).  Chunks may shrink over
         the stream (a short tail chunk is fine) but must not grow: the bus
-        ring is sized from the first chunk.
+        ring is sized from the first chunk.  The ``chunks=`` keyword is a
+        deprecated alias.
     config:
         Streaming configuration applied by every detector; also supplies
         the defaults for *mode* (``parallel_mode``), the bus ring length
@@ -632,7 +642,7 @@ def parallel_stream_detect(
         :class:`~repro.streaming.pipeline.StreamingNetworkDetector` (from
         :func:`~repro.streaming.checkpoint.load_checkpoint`) whose state
         seeds the coordinator *and* every shard worker, so the run
-        continues the checkpointed trajectory exactly.  *chunks* must then
+        continues the checkpointed trajectory exactly.  *source* must then
         be the stream suffix starting at the checkpoint's resume bin —
         this is the :class:`WorkerSupervisor` restart path.
     fault_hook:
@@ -671,7 +681,8 @@ def parallel_stream_detect(
             "resume_from requires mode='shard' (type mode keeps detector "
             "state in the workers and replays from the stream start)")
 
-    iterator = iter(chunks)
+    source = _coalesce_source(source, chunks)
+    iterator = iter(source)
     try:
         first = next(iterator)
     except StopIteration:
@@ -961,7 +972,7 @@ class WorkerSupervisor:
       newest checkpoint generation that verifies
       (:func:`~repro.streaming.checkpoint.load_checkpoint` with
       ``fallback=True``), and replays the stream suffix from the
-      checkpoint's resume bin through *source_factory*;
+      checkpoint's resume bin through ``source.resume(...)``;
     * restored shard workers are **seeded** with their checkpointed
       scatter row blocks at spawn, so the resumed run continues the exact
       numerical trajectory — the final report (whose prefix rides inside
@@ -987,12 +998,15 @@ class WorkerSupervisor:
     config, traffic_types, n_workers, queue_depth, mp_context, mode,
     poll_seconds, checkpoint_dir, checkpoint_every_chunks, on_events:
         Forwarded to :func:`parallel_stream_detect` on every attempt.
-    source_factory:
-        ``source_factory(resume_bin) -> Iterable[TrafficChunk]`` — the
-        resumable chunk source: must yield the stream suffix whose first
-        chunk starts at *resume_bin* (``0`` on the first attempt; a
-        :class:`~repro.streaming.sources.ChunkedSeriesSource` over
-        ``series.window(resume_bin, ...)`` is the canonical shape).
+    source:
+        The resumable chunk stream — anything
+        :func:`~repro.streaming.sources.as_chunk_source` accepts.  Each
+        attempt iterates ``source.resume(resume_bin)``, so the source must
+        support suffix replay (every provided source does; a plain
+        iterable only survives restarts from bin 0 if it is re-iterable).
+        A legacy ``source_factory(resume_bin)`` callable still works here
+        behind a :class:`DeprecationWarning`, as does the deprecated
+        ``source_factory=`` keyword.
     max_restarts:
         Restart budget; ``0`` reproduces the bare fail-fast behavior.
     backoff_base, backoff_factor, jitter, sleep, seed:
@@ -1008,7 +1022,7 @@ class WorkerSupervisor:
         deterministic injection point.
     """
 
-    def __init__(self, config: StreamingConfig, source_factory,
+    def __init__(self, config: StreamingConfig, source=None,
                  traffic_types: Optional[Sequence[TrafficType]] = None,
                  n_workers: Optional[int] = None, queue_depth: int = 4,
                  mp_context: Optional[str] = None, mode: Optional[str] = None,
@@ -1019,13 +1033,22 @@ class WorkerSupervisor:
                  backoff_base: float = 0.05, backoff_factor: float = 2.0,
                  jitter: float = 0.1, sleep=time.sleep, seed: int = 0,
                  registry: Optional[MetricsRegistry] = None,
-                 fault_hook=None) -> None:
+                 fault_hook=None, source_factory=None) -> None:
         require(max_restarts >= 0, "max_restarts must be >= 0")
         require(backoff_base >= 0.0, "backoff_base must be >= 0")
         require(backoff_factor >= 1.0, "backoff_factor must be >= 1")
         require(jitter >= 0.0, "jitter must be >= 0")
+        if source_factory is not None:
+            require(source is None,
+                    "pass either source= or source_factory=, not both")
+            warnings.warn(
+                "WorkerSupervisor(source_factory=...) is deprecated; pass "
+                "the stream as source= (any ChunkSource)",
+                DeprecationWarning, stacklevel=2)
+            source = FactoryChunkSource(source_factory)
+        require(source is not None, "source is required")
         self._config = config
-        self._source_factory = source_factory
+        self._source = as_chunk_source(source)
         self._traffic_types = traffic_types
         self._n_workers = n_workers
         self._queue_depth = queue_depth
@@ -1080,7 +1103,7 @@ class WorkerSupervisor:
             restored, resume_bin = self._resume_state()
             try:
                 return parallel_stream_detect(
-                    self._source_factory(resume_bin), self._config,
+                    self._source.resume(resume_bin), self._config,
                     traffic_types=self._traffic_types,
                     n_workers=self._n_workers,
                     queue_depth=self._queue_depth,

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import time
 import uuid
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -36,7 +37,11 @@ from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
 from repro.streaming.aggregator import OnlineEventAggregator
 from repro.streaming.config import StreamingConfig
 from repro.streaming.detector import ChunkDetections, StreamingSubspaceDetector
-from repro.streaming.sources import ChunkedSeriesSource, TrafficChunk
+from repro.streaming.sources import (
+    ChunkedSeriesSource,
+    TrafficChunk,
+    as_chunk_source,
+)
 from repro.telemetry import Telemetry
 from repro.utils.validation import require
 
@@ -503,28 +508,53 @@ class StreamingNetworkDetector:
         return load_checkpoint(directory)
 
 
+def _coalesce_source(source, chunks, parameter: str = "source"):
+    """Resolve the ``source=`` / deprecated ``chunks=`` pair of a driver.
+
+    Exactly one of the two must be given; ``chunks=`` warns and is folded
+    into *source*, which then goes through :func:`as_chunk_source`.
+    """
+    if chunks is not None:
+        require(source is None,
+                f"pass either {parameter}= or chunks=, not both")
+        warnings.warn(
+            f"the chunks= keyword is deprecated; pass the stream as "
+            f"{parameter}= (any ChunkSource or iterable of chunks)",
+            DeprecationWarning, stacklevel=3)
+        source = chunks
+    require(source is not None, f"{parameter} is required")
+    return as_chunk_source(source, parameter=parameter)
+
+
 def stream_detect(
-    chunks: Iterable[TrafficChunk],
+    source=None,
     config: StreamingConfig = StreamingConfig(),
     traffic_types: Optional[Sequence[TrafficType]] = None,
     on_events: Optional[Callable[[List[AnomalyEvent]], None]] = None,
+    chunks: Optional[Iterable[TrafficChunk]] = None,
 ) -> StreamingReport:
-    """Single-pass live diagnosis over an iterable of chunks.
+    """Single-pass live diagnosis over a chunk source.
+
+    *source* is anything :func:`~repro.streaming.sources.as_chunk_source`
+    accepts: a :class:`~repro.streaming.sources.ChunkSource`, a plain
+    iterable of chunks, or (deprecated) a ``factory(start_bin)`` callable.
+    The ``chunks=`` keyword is a deprecated alias for *source*.
 
     *on_events*, when given, receives every batch of newly closed events as
     soon as it can no longer change — the hand-off point for persistence
     and alerting (see :mod:`repro.service`).
     """
+    source = _coalesce_source(source, chunks)
     detector = StreamingNetworkDetector(config, traffic_types,
                                         on_events=on_events)
     tel = detector.telemetry
     if tel is None:
-        for chunk in chunks:
+        for chunk in source:
             detector.process_chunk(chunk)
         return detector.finish()
     # Instrumented loop: open each chunk's trace before pulling it so the
     # time spent waiting on the source lands in the "ingest" stage.
-    iterator = iter(chunks)
+    iterator = iter(source)
     index = 0
     while True:
         tel.begin_chunk(index)

@@ -1,8 +1,21 @@
 """Chunked stream sources feeding the online detection pipeline.
 
-A stream is any iterable of :class:`TrafficChunk` — a block of consecutive
-timebins carrying aligned matrices for one or more traffic types.  Three
-adapters are provided here:
+A stream is any object satisfying the :class:`ChunkSource` protocol: an
+iterable of :class:`TrafficChunk` — blocks of consecutive timebins carrying
+aligned matrices for one or more traffic types — plus a ``resume(start_bin)``
+method returning the same stream's suffix from a stream-global bin (the
+checkpoint-restart path).  Every driver (``stream_detect``,
+``parallel_stream_detect``, ``WorkerSupervisor``, ``DetectionService``)
+accepts one uniform ``source=`` argument normalized by
+:func:`as_chunk_source`:
+
+* a :class:`ChunkSource` is used as-is;
+* a plain iterable of chunks is wrapped in :class:`IterableChunkSource`
+  (``resume`` skips already-covered chunks — forward-only);
+* a legacy ``source_factory(resume_bin)`` callable is wrapped in
+  :class:`FactoryChunkSource` behind a :class:`DeprecationWarning`.
+
+Concrete sources provided here:
 
 * :func:`chunk_series` / :class:`ChunkedSeriesSource` replay an in-memory
   :class:`~repro.flows.timeseries.TrafficMatrixSeries` as zero-copy chunks
@@ -10,24 +23,29 @@ adapters are provided here:
 * :class:`AsyncChunkSource` bridges an :mod:`asyncio` producer (a collector
   polling routers, a network receive loop) to the synchronous detection
   drivers, with bounded backpressure and explicit watermarks;
-* :func:`repro.datasets.streaming.synthetic_chunk_stream` (in the datasets
-  package) generates an **unbounded** synthetic feed block by block.
+* :class:`repro.datasets.streaming.SyntheticChunkSource` (in the datasets
+  package) generates an **unbounded** synthetic feed block by block;
+* :class:`repro.ingest.FlowCsvSource` parses and bins on-disk flow-record
+  exports.
 """
 
 from __future__ import annotations
 
 import asyncio
 import queue as queue_module
+import warnings
 from dataclasses import dataclass
-from typing import Iterator, List, Mapping, Optional
+from typing import Iterable, Iterator, List, Mapping, Optional, Protocol, \
+    runtime_checkable
 
 import numpy as np
 
 from repro.flows.timeseries import TrafficMatrixSeries, TrafficType
 from repro.utils.validation import require
 
-__all__ = ["TrafficChunk", "ChunkedSeriesSource", "AsyncChunkSource",
-           "chunk_series"]
+__all__ = ["TrafficChunk", "ChunkSource", "IterableChunkSource",
+           "FactoryChunkSource", "as_chunk_source", "ChunkedSeriesSource",
+           "AsyncChunkSource", "chunk_series"]
 
 
 @dataclass(frozen=True)
@@ -102,26 +120,143 @@ def chunk_series(series: TrafficMatrixSeries, chunk_size: int,
         yield TrafficChunk(start_bin=start_bin + local_start, matrices=matrices)
 
 
+@runtime_checkable
+class ChunkSource(Protocol):
+    """The one feed shape every streaming driver consumes.
+
+    A chunk source is (re-)iterable — yielding in-order, gapless
+    :class:`TrafficChunk`s — and supports suffix replay: ``resume(k)``
+    returns a source yielding the same stream from stream-global bin ``k``
+    on, with the **same chunk boundaries** the original stream had past
+    ``k`` (live-mode detection results depend on chunking, so a resumed
+    run must see the chunks an undisturbed run would have seen).  Sources
+    that fundamentally cannot replay (a live feed) implement ``resume`` as
+    a positioning assertion instead (see :meth:`AsyncChunkSource.resume`).
+    """
+
+    def __iter__(self) -> Iterator[TrafficChunk]:
+        ...  # pragma: no cover - protocol signature
+
+    def resume(self, start_bin: int) -> "ChunkSource":
+        ...  # pragma: no cover - protocol signature
+
+
+class IterableChunkSource:
+    """A plain iterable of chunks behind the :class:`ChunkSource` protocol.
+
+    The weakest adapter: iteration is whatever the wrapped iterable does
+    (a one-shot generator stays one-shot), and :meth:`resume` can only
+    skip **forward** — chunks entirely below the resume bin are dropped,
+    and the first surviving chunk must start exactly at it.
+    """
+
+    def __init__(self, chunks: Iterable[TrafficChunk]) -> None:
+        self._chunks = chunks
+
+    def __iter__(self) -> Iterator[TrafficChunk]:
+        return iter(self._chunks)
+
+    def resume(self, start_bin: int) -> "IterableChunkSource":
+        require(start_bin >= 0, "start_bin must be non-negative")
+        if start_bin == 0:
+            return self
+
+        def suffix(chunks=self._chunks, start=int(start_bin)):
+            first = True
+            for chunk in chunks:
+                if chunk.end_bin <= start:
+                    continue
+                if first:
+                    require(chunk.start_bin == start,
+                            f"cannot resume a plain iterable at bin {start}: "
+                            f"the first surviving chunk is "
+                            f"[{chunk.start_bin}, {chunk.end_bin}) (use a "
+                            f"source with real suffix replay)")
+                    first = False
+                yield chunk
+
+        return IterableChunkSource(suffix())
+
+
+class FactoryChunkSource:
+    """Deprecated ``source_factory(resume_bin)`` behind the protocol.
+
+    The pre-protocol resumable shape: a callable mapping a resume bin to
+    the stream suffix.  Kept as a shim so existing factories keep working;
+    new code implements :class:`ChunkSource` directly.
+    """
+
+    def __init__(self, factory, start_bin: int = 0) -> None:
+        require(callable(factory), "factory must be callable")
+        self._factory = factory
+        self._start_bin = int(start_bin)
+
+    def __iter__(self) -> Iterator[TrafficChunk]:
+        return iter(self._factory(self._start_bin))
+
+    def resume(self, start_bin: int) -> "FactoryChunkSource":
+        require(start_bin >= 0, "start_bin must be non-negative")
+        return FactoryChunkSource(self._factory, start_bin)
+
+
+def as_chunk_source(source, parameter: str = "source") -> "ChunkSource":
+    """Normalize any accepted feed shape to a :class:`ChunkSource`.
+
+    The single adapter behind every driver's ``source=`` parameter:
+    protocol-conforming sources pass through, plain iterables are wrapped,
+    and legacy ``source_factory(resume_bin)`` callables are wrapped behind
+    a :class:`DeprecationWarning`.
+    """
+    require(source is not None, f"{parameter} must not be None")
+    if isinstance(source, ChunkSource):
+        return source
+    if callable(source):
+        warnings.warn(
+            f"passing a source_factory(resume_bin) callable as {parameter} "
+            f"is deprecated; pass a ChunkSource (an object with __iter__ "
+            f"and resume(start_bin)) instead",
+            DeprecationWarning, stacklevel=3)
+        return FactoryChunkSource(source)
+    if isinstance(source, Iterable):
+        return IterableChunkSource(source)
+    raise TypeError(
+        f"{parameter} must be a ChunkSource, an iterable of TrafficChunk, "
+        f"or a source_factory callable; got {type(source).__name__}")
+
+
 class ChunkedSeriesSource:
     """Re-iterable chunked view of a :class:`TrafficMatrixSeries`.
 
     Unlike the one-shot generator :func:`chunk_series`, the source can be
     iterated multiple times — which is what the two-pass replay harness in
-    :mod:`repro.streaming.pipeline` needs.
+    :mod:`repro.streaming.pipeline` needs — and it implements the
+    :class:`ChunkSource` protocol: :meth:`resume` replays the suffix of
+    the stream from any bin, preserving the original chunk boundaries
+    (the resume path of a checkpoint-restored detector).
 
-    *start_bin* offsets every chunk's stream-global index (passed through
-    to :func:`chunk_series`), so a series can be replayed as a **suffix** of
-    a longer stream — the resume path of a checkpoint-restored detector,
-    which expects the next chunk to start at its saved watermark.
+    *start_bin* (deprecated) declares the series to be a pre-cut suffix
+    whose first row sits at that stream-global bin.  New code keeps the
+    full series and calls ``resume(start_bin)`` instead.
     """
 
     def __init__(self, series: TrafficMatrixSeries, chunk_size: int,
                  start_bin: int = 0) -> None:
         require(chunk_size >= 1, "chunk_size must be >= 1")
         require(start_bin >= 0, "start_bin must be non-negative")
+        if start_bin:
+            warnings.warn(
+                "ChunkedSeriesSource(start_bin=...) is deprecated; build "
+                "the source over the full series and call "
+                "resume(start_bin) for suffix replay",
+                DeprecationWarning, stacklevel=2)
         self._series = series
         self._chunk_size = int(chunk_size)
-        self._start_bin = int(start_bin)
+        # Stream-global bin of the series' first row, and the bin iteration
+        # starts at.  resume() moves only _resume_bin: one set of chunk
+        # boundaries (multiples of chunk_size past the origin) serves every
+        # suffix, which is what makes a resumed run chunk-identical.
+        self._origin_bin = int(start_bin)
+        self._resume_bin = int(start_bin)
 
     @property
     def series(self) -> TrafficMatrixSeries:
@@ -135,14 +270,46 @@ class ChunkedSeriesSource:
 
     @property
     def start_bin(self) -> int:
-        """Stream-global index of the series' first bin."""
-        return self._start_bin
+        """Stream-global bin iteration starts at."""
+        return self._resume_bin
+
+    @property
+    def end_bin(self) -> int:
+        """Exclusive stream-global bin of the series' end."""
+        return self._origin_bin + self._series.n_bins
+
+    def resume(self, start_bin: int) -> "ChunkedSeriesSource":
+        """This stream from *start_bin* on, original chunk boundaries kept."""
+        require(self._origin_bin <= start_bin <= self.end_bin,
+                f"resume bin {start_bin} outside the stream range "
+                f"[{self._origin_bin}, {self.end_bin}]")
+        clone = ChunkedSeriesSource(self._series, self._chunk_size)
+        clone._origin_bin = self._origin_bin
+        clone._resume_bin = int(start_bin)
+        return clone
 
     def __len__(self) -> int:
-        return -(-self._series.n_bins // self._chunk_size)
+        n_chunks = 0
+        local = self._resume_bin - self._origin_bin
+        while local < self._series.n_bins:
+            local = (local // self._chunk_size + 1) * self._chunk_size
+            n_chunks += 1
+        return n_chunks
 
     def __iter__(self) -> Iterator[TrafficChunk]:
-        return chunk_series(self._series, self._chunk_size, self._start_bin)
+        n_bins = self._series.n_bins
+        local = self._resume_bin - self._origin_bin
+        while local < n_bins:
+            # Chunk boundaries are fixed multiples of chunk_size past the
+            # origin, so a mid-stream resume emits the identical chunks an
+            # uninterrupted iteration would from that point on.
+            stop = min(n_bins, (local // self._chunk_size + 1)
+                       * self._chunk_size)
+            yield TrafficChunk(
+                start_bin=self._origin_bin + local,
+                matrices={t: self._series.matrix(t)[local:stop, :]
+                          for t in self._series.traffic_types})
+            local = stop
 
 
 #: Queue sentinel marking a cleanly closed stream.
@@ -205,6 +372,26 @@ class AsyncChunkSource:
     def consumed_watermark(self) -> Optional[int]:
         """Exclusive end bin of everything the consumer iterated past."""
         return self._consumed
+
+    def resume(self, start_bin: int) -> "AsyncChunkSource":
+        """Position the live feed at *start_bin* (no replay possible).
+
+        A live feed cannot re-emit the past, so ``resume`` is a
+        positioning assertion rather than a suffix replay: on a fresh
+        source it pins both watermarks to *start_bin* (the producer must
+        then start there); on a source already in flight it requires the
+        stream to sit exactly at *start_bin* with no buffered backlog.
+        """
+        require(start_bin >= 0, "start_bin must be non-negative")
+        if self._produced is None and self._consumed is None:
+            self._produced = int(start_bin)
+            self._consumed = int(start_bin)
+            return self
+        require(self._produced == start_bin and self._consumed == start_bin,
+                f"cannot replay a live feed: resume bin {start_bin} but the "
+                f"feed sits at produced={self._produced}, "
+                f"consumed={self._consumed}")
+        return self
 
     # ------------------------------------------------------------------ #
     # producer side

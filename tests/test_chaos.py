@@ -30,8 +30,9 @@ import pytest
 from repro.datasets import DatasetConfig, generate_abilene_dataset
 from repro.faults import FailingSink, FaultPlan, corrupt_checkpoint
 from repro.service import AlertDispatcher, EventStore
-from repro.streaming import (StreamingConfig, StreamingNetworkDetector,
-                             WorkerSupervisor, chunk_series, load_checkpoint,
+from repro.streaming import (ChunkedSeriesSource, StreamingConfig,
+                             StreamingNetworkDetector, WorkerSupervisor,
+                             chunk_series, load_checkpoint,
                              parallel_stream_detect, save_checkpoint)
 from repro.streaming.checkpoint import QUARANTINE_DIRNAME
 from repro.streaming.hierarchy import HierarchicalNetworkDetector
@@ -52,15 +53,6 @@ def _shard_config():
                            parallel_mode="shard")
 
 
-def _source_factory(series):
-    def factory(resume_bin):
-        if resume_bin >= series.n_bins:
-            return iter(())
-        return chunk_series(series.window(resume_bin, series.n_bins),
-                            CHUNK, start_bin=resume_bin)
-    return factory
-
-
 def _preserve_quarantine(checkpoint_dir):
     """Copy quarantined files into CHAOS_ARTIFACT_DIR when CI asks."""
     artifact_dir = os.environ.get("CHAOS_ARTIFACT_DIR", "")
@@ -74,13 +66,13 @@ def _preserve_quarantine(checkpoint_dir):
 class TestWorkerKill:
     def test_supervised_restart_is_event_identical(self, dataset, tmp_path):
         config = _shard_config()
-        factory = _source_factory(dataset.series)
-        baseline = parallel_stream_detect(factory(0), config, n_workers=2)
+        source = ChunkedSeriesSource(dataset.series, CHUNK)
+        baseline = parallel_stream_detect(source, config, n_workers=2)
 
         plan = FaultPlan().kill_worker(at_chunk=8, worker=0)
         registry = MetricsRegistry()
         supervisor = WorkerSupervisor(
-            config, factory, n_workers=2,
+            config, source, n_workers=2,
             checkpoint_dir=tmp_path / "ckpt", checkpoint_every_chunks=3,
             max_restarts=2, backoff_base=0.0, sleep=lambda seconds: None,
             registry=registry, fault_hook=plan.hook)
@@ -103,13 +95,13 @@ class TestWorkerKill:
 
     def test_restart_budget_exhaustion_escalates(self, dataset, tmp_path):
         config = _shard_config()
-        factory = _source_factory(dataset.series)
+        source = ChunkedSeriesSource(dataset.series, CHUNK)
         plan = (FaultPlan()
                 .kill_worker(at_chunk=4, worker=0)
                 .kill_worker(at_chunk=6, worker=1)
                 .kill_worker(at_chunk=8, worker=0))
         supervisor = WorkerSupervisor(
-            config, factory, n_workers=2,
+            config, source, n_workers=2,
             checkpoint_dir=tmp_path / "ckpt", checkpoint_every_chunks=3,
             max_restarts=1, backoff_base=0.0, sleep=lambda seconds: None,
             fault_hook=plan.hook)

@@ -1,0 +1,189 @@
+"""The unified ChunkSource protocol and its adapters.
+
+One feed shape for every driver: protocol conformance across all source
+implementations, the ``as_chunk_source`` adapter, suffix-replay resume
+semantics, the deprecation shims for the three legacy feed shapes, and
+the DetectionService auto-resume that the protocol makes possible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.streaming import SyntheticChunkSource, synthetic_chunk_stream
+from repro.datasets.synthetic import DatasetConfig
+from repro.service import DetectionService
+from repro.service.store import EventStore
+from repro.streaming import (
+    ChunkSource,
+    ChunkedSeriesSource,
+    StreamingConfig,
+    stream_detect,
+)
+from repro.streaming.parallel import WorkerSupervisor
+from repro.streaming.sources import (
+    AsyncChunkSource,
+    FactoryChunkSource,
+    IterableChunkSource,
+    as_chunk_source,
+)
+
+CHUNK = 32
+CONFIG = StreamingConfig(min_train_bins=96, recalibrate_every_bins=48)
+
+
+def _chunks_equal(a, b):
+    if a.start_bin != b.start_bin or a.traffic_types != b.traffic_types:
+        return False
+    return all(np.array_equal(a.matrix(t), b.matrix(t))
+               for t in a.traffic_types)
+
+
+class TestProtocol:
+    def test_every_source_implementation_conforms(self, clean_series,
+                                                  abilene, tmp_path):
+        from repro.ingest import FlowCsvSource, IngestConfig, export_flow_csv
+
+        path = tmp_path / "empty.csv"
+        export_flow_csv([], path)
+        sources = [
+            ChunkedSeriesSource(clean_series, CHUNK),
+            IterableChunkSource([]),
+            FactoryChunkSource(lambda start_bin: iter([])),
+            AsyncChunkSource(maxsize=2),
+            SyntheticChunkSource(chunk_size=CHUNK, max_blocks=1),
+            FlowCsvSource(str(path), network=abilene,
+                          config=IngestConfig(chunk_size=CHUNK)),
+        ]
+        for source in sources:
+            assert isinstance(source, ChunkSource), type(source).__name__
+
+    def test_non_sources_do_not_conform(self):
+        assert not isinstance(42, ChunkSource)
+        assert not isinstance([], ChunkSource)  # no resume()
+
+    def test_as_chunk_source_passes_protocol_objects_through(
+            self, clean_series):
+        source = ChunkedSeriesSource(clean_series, CHUNK)
+        assert as_chunk_source(source) is source
+
+    def test_as_chunk_source_wraps_plain_iterables_silently(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            wrapped = as_chunk_source([])
+        assert isinstance(wrapped, IterableChunkSource)
+
+    def test_as_chunk_source_warns_on_legacy_factory(self):
+        with pytest.deprecated_call():
+            wrapped = as_chunk_source(lambda start_bin: iter([]))
+        assert isinstance(wrapped, FactoryChunkSource)
+
+    def test_as_chunk_source_rejects_everything_else(self):
+        with pytest.raises(TypeError, match="must be a ChunkSource"):
+            as_chunk_source(42)
+        with pytest.raises(ValueError, match="must not be None"):
+            as_chunk_source(None)
+
+
+class TestResume:
+    def test_series_source_resume_reproduces_the_suffix(self, clean_series):
+        full = list(ChunkedSeriesSource(clean_series, CHUNK))
+        resumed = list(ChunkedSeriesSource(clean_series, CHUNK).resume(64))
+        assert len(resumed) == len(full) - 2
+        for a, b in zip(resumed, full[2:]):
+            assert _chunks_equal(a, b)
+
+    def test_synthetic_source_resume_reproduces_the_suffix(self):
+        source = SyntheticChunkSource(
+            chunk_size=CHUNK, block_config=DatasetConfig(weeks=1.0 / 7.0),
+            seed=3, max_blocks=1)
+        full = list(source)
+        resumed = list(source.resume(96))
+        assert [c.start_bin for c in resumed] \
+            == [c.start_bin for c in full if c.start_bin >= 96]
+        for a, b in zip(resumed, full[3:]):
+            assert _chunks_equal(a, b)
+
+    def test_iterable_source_resume_skips_forward_only(self, clean_series):
+        chunks = list(ChunkedSeriesSource(clean_series, CHUNK))
+        resumed = list(IterableChunkSource(chunks).resume(64))
+        assert resumed == chunks[2:]
+        # A resume bin off the chunk grid cannot be honoured by skipping.
+        with pytest.raises(ValueError, match="cannot resume a plain"):
+            list(IterableChunkSource(chunks).resume(40))
+
+
+class TestDeprecatedShapes:
+    def test_stream_detect_chunks_keyword_warns_but_works(self, clean_series):
+        source = ChunkedSeriesSource(clean_series, CHUNK)
+        with pytest.deprecated_call():
+            legacy = stream_detect(chunks=source, config=CONFIG)
+        modern = stream_detect(source, config=CONFIG)
+        assert legacy.n_bins_processed == modern.n_bins_processed
+        assert len(legacy.events) == len(modern.events)
+
+    def test_source_and_chunks_together_is_an_error(self, clean_series):
+        source = ChunkedSeriesSource(clean_series, CHUNK)
+        with pytest.raises(ValueError, match="not both"):
+            stream_detect(source, config=CONFIG, chunks=source)
+
+    def test_series_source_start_bin_keyword_warns(self, clean_series):
+        with pytest.deprecated_call():
+            ChunkedSeriesSource(clean_series.window(64, 288), CHUNK,
+                                start_bin=64)
+
+    def test_synthetic_stream_start_block_warns(self):
+        with pytest.deprecated_call():
+            synthetic_chunk_stream(chunk_size=CHUNK, max_blocks=2,
+                                   start_block=1)
+
+    def test_supervisor_source_factory_keyword_warns(self):
+        with pytest.deprecated_call():
+            supervisor = WorkerSupervisor(
+                CONFIG, source_factory=lambda start_bin: iter([]))
+        assert isinstance(supervisor._source, FactoryChunkSource)
+
+    def test_supervisor_requires_exactly_one_source(self):
+        with pytest.raises(ValueError, match="source is required"):
+            WorkerSupervisor(CONFIG)
+
+
+class TestServiceAutoResume:
+    def test_restarted_service_positions_a_resumable_source(
+            self, clean_series, tmp_path):
+        source = ChunkedSeriesSource(clean_series, CHUNK)
+        chunks = list(source)
+
+        reference = DetectionService(CONFIG)
+        reference.run(source)
+        expected_digest = reference.store.table_digest()
+        reference.close()
+
+        store_path = str(tmp_path / "events.sqlite")
+        checkpoint_dir = str(tmp_path / "ckpt")
+
+        first = DetectionService(CONFIG, store=EventStore(store_path),
+                                 checkpoint_dir=checkpoint_dir)
+
+        def stopping(feed, after):
+            for index, chunk in enumerate(feed, start=1):
+                yield chunk
+                if index == after:
+                    first.request_stop()
+
+        # The stop request lands while chunk 4 is in flight; that chunk is
+        # finished, not dropped, before the loop exits.
+        result = first.run(stopping(iter(chunks), 3))
+        assert result.interrupted
+        assert first.resume_bin == 4 * CHUNK
+        first.close()
+
+        # The restarted service gets the FULL stream and positions the
+        # resumable source itself — callers no longer slice suffixes.
+        second = DetectionService(CONFIG, store=EventStore(store_path),
+                                  checkpoint_dir=checkpoint_dir)
+        assert second.resume_bin == 4 * CHUNK
+        second.run(ChunkedSeriesSource(clean_series, CHUNK))
+        assert second.store.table_digest() == expected_digest
+        second.close()

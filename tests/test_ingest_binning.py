@@ -1,0 +1,271 @@
+"""FlowRecordBinner: byte-parity with FlowAggregator, watermark discipline.
+
+The load-bearing invariant: accumulating a record stream through the
+vectorized binner produces matrices **bit-identical** to the sequential
+``aggregate_records`` path (``np.add.at`` is unbuffered, so the per-cell
+addition order matches), and emission is gapless, in-order, and sealed by
+the lateness watermark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flows.aggregation import aggregate_records
+from repro.flows.timeseries import TrafficType
+from repro.ingest import FlowRecordBinner
+from repro.ingest.csv_io import RecordBatch
+from repro.routing.resolver import PoPResolver
+from repro.telemetry import MetricsRegistry
+from repro.traffic.flowgen import FlowSynthesizer
+
+BIN_SECONDS = 300
+
+
+@pytest.fixture(scope="module")
+def resolver(abilene):
+    return PoPResolver(abilene)
+
+
+@pytest.fixture(scope="module")
+def od_pairs(abilene):
+    return abilene.od_pairs()
+
+
+@pytest.fixture(scope="module")
+def window_records(abilene, clean_series):
+    """Flow records synthesized from a 96-bin window of clean traffic."""
+    window = clean_series.window(0, 96)
+    synthesizer = FlowSynthesizer(abilene, seed=7, max_flows_per_cell=2)
+    return window, list(synthesizer.synthesize_series(window))
+
+
+@pytest.fixture(scope="module")
+def proto(window_records, resolver, od_pairs):
+    """One record known to resolve to an OD column."""
+    _, records = window_records
+    for record in records[:50]:
+        binner = FlowRecordBinner(resolver, od_pairs, chunk_size=4,
+                                  bin_seconds=BIN_SECONDS)
+        binner.add_batch(_batch_from_records([record]))
+        if binner.stats.binned == 1:
+            return record
+    raise AssertionError("no resolvable prototype record found")
+
+
+def _batch_from_records(records):
+    return RecordBatch(
+        np.array([r.src_address for r in records], np.int64),
+        np.array([r.dst_address for r in records], np.int64),
+        np.array([r.src_port for r in records], np.int64),
+        np.array([r.dst_port for r in records], np.int64),
+        np.array([r.protocol for r in records], np.int64),
+        np.array([r.start_time for r in records], np.float64),
+        np.array([r.end_time for r in records], np.float64),
+        np.array([r.bytes for r in records], np.float64),
+        np.array([r.packets for r in records], np.float64),
+        np.array([r.observing_router or "" for r in records], object),
+    )
+
+
+def _batch_at_bins(proto, bins, bytes_value=100.0):
+    n = len(bins)
+    start = np.array([b * BIN_SECONDS + 1.0 for b in bins], np.float64)
+    return RecordBatch(
+        np.full(n, proto.src_address, np.int64),
+        np.full(n, proto.dst_address, np.int64),
+        np.full(n, proto.src_port, np.int64),
+        np.full(n, proto.dst_port, np.int64),
+        np.full(n, proto.protocol, np.int64),
+        start,
+        start + 1.0,
+        np.full(n, float(bytes_value), np.float64),
+        np.full(n, 1.0, np.float64),
+        np.array([proto.observing_router or ""] * n, object),
+    )
+
+
+def _stacked(chunks, traffic_type):
+    return np.vstack([chunk.matrix(traffic_type) for chunk in chunks])
+
+
+class TestByteParity:
+    def test_binner_matches_flow_aggregator_bitwise(
+            self, window_records, resolver, od_pairs):
+        window, records = window_records
+        binning = window.binning
+
+        resolved, _ = resolver.resolve_records(records)
+        direct = aggregate_records(resolved, od_pairs, binning)
+
+        # Synthesized records are not time-sorted across batch slices, so
+        # keep the whole window open: no record may be dropped as late.
+        binner = FlowRecordBinner(
+            resolver, od_pairs, chunk_size=32,
+            bin_seconds=binning.bin_seconds,
+            start_seconds=binning.start_seconds,
+            n_bins=binning.n_bins,
+            lateness_bins=binning.n_bins)
+        chunks = []
+        for start in range(0, len(records), 700):
+            chunks.extend(binner.add_batch(
+                _batch_from_records(records[start:start + 700])))
+        chunks.extend(binner.finish())
+
+        assert binner.stats.records == len(records)
+        assert binner.stats.binned == len(resolved)
+        assert chunks[0].start_bin == 0
+        assert [c.start_bin for c in chunks] \
+            == [32 * i for i in range(len(chunks))]
+        for traffic_type in (TrafficType.BYTES, TrafficType.PACKETS,
+                             TrafficType.FLOWS):
+            ingested = _stacked(chunks, traffic_type)
+            expected = direct.matrix(traffic_type)
+            # Bitwise, not allclose: the whole point of the plane.
+            assert np.array_equal(ingested, expected), traffic_type
+
+    def test_batch_size_does_not_change_the_bits(
+            self, window_records, resolver, od_pairs):
+        window, records = window_records
+        binning = window.binning
+
+        def run(step):
+            binner = FlowRecordBinner(
+                resolver, od_pairs, chunk_size=48,
+                bin_seconds=binning.bin_seconds,
+                start_seconds=binning.start_seconds,
+                n_bins=binning.n_bins,
+                lateness_bins=binning.n_bins)
+            chunks = []
+            for start in range(0, len(records), step):
+                chunks.extend(binner.add_batch(
+                    _batch_from_records(records[start:start + step])))
+            chunks.extend(binner.finish())
+            return chunks
+
+        small, big = run(137), run(100_000)
+        assert len(small) == len(big)
+        for a, b in zip(small, big):
+            for traffic_type in a.traffic_types:
+                assert np.array_equal(a.matrix(traffic_type),
+                                      b.matrix(traffic_type))
+
+
+class TestWatermark:
+    def test_lateness_window_delays_sealing(self, resolver, od_pairs, proto):
+        binner = FlowRecordBinner(resolver, od_pairs, chunk_size=2,
+                                  bin_seconds=BIN_SECONDS, lateness_bins=2)
+        chunks = binner.add_batch(_batch_at_bins(proto, [0, 1, 2, 3, 4, 5]))
+        # High-water bin is 5; bins < 5+1-2 = 4 are sealed.
+        assert [c.start_bin for c in chunks] == [0, 2]
+        assert binner.emitted_watermark == 4
+
+        # A record inside the lateness window is accepted...
+        late_ok = binner.add_batch(_batch_at_bins(proto, [4], bytes_value=7.0))
+        assert late_ok == [] and binner.stats.late_records == 0
+        # ...one behind the emission floor is late and dropped.
+        binner.add_batch(_batch_at_bins(proto, [1]))
+        assert binner.stats.late_records == 1
+
+        tail = binner.finish()
+        assert [c.start_bin for c in tail] == [4]
+        assert tail[0].n_bins == 2
+        # The accepted in-window record landed on top of the original one.
+        assert tail[0].matrix(TrafficType.FLOWS).sum() == 3.0
+
+    def test_emission_is_gapless_with_zero_rows(self, resolver, od_pairs,
+                                                proto):
+        binner = FlowRecordBinner(resolver, od_pairs, chunk_size=3,
+                                  bin_seconds=BIN_SECONDS)
+        chunks = binner.add_batch(_batch_at_bins(proto, [0, 5]))
+        chunks += binner.finish()
+        stacked = _stacked(chunks, TrafficType.BYTES)
+        assert stacked.shape[0] == 6
+        assert [c.start_bin for c in chunks] == [0, 3]
+        touched = np.nonzero(stacked.sum(axis=1))[0]
+        assert touched.tolist() == [0, 5]
+        flows = _stacked(chunks, TrafficType.FLOWS)
+        assert flows.sum() == 2.0
+
+    def test_out_of_range_records_are_counted(self, resolver, od_pairs,
+                                              proto):
+        binner = FlowRecordBinner(resolver, od_pairs, chunk_size=2,
+                                  bin_seconds=BIN_SECONDS, n_bins=4)
+        batch = _batch_at_bins(proto, [0, 10])
+        batch.start_time[1] = 10 * BIN_SECONDS + 1.0
+        binner.add_batch(batch)
+        negative = _batch_at_bins(proto, [0])
+        negative.start_time[0] = -2 * BIN_SECONDS
+        negative.end_time[0] = negative.start_time[0] + 1.0
+        binner.add_batch(negative)
+        assert binner.stats.out_of_range == 2
+        assert binner.stats.binned == 1
+
+    def test_resume_skips_records_below_start_bin(self, resolver, od_pairs,
+                                                  proto):
+        binner = FlowRecordBinner(resolver, od_pairs, chunk_size=2,
+                                  bin_seconds=BIN_SECONDS, n_bins=8,
+                                  start_bin=4)
+        chunks = binner.add_batch(_batch_at_bins(proto, [1, 2, 5]))
+        chunks += binner.finish()
+        assert binner.stats.skipped_records == 2
+        assert binner.stats.binned == 1
+        # The first resumed chunk starts exactly at the resume bin and
+        # keeps the original (global multiple-of-chunk-size) boundaries.
+        assert [c.start_bin for c in chunks] == [4, 6]
+
+    def test_unresolved_records_are_counted_not_binned(self, resolver,
+                                                       od_pairs):
+        binner = FlowRecordBinner(resolver, od_pairs, chunk_size=2,
+                                  bin_seconds=BIN_SECONDS)
+        batch = RecordBatch(
+            np.array([0], np.int64), np.array([0], np.int64),
+            np.array([1], np.int64), np.array([2], np.int64),
+            np.array([6], np.int64),
+            np.array([1.0]), np.array([2.0]),
+            np.array([10.0]), np.array([1.0]),
+            np.array(["no-such-router"], object),
+        )
+        binner.add_batch(batch)
+        assert binner.stats.unresolved_ingress == 1
+        assert binner.stats.binned == 0
+        assert binner.finish() == []
+
+    def test_finish_is_idempotent_and_seals(self, resolver, od_pairs, proto):
+        binner = FlowRecordBinner(resolver, od_pairs, chunk_size=4,
+                                  bin_seconds=BIN_SECONDS)
+        binner.add_batch(_batch_at_bins(proto, [0, 1]))
+        assert len(binner.finish()) == 1
+        assert binner.finish() == []
+        with pytest.raises(ValueError, match="finished"):
+            binner.add_batch(_batch_at_bins(proto, [2]))
+
+    def test_sampling_inversion_scales_bytes_and_packets_only(
+            self, resolver, od_pairs, proto):
+        plain = FlowRecordBinner(resolver, od_pairs, chunk_size=2,
+                                 bin_seconds=BIN_SECONDS)
+        inverted = FlowRecordBinner(resolver, od_pairs, chunk_size=2,
+                                    bin_seconds=BIN_SECONDS, inverse_rate=4.0)
+        emitted = [
+            binner.add_batch(_batch_at_bins(proto, [0, 1], bytes_value=25.0))
+            + binner.finish()
+            for binner in (plain, inverted)
+        ]
+        a, b = emitted
+        assert np.array_equal(b[0].matrix(TrafficType.BYTES),
+                              4.0 * a[0].matrix(TrafficType.BYTES))
+        assert np.array_equal(b[0].matrix(TrafficType.PACKETS),
+                              4.0 * a[0].matrix(TrafficType.PACKETS))
+        # Flow counts are never rescaled: thinning is not invertible.
+        assert np.array_equal(b[0].matrix(TrafficType.FLOWS),
+                              a[0].matrix(TrafficType.FLOWS))
+
+    def test_metrics_are_published_as_monotonic_counters(
+            self, resolver, od_pairs, proto):
+        registry = MetricsRegistry()
+        binner = FlowRecordBinner(resolver, od_pairs, chunk_size=2,
+                                  bin_seconds=BIN_SECONDS, registry=registry)
+        binner.add_batch(_batch_at_bins(proto, [0, 1, 2]))
+        binner.add_batch(_batch_at_bins(proto, [3]))
+        binner.finish()
+        assert registry.value("ingest_records_total") == 4
+        assert registry.value("ingest_records_binned_total") == 4

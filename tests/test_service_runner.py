@@ -260,3 +260,20 @@ class TestServiceCli:
         second = json.loads(capsys.readouterr().out.splitlines()[-1])
         assert second["events_stored"] == 0
         assert second["table_digest"] == first["table_digest"]
+
+    def test_cli_ingests_csv_flow_records(self, clean_series, abilene,
+                                          tmp_path, capsys):
+        from repro.ingest import export_series_records
+
+        csv_path = tmp_path / "flows.csv"
+        export_series_records(clean_series.window(0, 192), abilene,
+                              str(csv_path), seed=3, max_flows_per_cell=2)
+        argv = ["--store", str(tmp_path / "events.sqlite"),
+                "--ingest-csv", str(csv_path),
+                "--chunk-size", "48",
+                "--min-train-bins", "96",
+                "--recalibrate-every-bins", "48"]
+        assert service_main(argv) == 0
+        payload = json.loads(capsys.readouterr().out.splitlines()[-1])
+        assert payload["interrupted"] is False
+        assert payload["n_bins_processed"] == 192

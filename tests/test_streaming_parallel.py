@@ -320,7 +320,7 @@ class TestWorkerSupervisor:
 
         def schedule(seed):
             supervisor = WorkerSupervisor(
-                live_config, lambda resume_bin: iter(()),
+                live_config, [],
                 backoff_base=0.1, backoff_factor=2.0, jitter=0.5, seed=seed)
             return [supervisor._backoff_seconds(k) for k in range(4)]
 
@@ -337,17 +337,12 @@ class TestWorkerSupervisor:
         from repro.faults import FaultPlan
         from repro.streaming import WorkerSupervisor
         config = dataclasses.replace(live_config, parallel_mode="shard")
-        series = small_dataset.series
-
-        def factory(resume_bin):
-            if resume_bin >= series.n_bins:
-                return iter(())
-            return chunk_series(series.window(resume_bin, series.n_bins),
-                                CHUNK, start_bin=resume_bin)
+        from repro.streaming import ChunkedSeriesSource
+        source = ChunkedSeriesSource(small_dataset.series, CHUNK)
 
         plan = FaultPlan().kill_worker(at_chunk=3, worker=0)
         supervisor = WorkerSupervisor(
-            config, factory, n_workers=2, checkpoint_dir=tmp_path / "ckpt",
+            config, source, n_workers=2, checkpoint_dir=tmp_path / "ckpt",
             checkpoint_every_chunks=2, max_restarts=0,
             sleep=lambda seconds: None, fault_hook=plan.hook)
         with pytest.raises(RuntimeError):
@@ -367,10 +362,13 @@ class TestWorkerSupervisor:
             return chunk_series(series, CHUNK)
 
         plan = FaultPlan().kill_worker(at_chunk=3, worker=0)
-        supervisor = WorkerSupervisor(
-            live_config, factory, n_workers=2, mode="type", max_restarts=1,
-            backoff_base=0.0, sleep=lambda seconds: None,
-            fault_hook=plan.hook)
+        # A legacy factory passed positionally still works, via the
+        # deprecation shim in as_chunk_source.
+        with pytest.deprecated_call():
+            supervisor = WorkerSupervisor(
+                live_config, factory, n_workers=2, mode="type",
+                max_restarts=1, backoff_base=0.0,
+                sleep=lambda seconds: None, fault_hook=plan.hook)
         report = supervisor.run()
         assert supervisor.restarts == 1
         parity = event_parity(baseline_report.events, report.events)
